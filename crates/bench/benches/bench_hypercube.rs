@@ -1,0 +1,40 @@
+//! End-to-end shuffle throughput of the HyperCube algorithm: one full
+//! communication round (routing + fragment materialization) per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpc_bench::workloads::uniform_db;
+use mpc_core::hypercube::HyperCube;
+use mpc_query::named;
+use mpc_stats::SimpleStatistics;
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypercube_round");
+    for (name, q, m, n) in [
+        ("join_16k", named::two_way_join(), 1usize << 14, 1u64 << 16),
+        ("triangle_8k", named::cycle(3), 1usize << 13, 1u64 << 12),
+        ("star3_8k", named::star(3), 1usize << 13, 1u64 << 12),
+    ] {
+        let db = uniform_db(&q, m, n, 7);
+        let st = SimpleStatistics::of(&db);
+        let total: u64 = db.cardinalities().iter().map(|&c| c as u64).sum();
+        g.throughput(Throughput::Elements(total));
+        for p in [16usize, 64] {
+            let hc = HyperCube::with_optimal_shares(&q, &st, p, 3);
+            g.bench_function(BenchmarkId::new(name, p), |b| {
+                b.iter(|| {
+                    let (cluster, report) = hc.run(black_box(&db));
+                    black_box((cluster.p(), report.max_load_bits()))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_round
+}
+criterion_main!(benches);

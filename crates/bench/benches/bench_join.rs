@@ -1,0 +1,32 @@
+//! Local multiway-join throughput (the per-server compute step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpc_bench::workloads::uniform_db;
+use mpc_data::join::join_count;
+use mpc_data::Relation;
+use mpc_query::named;
+use std::hint::black_box;
+
+fn bench_local_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_join");
+    for (name, q, m, n) in [
+        ("join_16k", named::two_way_join(), 1usize << 14, 1u64 << 14),
+        ("triangle_4k", named::cycle(3), 1usize << 12, 1u64 << 8),
+        ("chain3_8k", named::chain(3), 1usize << 13, 1u64 << 12),
+    ] {
+        let db = uniform_db(&q, m, n, 3);
+        let rels: Vec<&Relation> = db.relations().iter().collect();
+        g.throughput(Throughput::Elements((m * q.num_atoms()) as u64));
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(join_count(black_box(&q), &rels)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_local_join
+}
+criterion_main!(benches);

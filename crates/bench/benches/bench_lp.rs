@@ -1,0 +1,54 @@
+//! Microbenchmarks for the LP/polytope substrate: the share-exponent LP (5)
+//! and the exact vertex enumeration behind `pk(q)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_core::shares::ShareAllocation;
+use mpc_query::{named, packing};
+use mpc_stats::SimpleStatistics;
+use std::hint::black_box;
+
+fn bench_share_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("share_lp");
+    for (name, q) in [
+        ("join", named::two_way_join()),
+        ("triangle", named::cycle(3)),
+        ("chain4", named::chain(4)),
+        ("star4", named::star(4)),
+    ] {
+        let arities: Vec<usize> = q.atoms().iter().map(|a| a.arity()).collect();
+        let st = SimpleStatistics::synthetic(
+            &arities,
+            (0..q.num_atoms()).map(|j| 1usize << (14 + j)).collect(),
+            1 << 20,
+        );
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let alloc = ShareAllocation::optimize(black_box(&q), &st, 64).unwrap();
+                black_box(alloc.lambda)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vertex_enum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pk_vertex_enumeration");
+    for w in [3usize, 4, 5] {
+        let q = named::cycle(w);
+        g.bench_function(BenchmarkId::new("cycle", w), |b| {
+            b.iter(|| black_box(packing::pk(black_box(&q)).len()))
+        });
+    }
+    let q = named::chain(5);
+    g.bench_function("chain5", |b| {
+        b.iter(|| black_box(packing::pk(black_box(&q)).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_share_lp, bench_vertex_enum
+}
+criterion_main!(benches);

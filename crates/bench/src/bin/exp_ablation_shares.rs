@@ -1,0 +1,4 @@
+//! Regenerates the e10_ablation_shares ablation table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e10_ablation_shares::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e11_ablation_skew ablation table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e11_ablation_skew::run();
+}

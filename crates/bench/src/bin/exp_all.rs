@@ -1,0 +1,5 @@
+//! Runs every experiment (E1–E9) in order; `tee` the output to regenerate
+//! the measured columns of EXPERIMENTS.md.
+fn main() {
+    mpc_bench::experiments::run_all();
+}

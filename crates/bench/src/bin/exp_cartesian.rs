@@ -1,0 +1,4 @@
+//! Regenerates the cartesian experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e1_cartesian::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the example33 experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e2_example33::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the example37 experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e3_example37::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the general_skew experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e8_general_skew::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the hashing experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e5_hashing::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e13_multi_round experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e13_multi_round::run();
+}

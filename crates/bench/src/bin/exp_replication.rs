@@ -1,0 +1,4 @@
+//! Regenerates the replication experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e9_replication::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the residual_bounds experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e7_residual_bounds::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e12_sampling experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e12_sampling::run();
+}

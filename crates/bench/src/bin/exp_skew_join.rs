@@ -1,0 +1,4 @@
+//! Regenerates the skew_join experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e6_skew_join::run();
+}

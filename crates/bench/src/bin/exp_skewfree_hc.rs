@@ -1,0 +1,4 @@
+//! Regenerates the skewfree_hc experiment table (DESIGN.md §3).
+fn main() {
+    mpc_bench::experiments::e4_skewfree_hc::run();
+}

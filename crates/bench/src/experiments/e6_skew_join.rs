@@ -1,0 +1,73 @@
+//! E6 — Section 4.1: the skew join vs the standard hash join vs resilient
+//! HC across a Zipf sweep, against the Eq. (10) lower bound.
+//!
+//! The paper's story: hash join degrades linearly with the top frequency,
+//! plain HC is capped at `~m/p^{1/3}`, and the skew join tracks
+//! `max(m/p, L1, L2, L12)` within `O(log p)`.
+
+use crate::table::{fmt, Table};
+use crate::workloads::skewed_join_db;
+use mpc_core::baselines::HashJoinRouter;
+use mpc_core::bounds::skew_join_bound;
+use mpc_core::hypercube::HyperCube;
+use mpc_core::skew_join::SkewJoin;
+use mpc_core::verify;
+use mpc_query::{named, VarSet};
+use mpc_sim::cluster::Cluster;
+
+/// Run E6.
+pub fn run() {
+    let q = named::two_way_join();
+    let p = 64usize;
+    let m = 60_000usize;
+    let n = 1u64 << 16;
+    let z = q.var_index("z").unwrap();
+
+    let t = Table::new(
+        "E6: Section 4.1 skew join vs baselines, m = 60000, p = 64 (max tuples/server)",
+        &[
+            "theta",
+            "hash join",
+            "HC equal",
+            "skew join",
+            "Eq.(10)",
+            "skew/Eq10",
+            "#heavy",
+        ],
+    );
+    for theta in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
+        let db = skewed_join_db(&q, m, n, theta, 800, 61 + theta as u64);
+
+        let hj = HashJoinRouter::new(&q, VarSet::singleton(z), p, 1);
+        let hash_load = Cluster::run_round(&db, p, &hj).report().max_load_tuples();
+
+        let hc = HyperCube::with_equal_shares(&q, p, 2);
+        let (_, hc_rep) = hc.run(&db);
+
+        let sj = SkewJoin::plan(&db, p, 3);
+        let (c_sj, sj_rep) = sj.run(&db);
+        if theta == 1.0 {
+            // Full correctness audit at one representative skew level (the
+            // others are covered by the integration tests at smaller m).
+            verify::assert_complete(&db, &c_sj);
+        }
+
+        let f1 = db.relation(0).frequencies(&[1]);
+        let f2 = db.relation(1).frequencies(&[1]);
+        let bound = skew_join_bound(m, m, &f1, &f2, p);
+        t.row(&[
+            theta.to_string(),
+            fmt(hash_load as f64),
+            fmt(hc_rep.max_load_tuples() as f64),
+            fmt(sj_rep.max_load_tuples() as f64),
+            fmt(bound.max_tuples()),
+            format!("{:.1}x", sj_rep.max_load_tuples() as f64 / bound.max_tuples()),
+            sj.num_heavy().to_string(),
+        ]);
+    }
+    println!(
+        "shape: hash join grows with the hot z frequency toward m; HC-equal plateaus\n\
+         near 2m/p^(1/3); the skew join stays within a small multiple of Eq. (10)\n\
+         across the whole sweep — the Section 4.1 optimality claim."
+    );
+}

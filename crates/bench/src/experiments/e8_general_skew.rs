@@ -1,0 +1,105 @@
+//! E8 — Section 4.2 / Theorem 4.6: the general bin-combination algorithm on
+//! multi-attribute skew, vs skew-oblivious HyperCube, vs the per-combination
+//! prediction `max_B p^{λ(B)}`.
+
+use crate::table::{fmt, fmt_ratio, Table};
+use mpc_core::hypercube::HyperCube;
+use mpc_core::skew_general::GeneralSkewAlgorithm;
+use mpc_core::verify;
+use mpc_data::{generators, Database, Relation, Rng};
+use mpc_query::named;
+use mpc_stats::SimpleStatistics;
+
+/// Joint heavy pair inside S1 of the triangle + hot z on the star.
+fn workloads() -> Vec<(&'static str, Database)> {
+    let mut out = Vec::new();
+
+    // Triangle with an *aligned* heavy x1 in both S1 and S3 — the
+    // Example 4.8 scenario whose residual handler is a per-hitter
+    // cartesian grid on (x2, x3).
+    {
+        let q = named::cycle(3);
+        let n = 1u64 << 12;
+        let m = 1usize << 13;
+        let mut rng = Rng::seed_from_u64(81);
+        let degrees: Vec<(Vec<u64>, usize)> = std::iter::once((vec![5u64], m / 2))
+            .chain((0..(m / 2) as u64).map(|i| (vec![100 + (i % (n - 100))], 1)))
+            .collect();
+        // x1 is position 0 of S1 and position 1 of S3.
+        let s1 = generators::from_degree_sequence("S1", 2, &[0], &degrees, n, &mut rng);
+        let s2 = generators::uniform("S2", 2, m, n, &mut rng);
+        let s3 = generators::from_degree_sequence("S3", 2, &[1], &degrees, n, &mut rng);
+        out.push((
+            "C3 heavy x1 (Ex 4.8)",
+            Database::new(q, vec![s1, s2, s3], n).unwrap(),
+        ));
+    }
+
+    // Star(2) with a hot shared z in one ray.
+    {
+        let q = named::star(2);
+        let n = 1u64 << 12;
+        let m = 1usize << 13;
+        let mut rng = Rng::seed_from_u64(82);
+        let mut s1 = Relation::with_capacity("S1", 2, m);
+        for _ in 0..m / 2 {
+            s1.push(&[rng.below(n), 9]);
+        }
+        for _ in 0..m / 2 {
+            s1.push(&[rng.below(n), rng.below(n)]);
+        }
+        let s2 = generators::matching("S2", 2, m.min(n as usize), n, &mut rng);
+        out.push(("Star2 hot z", Database::new(q, vec![s1, s2], n).unwrap()));
+    }
+
+    // Join with double-sided zipf (the Section 4.1 case, via 4.2 machinery).
+    {
+        let q = named::two_way_join();
+        let db = crate::workloads::skewed_join_db(&q, 1 << 13, 1 << 13, 1.2, 400, 83);
+        out.push(("join θ=1.2", db));
+    }
+    out
+}
+
+/// Run E8.
+pub fn run() {
+    let p = 64usize;
+    let t = Table::new(
+        "E8: Section 4.2 general algorithm vs oblivious HC (bits/server), p = 64",
+        &[
+            "workload",
+            "HC oblivious",
+            "general alg",
+            "gen/HC",
+            "max p^λ(B)",
+            "combos",
+            "dropped",
+        ],
+    );
+    for (name, db) in workloads() {
+        let q = db.query().clone();
+        let st = SimpleStatistics::of(&db);
+        let hc = HyperCube::with_optimal_shares(&q, &st, p, 7);
+        let (c_hc, rep_hc) = hc.run(&db);
+        verify::assert_complete(&db, &c_hc);
+
+        let alg = GeneralSkewAlgorithm::plan(&db, p, 7);
+        let (c_gen, rep_gen) = alg.run(&db);
+        verify::assert_complete(&db, &c_gen);
+
+        t.row(&[
+            name.to_string(),
+            fmt(rep_hc.max_load_bits() as f64),
+            fmt(rep_gen.max_load_bits() as f64),
+            fmt_ratio(rep_gen.max_load_bits() as f64 / rep_hc.max_load_bits() as f64),
+            fmt(alg.predicted_load_bits()),
+            alg.combination_summary().len().to_string(),
+            alg.dropped_assignments().to_string(),
+        ]);
+    }
+    println!(
+        "shape: on skewed inputs the general algorithm beats or matches oblivious HC\n\
+         (gen/HC <= 1) and stays within polylog of max_B p^λ(B) (Theorem 4.6); zero\n\
+         dropped assignments means the full guarantee applied."
+    );
+}

@@ -1,0 +1,33 @@
+//! Experiment implementations (E1–E9 of DESIGN.md §3). Each module's
+//! `run()` regenerates one table/figure/worked example of the paper.
+
+pub mod e1_cartesian;
+pub mod e2_example33;
+pub mod e3_example37;
+pub mod e4_skewfree_hc;
+pub mod e5_hashing;
+pub mod e6_skew_join;
+pub mod e7_residual_bounds;
+pub mod e8_general_skew;
+pub mod e9_replication;
+pub mod e10_ablation_shares;
+pub mod e11_ablation_skew;
+pub mod e12_sampling;
+pub mod e13_multi_round;
+
+/// Run every experiment in order.
+pub fn run_all() {
+    e1_cartesian::run();
+    e2_example33::run();
+    e3_example37::run();
+    e4_skewfree_hc::run();
+    e5_hashing::run();
+    e6_skew_join::run();
+    e7_residual_bounds::run();
+    e8_general_skew::run();
+    e9_replication::run();
+    e10_ablation_shares::run();
+    e11_ablation_skew::run();
+    e12_sampling::run();
+    e13_multi_round::run();
+}

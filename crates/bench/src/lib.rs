@@ -1,0 +1,12 @@
+//! # mpc-bench
+//!
+//! The experiment harness: one binary per table/figure/worked example of
+//! the paper (see DESIGN.md §3 for the experiment index E1–E9), plus
+//! criterion microbenchmarks for the algorithm implementations.
+//!
+//! Run everything with `cargo run --release -p mpc-bench --bin exp_all`.
+
+pub mod table;
+pub mod workloads;
+
+pub mod experiments;

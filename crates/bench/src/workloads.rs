@@ -1,0 +1,86 @@
+//! Shared workload builders for the experiment binaries.
+
+use mpc_data::{generators, Database, Rng};
+use mpc_query::Query;
+
+/// One uniform relation per atom.
+pub fn uniform_db(q: &Query, m: usize, n: u64, seed: u64) -> Database {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rels = q
+        .atoms()
+        .iter()
+        .map(|a| generators::uniform(a.name(), a.arity(), m, n, &mut rng))
+        .collect();
+    Database::new(q.clone(), rels, n).expect("valid uniform db")
+}
+
+/// One matching relation per atom (the skew-free extreme).
+pub fn matching_db(q: &Query, m: usize, n: u64, seed: u64) -> Database {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rels = q
+        .atoms()
+        .iter()
+        .map(|a| generators::matching(a.name(), a.arity(), m, n, &mut rng))
+        .collect();
+    Database::new(q.clone(), rels, n).expect("valid matching db")
+}
+
+/// The skewed two-way-join workload used by E6: `z` Zipf(θ) in S1 with hot
+/// values at the low end, Zipf(θ) in S2 with hot values at the *high* end
+/// (disjoint celebrity sets, so the output stays materializable), plus one
+/// shared heavy value (777 on both sides) of frequency `h12` — the H12
+/// class of Section 4.1.
+pub fn skewed_join_db(
+    q: &Query,
+    m: usize,
+    n: u64,
+    theta: f64,
+    h12: usize,
+    seed: u64,
+) -> Database {
+    assert!(h12 < m);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut d1 = generators::zipf_degrees(m - h12, n, theta);
+    let mut d2: Vec<(Vec<u64>, usize)> = generators::zipf_degrees(m - h12, n, theta)
+        .into_iter()
+        .map(|(k, c)| (vec![n - 1 - k[0]], c))
+        .collect();
+    if h12 > 0 {
+        d1.push((vec![777], h12));
+        d2.push((vec![777], h12));
+    }
+    let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+    let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+    Database::new(q.clone(), vec![s1, s2], n).expect("valid skewed db")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_query::named;
+
+    #[test]
+    fn uniform_and_matching_builders() {
+        let q = named::cycle(3);
+        let u = uniform_db(&q, 100, 256, 1);
+        assert_eq!(u.cardinalities(), vec![100; 3]);
+        let m = matching_db(&q, 100, 256, 1);
+        for j in 0..3 {
+            assert_eq!(m.relation(j).max_frequency(&[0]), 1);
+        }
+    }
+
+    #[test]
+    fn skewed_join_builder_plants_h12() {
+        let q = named::two_way_join();
+        let db = skewed_join_db(&q, 2000, 1 << 12, 1.0, 300, 2);
+        assert_eq!(db.cardinalities(), vec![2000, 2000]);
+        let f1 = db.relation(0).frequencies(&[1]);
+        let f2 = db.relation(1).frequencies(&[1]);
+        assert!(f1[&vec![777u64]] >= 300);
+        assert!(f2[&vec![777u64]] >= 300);
+        // The two hot tails live at opposite ends of the domain.
+        assert!(f1.contains_key(&vec![0u64]));
+        assert!(f2.contains_key(&vec![(1u64 << 12) - 1]));
+    }
+}

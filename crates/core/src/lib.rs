@@ -1,0 +1,40 @@
+//! # mpc-core
+//!
+//! One-round MPC query evaluation with provably optimal skew handling — the
+//! algorithms and bounds of Beame, Koutris & Suciu, *Skew in Parallel Query
+//! Processing* (PODS 2014):
+//!
+//! * [`shares`] — the share-exponent LP (5) and its closed form over
+//!   `pk(q)` (Theorem 3.6);
+//! * [`hypercube`] — the HyperCube algorithm (Section 3.1);
+//! * [`baselines`] — standard parallel hash join and broadcast join;
+//! * [`multi_round`] — the traditional one-join-per-round baseline the
+//!   introduction contrasts against;
+//! * [`skew_join`] — the two-relation skew join of Section 4.1
+//!   (light / H1 / H2 / H12 decomposition);
+//! * [`skew_general`] — the general bin-combination algorithm of
+//!   Section 4.2 (Theorem 4.6);
+//! * [`mapreduce`] — the Section 5 reducer-size model: scheduling servers
+//!   for a reducer budget;
+//! * [`bounds`] — every lower bound in the paper: `L(u, M, p)` and
+//!   `L_lower` (Theorems 3.5/3.6), residual bounds `L_x(u, M, p)`
+//!   (Theorem 4.7), Eq. (10), the replication-rate bound (Theorem 5.1) and
+//!   the space exponent;
+//! * [`verify`](mod@crate::verify) — exact distributed-vs-sequential answer verification.
+
+pub mod baselines;
+pub mod bounds;
+pub mod hypercube;
+pub mod mapreduce;
+pub mod multi_round;
+pub mod shares;
+pub mod skew_general;
+pub mod skew_join;
+pub mod verify;
+
+pub use baselines::{FragmentReplicateRouter, HashJoinRouter};
+pub use hypercube::HyperCube;
+pub use shares::ShareAllocation;
+pub use skew_general::GeneralSkewAlgorithm;
+pub use skew_join::{SkewJoin, SkewJoinConfig};
+pub use verify::{assert_complete, verify, Verification};

@@ -1,0 +1,150 @@
+//! The MapReduce-style model of Section 5.
+//!
+//! Afrati et al. \[1\] parameterize computation by the *reducer size* `q`
+//! (here `reducer_bits`: the maximum input a reducer may receive) instead
+//! of the server count `p`. Section 5 shows the MPC results transfer: the
+//! replication rate of any algorithm is bounded below in terms of
+//! fractional edge packings (Theorem 5.1, implemented in
+//! [`crate::bounds::replication_rate_bound`]), and the HyperCube algorithm
+//! with appropriate shares matches the bound.
+//!
+//! This module provides the scheduling direction the model implies: given a
+//! reducer budget `L`, find the number of servers and the share allocation
+//! under which HyperCube's predicted load fits in `L`, and quantify the
+//! resulting replication.
+
+use crate::bounds;
+use crate::shares::ShareAllocation;
+use mpc_query::Query;
+use mpc_stats::cardinality::SimpleStatistics;
+
+/// A reducer-budgeted schedule: the server count and share allocation
+/// chosen for a reducer size.
+#[derive(Clone, Debug)]
+pub struct ReducerSchedule {
+    /// Number of (virtual) reducers/servers to deploy.
+    pub p: usize,
+    /// The share allocation at that `p`.
+    pub alloc: ShareAllocation,
+    /// The predicted per-reducer load `p^λ` in bits.
+    pub predicted_load_bits: f64,
+    /// The Theorem 5.1 lower bound on replication at this reducer size.
+    pub replication_lower_bound: f64,
+}
+
+/// The smallest power-of-two `p` whose LP (5) load prediction fits within
+/// `reducer_bits` (binary search over the exponent; `L_upper` is
+/// non-increasing in `p`). Returns `None` when even `max_p` cannot fit the
+/// budget (a reducer smaller than the scan floor `max_j M_j / p`).
+pub fn servers_for_reducer_cap(
+    q: &Query,
+    stats: &SimpleStatistics,
+    reducer_bits: f64,
+    max_p: usize,
+) -> Option<ReducerSchedule> {
+    assert!(reducer_bits > 0.0);
+    let mut chosen: Option<(usize, ShareAllocation)> = None;
+    let mut p = 1usize;
+    while p <= max_p {
+        let alloc = ShareAllocation::optimize(q, stats, p).ok()?;
+        if alloc.predicted_load_bits() <= reducer_bits {
+            chosen = Some((p, alloc));
+            break;
+        }
+        p *= 2;
+    }
+    let (p, alloc) = chosen?;
+    let predicted = alloc.predicted_load_bits();
+    Some(ReducerSchedule {
+        p,
+        alloc,
+        predicted_load_bits: predicted,
+        replication_lower_bound: bounds::replication_rate_bound(q, stats, reducer_bits),
+    })
+}
+
+/// Total communication implied by a schedule: `p · predicted_load` bits —
+/// the quantity whose ratio to the input size is the replication rate `r`.
+pub fn predicted_total_bits(schedule: &ReducerSchedule) -> f64 {
+    schedule.p as f64 * schedule.predicted_load_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_query::named;
+
+    fn stats(q: &Query, m: usize) -> SimpleStatistics {
+        let arities: Vec<usize> = q.atoms().iter().map(|a| a.arity()).collect();
+        SimpleStatistics::synthetic(&arities, vec![m; q.num_atoms()], 1 << 20)
+    }
+
+    #[test]
+    fn smaller_reducers_need_more_servers() {
+        let q = named::cycle(3);
+        let st = stats(&q, 1 << 16);
+        let m_bits = st.bit_sizes_f64()[0];
+        let mut last_p = 0usize;
+        for frac in [2.0f64, 8.0, 32.0] {
+            let s = servers_for_reducer_cap(&q, &st, m_bits / frac, 1 << 20)
+                .expect("budget is feasible");
+            assert!(s.p >= last_p, "p should not shrink as reducers shrink");
+            assert!(s.predicted_load_bits <= m_bits / frac + 1.0);
+            last_p = s.p;
+        }
+        assert!(last_p >= 8, "tight budgets should need many servers");
+    }
+
+    #[test]
+    fn triangle_reducer_count_tracks_example_5_2() {
+        // For C3 with equal sizes, p ~ (M/L)^{3/2} (Example 5.2); our
+        // power-of-two search should land within a factor ~2-4 of it.
+        let q = named::cycle(3);
+        let st = stats(&q, 1 << 16);
+        let m_bits = st.bit_sizes_f64()[0];
+        let l = m_bits / 16.0;
+        let s = servers_for_reducer_cap(&q, &st, l, 1 << 24).unwrap();
+        let ideal = (m_bits / l).powf(1.5);
+        assert!(
+            (s.p as f64) >= ideal / 2.0 && (s.p as f64) <= ideal * 4.0,
+            "p = {} vs ideal (M/L)^1.5 = {ideal}",
+            s.p
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        // A reducer smaller than m/p for any p <= max_p is infeasible when
+        // max_p is small.
+        let q = named::two_way_join();
+        let st = stats(&q, 1 << 16);
+        let tiny = 16.0; // 16 bits can never hold a fragment at p <= 4
+        assert!(servers_for_reducer_cap(&q, &st, tiny, 4).is_none());
+    }
+
+    #[test]
+    fn replication_grows_as_reducers_shrink() {
+        let q = named::cycle(3);
+        let st = stats(&q, 1 << 16);
+        let m_bits = st.bit_sizes_f64()[0];
+        let r_big = servers_for_reducer_cap(&q, &st, m_bits, 1 << 20)
+            .unwrap()
+            .replication_lower_bound;
+        let r_small = servers_for_reducer_cap(&q, &st, m_bits / 64.0, 1 << 20)
+            .unwrap()
+            .replication_lower_bound;
+        assert!(
+            r_small > r_big,
+            "replication bound should grow: {r_small} vs {r_big}"
+        );
+    }
+
+    #[test]
+    fn total_bits_consistent() {
+        let q = named::two_way_join();
+        let st = stats(&q, 1 << 14);
+        let s = servers_for_reducer_cap(&q, &st, st.bit_sizes_f64()[0], 1 << 16).unwrap();
+        let total = predicted_total_bits(&s);
+        assert!(total >= st.total_bits() as f64 * 0.4, "total {total} too small");
+    }
+}

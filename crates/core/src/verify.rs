@@ -1,0 +1,144 @@
+//! Distributed-answer verification.
+//!
+//! A one-round algorithm is *correct* when the union of per-server local
+//! join outputs equals the sequential join of the input (the MPC model's
+//! requirement that "the servers must find all answers"). This module
+//! performs that comparison exactly and reports any discrepancy.
+
+use mpc_data::catalog::Database;
+use mpc_sim::cluster::Cluster;
+
+/// Outcome of verifying a cluster against the sequential ground truth.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Verification {
+    /// Answers the algorithm failed to produce.
+    pub missing: Vec<Vec<u64>>,
+    /// Answers the algorithm produced that the ground truth lacks (cannot
+    /// happen for routers over genuine input tuples; kept for debugging
+    /// future algorithms).
+    pub unexpected: Vec<Vec<u64>>,
+    /// Number of correct distinct answers.
+    pub found: usize,
+}
+
+impl Verification {
+    /// True iff the distributed output is exactly the sequential output.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty() && self.unexpected.is_empty()
+    }
+}
+
+/// Compare a cluster's unioned answers against the sequential join of `db`.
+pub fn verify(db: &Database, cluster: &Cluster) -> Verification {
+    let mut expected = mpc_data::join_database(db);
+    expected.sort();
+    expected.dedup();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let got = cluster.all_answers_parallel(db.query(), threads);
+    let mut missing = Vec::new();
+    let mut unexpected = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < expected.len() || j < got.len() {
+        match (expected.get(i), got.get(j)) {
+            (Some(e), Some(g)) => match e.cmp(g) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    missing.push(e.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    unexpected.push(g.clone());
+                    j += 1;
+                }
+            },
+            (Some(e), None) => {
+                missing.push(e.clone());
+                i += 1;
+            }
+            (None, Some(g)) => {
+                unexpected.push(g.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    let found = got.len() - unexpected.len();
+    Verification {
+        missing,
+        unexpected,
+        found,
+    }
+}
+
+/// Panic with a readable report unless the cluster is complete. For tests
+/// and experiment harnesses.
+pub fn assert_complete(db: &Database, cluster: &Cluster) {
+    let v = verify(db, cluster);
+    assert!(
+        v.is_complete(),
+        "algorithm incomplete: {} answers missing (first: {:?}), {} unexpected, {} found",
+        v.missing.len(),
+        v.missing.first(),
+        v.unexpected.len(),
+        v.found
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::{generators, Database, Rng};
+    use mpc_query::named;
+    use mpc_sim::cluster::{BroadcastRouter, Cluster};
+
+    fn db() -> Database {
+        let q = named::two_way_join();
+        let mut rng = Rng::seed_from_u64(1);
+        let n = 256u64;
+        let s1 = generators::uniform("S1", 2, 300, n, &mut rng);
+        let s2 = generators::uniform("S2", 2, 300, n, &mut rng);
+        Database::new(q, vec![s1, s2], n).unwrap()
+    }
+
+    #[test]
+    fn broadcast_verifies_complete() {
+        let db = db();
+        let cluster = Cluster::run_round(&db, 4, &BroadcastRouter { p: 4 });
+        let v = verify(&db, &cluster);
+        assert!(v.is_complete());
+        assert!(v.found > 0);
+    }
+
+    #[test]
+    fn dropping_detected_as_missing() {
+        let db = db();
+        // Router that keeps only half of S1.
+        let router = |atom: usize, tuple: &[u64], out: &mut Vec<usize>| {
+            if atom == 1 || tuple[0].is_multiple_of(2) {
+                out.push(0);
+            }
+        };
+        let cluster = Cluster::run_round(&db, 2, &router);
+        let v = verify(&db, &cluster);
+        assert!(!v.missing.is_empty());
+        assert!(v.unexpected.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn assert_complete_panics_on_loss() {
+        let db = db();
+        let router = |atom: usize, _: &[u64], out: &mut Vec<usize>| {
+            if atom == 0 {
+                out.push(0);
+            }
+        };
+        let cluster = Cluster::run_round(&db, 2, &router);
+        assert_complete(&db, &cluster);
+    }
+}

@@ -1,0 +1,288 @@
+//! Synthetic workload generators.
+//!
+//! Each generator produces the class of instances some part of the paper
+//! analyzes:
+//!
+//! * [`uniform`] / [`uniform_set`] — iid-uniform relations, the probability
+//!   space of the lower bounds (Theorem 3.5's "chosen independently and
+//!   uniformly at random from all subsets of `[n]^{a_j}` with exactly `m_j`
+//!   tuples");
+//! * [`matching`] — every value occurs at most once per attribute, the
+//!   skew-free extreme of the prior work \[4\] and of Lemma 3.1(2);
+//! * [`zipf_column`] — one attribute follows a Zipf law, the standard
+//!   heavy-hitter workload for Section 4;
+//! * [`from_degree_sequence`] — exact degree sequences (the paper's
+//!   x-statistics, Section 4.3), used to plant heavy hitters with known
+//!   frequencies;
+//! * [`single_value_column`] — the adversarial "all tuples share one value"
+//!   instance of Example 3.3 / Lemma 3.1(4).
+
+use crate::relation::Relation;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// `m` iid-uniform tuples over `[n]^arity` (bag semantics; duplicates
+/// possible but rare when `n^arity >> m`).
+pub fn uniform(name: &str, arity: usize, m: usize, n: u64, rng: &mut Rng) -> Relation {
+    let mut r = Relation::with_capacity(name, arity, m);
+    let mut tuple = vec![0u64; arity];
+    for _ in 0..m {
+        for slot in tuple.iter_mut() {
+            *slot = rng.below(n);
+        }
+        r.push(&tuple);
+    }
+    r
+}
+
+/// `m` *distinct* uniform tuples over `[n]^arity` (set semantics, matching
+/// the lower-bound probability space exactly). Requires `m <= n^arity`.
+pub fn uniform_set(name: &str, arity: usize, m: usize, n: u64, rng: &mut Rng) -> Relation {
+    let capacity = (n as u128).checked_pow(arity as u32);
+    if let Some(cap) = capacity {
+        assert!(
+            (m as u128) <= cap,
+            "cannot draw {m} distinct tuples from a domain of {cap}"
+        );
+    }
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut r = Relation::with_capacity(name, arity, m);
+    let mut tuple = vec![0u64; arity];
+    while r.len() < m {
+        for slot in tuple.iter_mut() {
+            *slot = rng.below(n);
+        }
+        if seen.insert(tuple.clone()) {
+            r.push(&tuple);
+        }
+    }
+    r
+}
+
+/// A matching relation: `m <= n` tuples where every value occurs at most
+/// once in every attribute (the instances of the prior work \[4\], and the
+/// premise of Lemma 3.1(2)).
+pub fn matching(name: &str, arity: usize, m: usize, n: u64, rng: &mut Rng) -> Relation {
+    assert!(m as u64 <= n, "a matching needs m <= n");
+    let columns: Vec<Vec<u64>> = (0..arity).map(|_| rng.sample_distinct(n, m)).collect();
+    let mut r = Relation::with_capacity(name, arity, m);
+    let mut tuple = vec![0u64; arity];
+    for i in 0..m {
+        for (a, col) in columns.iter().enumerate() {
+            tuple[a] = col[i];
+        }
+        r.push(&tuple);
+    }
+    r
+}
+
+/// `m` tuples where attribute `col` is Zipf(θ)-distributed over `[n]` (value
+/// = rank, so value 0 is the heaviest) and the remaining attributes are
+/// uniform.
+pub fn zipf_column(
+    name: &str,
+    arity: usize,
+    m: usize,
+    n: u64,
+    col: usize,
+    theta: f64,
+    rng: &mut Rng,
+) -> Relation {
+    assert!(col < arity);
+    let zipf = Zipf::new(n as usize, theta);
+    let mut r = Relation::with_capacity(name, arity, m);
+    let mut tuple = vec![0u64; arity];
+    for _ in 0..m {
+        for (a, slot) in tuple.iter_mut().enumerate() {
+            *slot = if a == col {
+                zipf.sample(rng)
+            } else {
+                rng.below(n)
+            };
+        }
+        r.push(&tuple);
+    }
+    r
+}
+
+/// Exact degree sequences: for each `(key, count)` in `degrees`, emit
+/// `count` tuples whose projection on `cols` equals `key`, all other
+/// attributes uniform over `[n]`. The result realizes precisely the
+/// x-statistics `m_j(h_j) = count` of Section 4.3.
+pub fn from_degree_sequence(
+    name: &str,
+    arity: usize,
+    cols: &[usize],
+    degrees: &[(Vec<u64>, usize)],
+    n: u64,
+    rng: &mut Rng,
+) -> Relation {
+    assert!(cols.iter().all(|&c| c < arity));
+    let total: usize = degrees.iter().map(|(_, c)| c).sum();
+    let mut r = Relation::with_capacity(name, arity, total);
+    let mut tuple = vec![0u64; arity];
+    for (key, count) in degrees {
+        assert_eq!(key.len(), cols.len(), "degree key arity mismatch");
+        for _ in 0..*count {
+            for slot in tuple.iter_mut() {
+                *slot = rng.below(n);
+            }
+            for (pos, &c) in cols.iter().enumerate() {
+                tuple[c] = key[pos];
+            }
+            r.push(&tuple);
+        }
+    }
+    r
+}
+
+/// The adversarial instance of Example 3.3 / Lemma 3.1(4): all `m` tuples
+/// share the single value `value` at attribute `col`; other attributes are
+/// distinct-ish uniform.
+pub fn single_value_column(
+    name: &str,
+    arity: usize,
+    m: usize,
+    n: u64,
+    col: usize,
+    value: u64,
+    rng: &mut Rng,
+) -> Relation {
+    from_degree_sequence(name, arity, &[col], &[(vec![value], m)], n, rng)
+}
+
+/// A Zipf degree sequence with *exact* counts summing to `m`: value `v`
+/// (rank `v+1`) gets `floor(m·F(v+1)) - floor(m·F(v))` tuples, where `F` is
+/// the Zipf CDF (cumulative rounding). Useful when an experiment needs the
+/// planted frequencies to be known exactly rather than sampled. Zero-count
+/// tail values are omitted.
+pub fn zipf_degrees(m: usize, n: u64, theta: f64) -> Vec<(Vec<u64>, usize)> {
+    let zipf = Zipf::new(n as usize, theta);
+    let mut degrees: Vec<(Vec<u64>, usize)> = Vec::new();
+    let mut cum = 0.0f64;
+    let mut assigned = 0usize;
+    for v in 0..n as usize {
+        cum += zipf.pmf(v);
+        // Clamp against float drift so the final floor lands exactly on m.
+        let target = (m as f64 * cum.min(1.0)).floor() as usize;
+        let c = target.saturating_sub(assigned).min(m - assigned);
+        if c > 0 {
+            degrees.push((vec![v as u64], c));
+            assigned += c;
+        }
+        if assigned == m {
+            break;
+        }
+    }
+    // Float shortfall of at most a few tuples: top up the head.
+    let len = degrees.len().max(1);
+    let mut v = 0usize;
+    while assigned < m {
+        degrees[v % len].1 += 1;
+        assigned += 1;
+        v += 1;
+    }
+    debug_assert_eq!(degrees.iter().map(|(_, c)| c).sum::<usize>(), m);
+    degrees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let r = uniform("S", 2, 1000, 1 << 16, &mut rng);
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.arity(), 2);
+        assert!(r.rows().all(|row| row.iter().all(|&v| v < 1 << 16)));
+    }
+
+    #[test]
+    fn uniform_set_distinct() {
+        let mut rng = Rng::seed_from_u64(2);
+        let r = uniform_set("S", 2, 500, 64, &mut rng);
+        assert_eq!(r.len(), 500);
+        assert!(r.is_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tuples")]
+    fn uniform_set_overfull_panics() {
+        let mut rng = Rng::seed_from_u64(2);
+        let _ = uniform_set("S", 1, 100, 10, &mut rng);
+    }
+
+    #[test]
+    fn matching_has_degree_one_everywhere() {
+        let mut rng = Rng::seed_from_u64(3);
+        let r = matching("S", 2, 300, 1000, &mut rng);
+        assert_eq!(r.len(), 300);
+        assert_eq!(r.max_frequency(&[0]), 1);
+        assert_eq!(r.max_frequency(&[1]), 1);
+    }
+
+    #[test]
+    fn zipf_column_is_skewed() {
+        let mut rng = Rng::seed_from_u64(4);
+        let r = zipf_column("S", 2, 10_000, 1 << 12, 1, 1.2, &mut rng);
+        // Rank-0 frequency should dwarf the uniform column's max frequency.
+        let skewed = r.max_frequency(&[1]);
+        let flat = r.max_frequency(&[0]);
+        assert!(
+            skewed > 10 * flat,
+            "zipf col max {skewed} vs uniform col max {flat}"
+        );
+    }
+
+    #[test]
+    fn degree_sequence_exact() {
+        let mut rng = Rng::seed_from_u64(5);
+        let degrees = vec![(vec![7u64], 100), (vec![8], 50), (vec![9], 1)];
+        let r = from_degree_sequence("S", 2, &[1], &degrees, 1 << 10, &mut rng);
+        assert_eq!(r.len(), 151);
+        let f = r.frequencies(&[1]);
+        assert_eq!(f[&vec![7]], 100);
+        assert_eq!(f[&vec![8]], 50);
+        assert_eq!(f[&vec![9]], 1);
+    }
+
+    #[test]
+    fn single_value_column_is_degenerate() {
+        let mut rng = Rng::seed_from_u64(6);
+        let r = single_value_column("S", 2, 200, 1 << 10, 1, 42, &mut rng);
+        assert_eq!(r.len(), 200);
+        assert_eq!(r.max_frequency(&[1]), 200);
+        assert!(r.rows().all(|row| row[1] == 42));
+    }
+
+    #[test]
+    fn zipf_degrees_sum_to_m() {
+        for theta in [0.0, 0.8, 1.5] {
+            let deg = zipf_degrees(10_000, 1 << 14, theta);
+            let total: usize = deg.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, 10_000, "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn zipf_degrees_monotone_head() {
+        let deg = zipf_degrees(10_000, 1 << 14, 1.0);
+        // Counts non-increasing over the planted head.
+        let head: Vec<usize> = deg.iter().map(|(_, c)| *c).take(10).collect();
+        for w in head.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let mk = |seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            uniform("S", 2, 100, 1 << 8, &mut rng)
+        };
+        assert_eq!(mk(10), mk(10));
+        assert_ne!(mk(10), mk(11));
+    }
+}

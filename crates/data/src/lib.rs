@@ -1,0 +1,27 @@
+//! # mpc-data
+//!
+//! Data substrate for the `mpc-skew` workspace:
+//!
+//! * [`relation::Relation`] — row-major `u64` tuple storage with the
+//!   paper's bit-size accounting (`M_j = a_j m_j log n`);
+//! * [`rng::Rng`] — deterministic xoshiro256** PRNG plus the keyed 64-bit
+//!   mixer used as the simulator's "perfectly random hash function";
+//! * [`zipf::Zipf`] — power-law sampling for skewed attributes;
+//! * [`generators`] — uniform / matching / Zipf / exact-degree-sequence
+//!   workloads matching each instance class the paper analyzes;
+//! * [`catalog::Database`] — a query bound to one relation per atom;
+//! * [`join`](mod@crate::join) — the local multiway join every simulated server runs, also
+//!   the sequential ground truth for verification.
+
+pub mod catalog;
+pub mod generators;
+pub mod join;
+pub mod relation;
+pub mod rng;
+pub mod zipf;
+
+pub use catalog::{CatalogError, Database};
+pub use join::{join, join_count, join_database, join_database_count, join_foreach};
+pub use relation::{domain_bits, Relation};
+pub use rng::{mix64, splitmix64, Rng};
+pub use zipf::Zipf;

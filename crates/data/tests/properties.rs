@@ -1,0 +1,135 @@
+//! Property-based tests for relations, generators and the local join.
+
+use mpc_data::{generators, join, join_count, Relation, Rng};
+use mpc_query::named;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// sort_dedup produces a sorted duplicate-free relation preserving the
+    /// underlying tuple *set*.
+    #[test]
+    fn sort_dedup_is_canonical(rows in proptest::collection::vec(
+        proptest::collection::vec(0u64..8, 2), 0..40))
+    {
+        let mut r = Relation::new("S", 2);
+        for row in &rows {
+            r.push(row);
+        }
+        let mut expected: Vec<Vec<u64>> = rows.clone();
+        expected.sort();
+        expected.dedup();
+        r.sort_dedup();
+        prop_assert!(r.is_set());
+        let got: Vec<Vec<u64>> = r.rows().map(|x| x.to_vec()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Frequencies on any column subset sum to the cardinality.
+    #[test]
+    fn frequencies_sum_to_cardinality(
+        rows in proptest::collection::vec(proptest::collection::vec(0u64..6, 3), 1..60),
+        cols in proptest::collection::btree_set(0usize..3, 0..=3),
+    ) {
+        let mut r = Relation::new("S", 3);
+        for row in &rows {
+            r.push(row);
+        }
+        let cols: Vec<usize> = cols.into_iter().collect();
+        let total: usize = r.frequencies(&cols).values().sum();
+        prop_assert_eq!(total, r.len());
+    }
+
+    /// partition splits losslessly.
+    #[test]
+    fn partition_is_lossless(
+        rows in proptest::collection::vec(proptest::collection::vec(0u64..16, 2), 0..50),
+        pivot in 0u64..16,
+    ) {
+        let mut r = Relation::new("S", 2);
+        for row in &rows {
+            r.push(row);
+        }
+        let (hi, lo) = r.partition(|row| row[0] >= pivot);
+        prop_assert_eq!(hi.len() + lo.len(), r.len());
+        prop_assert!(hi.rows().all(|row| row[0] >= pivot));
+        prop_assert!(lo.rows().all(|row| row[0] < pivot));
+    }
+
+    /// The local join of the two-way join query agrees with a brute-force
+    /// nested loop on arbitrary relations.
+    #[test]
+    fn join_agrees_with_nested_loop(
+        r1 in proptest::collection::vec(proptest::collection::vec(0u64..8, 2), 0..30),
+        r2 in proptest::collection::vec(proptest::collection::vec(0u64..8, 2), 0..30),
+    ) {
+        let q = named::two_way_join();
+        let mut s1 = Relation::new("S1", 2);
+        for row in &r1 { s1.push(row); }
+        let mut s2 = Relation::new("S2", 2);
+        for row in &r2 { s2.push(row); }
+        let fast = join_count(&q, &[&s1, &s2]);
+        let slow = r1.iter()
+            .flat_map(|a| r2.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a[1] == b[1])
+            .count() as u64;
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Join output tuples actually satisfy every atom.
+    #[test]
+    fn join_outputs_are_sound(
+        r1 in proptest::collection::vec(proptest::collection::vec(0u64..6, 2), 1..25),
+        r2 in proptest::collection::vec(proptest::collection::vec(0u64..6, 2), 1..25),
+        r3 in proptest::collection::vec(proptest::collection::vec(0u64..6, 2), 1..25),
+    ) {
+        let q = named::cycle(3);
+        let mk = |name: &str, rows: &Vec<Vec<u64>>| {
+            let mut r = Relation::new(name, 2);
+            for row in rows { r.push(row); }
+            r.sort_dedup();
+            r
+        };
+        let s1 = mk("S1", &r1);
+        let s2 = mk("S2", &r2);
+        let s3 = mk("S3", &r3);
+        for ans in join(&q, &[&s1, &s2, &s3]) {
+            for (j, s) in [&s1, &s2, &s3].iter().enumerate() {
+                let atom = q.atom(j);
+                let proj: Vec<u64> = atom.vars().iter().map(|&v| ans[v]).collect();
+                prop_assert!(s.rows().any(|row| row == proj.as_slice()),
+                    "answer {:?} not supported by atom {}", ans, atom.name());
+            }
+        }
+    }
+
+    /// Generators honor their cardinality and domain contracts.
+    #[test]
+    fn generators_respect_contracts(seed in 0u64..1000, m in 1usize..200) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = 256u64;
+        let u = generators::uniform("U", 2, m, n, &mut rng);
+        prop_assert_eq!(u.len(), m);
+        prop_assert!(u.rows().all(|row| row.iter().all(|&v| v < n)));
+        let mt = generators::matching("M", 2, m, n, &mut rng);
+        prop_assert_eq!(mt.len(), m);
+        prop_assert_eq!(mt.max_frequency(&[0]), 1);
+        prop_assert_eq!(mt.max_frequency(&[1]), 1);
+    }
+
+    /// zipf_degrees always sums to m and never exceeds the domain.
+    #[test]
+    fn zipf_degrees_exact(m in 1usize..5000, theta in 0.0f64..2.5) {
+        let n = 1u64 << 14;
+        let deg = generators::zipf_degrees(m, n, theta);
+        let total: usize = deg.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, m);
+        prop_assert!(deg.iter().all(|(k, _)| k[0] < n));
+        // Keys are distinct.
+        let mut keys: Vec<u64> = deg.iter().map(|(k, _)| k[0]).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), deg.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! # mpc-lp
+//!
+//! Self-contained linear-programming substrate for the `mpc-skew` workspace:
+//!
+//! * [`rational::Rat`] — exact rational arithmetic over `i128`;
+//! * [`matrix::RatMatrix`] — dense exact linear algebra (solve / rank);
+//! * [`problem::LinearProgram`] + [`simplex`] — two-phase primal simplex
+//!   over `f64` with Bland's anti-cycling rule, used for the share-exponent
+//!   LP (5), its dual (8) and the bin-combination LP (11) of
+//!   Beame–Koutris–Suciu (PODS 2014);
+//! * [`vertex_enum`] — exact vertex enumeration of the fractional
+//!   edge-packing polytope `pk(q)` of Section 3.3.
+//!
+//! Everything is implemented from scratch; there is no dependency on an
+//! external solver.
+
+pub mod matrix;
+pub mod problem;
+pub mod rational;
+pub mod simplex;
+pub mod vertex_enum;
+
+pub use matrix::RatMatrix;
+pub use problem::{Cmp, Constraint, LinearProgram, LpError, Sense, Solution};
+pub use rational::Rat;
+pub use vertex_enum::{enumerate_vertices, is_feasible, non_dominated_max};

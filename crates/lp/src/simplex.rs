@@ -1,0 +1,359 @@
+//! Two-phase primal simplex over `f64` with Bland's anti-cycling rule.
+//!
+//! The LPs solved in this workspace (share-exponent LP (5), its dual (8),
+//! the bin-combination LP (11)) have at most a few dozen variables and
+//! constraints, so a dense tableau implementation is both simple and fast.
+//! Bland's rule guarantees termination even on the degenerate bases these
+//! packing polytopes produce.
+
+use crate::problem::{Cmp, LinearProgram, LpError, Sense, Solution};
+
+const EPS: f64 = 1e-9;
+
+/// Dense simplex tableau in the standard `min c'x, Ax = b, x >= 0, b >= 0`
+/// form. The last column of `rows` is the right-hand side.
+struct Tableau {
+    /// m x (n+1) constraint rows (rhs in the final slot).
+    rows: Vec<Vec<f64>>,
+    /// Cost row of length n+1 (objective constant in the final slot, negated).
+    cost: Vec<f64>,
+    /// Index of the basic variable for each row.
+    basis: Vec<usize>,
+    /// Total number of columns excluding the rhs.
+    n: usize,
+}
+
+impl Tableau {
+    /// Bring the cost row to canonical form: zero reduced cost for basic
+    /// variables.
+    fn price_out(&mut self) {
+        for (r, &bv) in self.basis.iter().enumerate() {
+            let c = self.cost[bv];
+            if c.abs() > 0.0 {
+                for j in 0..=self.n {
+                    self.cost[j] -= c * self.rows[r][j];
+                }
+            }
+        }
+    }
+
+    /// One simplex pivot targeting column `col` and row `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pv = self.rows[row][col];
+        debug_assert!(pv.abs() > EPS, "pivot on (near-)zero element");
+        for j in 0..=self.n {
+            self.rows[row][j] /= pv;
+        }
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if factor.abs() > 0.0 {
+                for j in 0..=self.n {
+                    self.rows[r][j] -= factor * self.rows[row][j];
+                }
+            }
+        }
+        let factor = self.cost[col];
+        if factor.abs() > 0.0 {
+            for j in 0..=self.n {
+                self.cost[j] -= factor * self.rows[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations until optimal, unbounded, or iteration limit.
+    /// `allowed` masks which columns may enter the basis.
+    fn iterate(&mut self, allowed: &[bool]) -> Result<(), LpError> {
+        // Generous budget: these LPs have << 100 columns.
+        let limit = 50_000usize;
+        for _ in 0..limit {
+            // Bland: entering column = lowest index with negative reduced cost.
+            let Some(col) = (0..self.n).find(|&j| allowed[j] && self.cost[j] < -EPS) else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on lowest basic variable index.
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][col];
+                if a > EPS {
+                    let ratio = self.rows[r][self.n] / a;
+                    match best {
+                        None => best = Some((r, ratio)),
+                        Some((br, bratio)) => {
+                            if ratio < bratio - EPS
+                                || (ratio < bratio + EPS && self.basis[r] < self.basis[br])
+                            {
+                                best = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solve a [`LinearProgram`]; see [`LinearProgram::solve`].
+pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let n_orig = lp.num_vars();
+    let m = lp.num_constraints();
+
+    // Count auxiliary columns: one slack/surplus per inequality, one
+    // artificial per >=/= (or per <= with negative rhs, after normalization).
+    let mut n_total = n_orig;
+    let mut slack_col = vec![None; m];
+    let mut art_col = vec![None; m];
+    // Normalize rows to have non-negative rhs.
+    let mut rows_sign = vec![1.0; m];
+    let mut cmps = Vec::with_capacity(m);
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let mut cmp = c.cmp;
+        if c.rhs < 0.0 {
+            rows_sign[i] = -1.0;
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        cmps.push(cmp);
+    }
+    for (i, cmp) in cmps.iter().enumerate() {
+        match cmp {
+            Cmp::Le => {
+                slack_col[i] = Some(n_total);
+                n_total += 1;
+            }
+            Cmp::Ge => {
+                slack_col[i] = Some(n_total);
+                n_total += 1;
+                art_col[i] = Some(n_total);
+                n_total += 1;
+            }
+            Cmp::Eq => {
+                art_col[i] = Some(n_total);
+                n_total += 1;
+            }
+        }
+    }
+
+    let mut rows = vec![vec![0.0; n_total + 1]; m];
+    let mut basis = vec![0usize; m];
+    for (i, c) in lp.constraints().iter().enumerate() {
+        for (j, &coef) in c.coeffs.iter().enumerate() {
+            rows[i][j] = rows_sign[i] * coef;
+        }
+        rows[i][n_total] = rows_sign[i] * c.rhs;
+        match cmps[i] {
+            Cmp::Le => {
+                let s = slack_col[i].expect("slack allocated");
+                rows[i][s] = 1.0;
+                basis[i] = s;
+            }
+            Cmp::Ge => {
+                let s = slack_col[i].expect("surplus allocated");
+                let a = art_col[i].expect("artificial allocated");
+                rows[i][s] = -1.0;
+                rows[i][a] = 1.0;
+                basis[i] = a;
+            }
+            Cmp::Eq => {
+                let a = art_col[i].expect("artificial allocated");
+                rows[i][a] = 1.0;
+                basis[i] = a;
+            }
+        }
+    }
+
+    let has_artificials = art_col.iter().any(Option::is_some);
+    let is_artificial =
+        |j: usize| -> bool { art_col.contains(&Some(j)) };
+
+    // ---- Phase 1: minimize sum of artificials. ----
+    if has_artificials {
+        let mut cost = vec![0.0; n_total + 1];
+        for a in art_col.iter().flatten() {
+            cost[*a] = 1.0;
+        }
+        let mut t = Tableau {
+            rows,
+            cost,
+            basis,
+            n: n_total,
+        };
+        t.price_out();
+        let allowed = vec![true; n_total];
+        t.iterate(&allowed)?;
+        // Objective constant sits negated in the last cost slot.
+        let phase1_obj = -t.cost[n_total];
+        if phase1_obj > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Pivot any artificial still in the basis out (degenerate), or note
+        // its row as redundant by leaving it with zero rhs.
+        for r in 0..t.rows.len() {
+            if is_artificial(t.basis[r]) {
+                if let Some(col) = (0..n_total).find(|&j| !is_artificial(j) && t.rows[r][j].abs() > EPS)
+                {
+                    t.pivot(r, col);
+                }
+            }
+        }
+        rows = t.rows;
+        basis = t.basis;
+    }
+
+    // ---- Phase 2: original objective (as minimization). ----
+    let sign = match lp.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; n_total + 1];
+    for (j, &c) in lp.objective().iter().enumerate() {
+        cost[j] = sign * c;
+    }
+    let mut t = Tableau {
+        rows,
+        cost,
+        basis,
+        n: n_total,
+    };
+    t.price_out();
+    let allowed: Vec<bool> = (0..n_total).map(|j| !is_artificial(j)).collect();
+    t.iterate(&allowed)?;
+
+    let mut x = vec![0.0; n_orig];
+    for (r, &bv) in t.basis.iter().enumerate() {
+        if bv < n_orig {
+            x[bv] = t.rows[r][n_total];
+        }
+    }
+    // Cost row's last slot holds -z for the minimized objective.
+    let objective = sign * -t.cost[n_total];
+    Ok(Solution { x, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 => x=4, y=0, z=12.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_var("x", 3.0);
+        let y = lp.add_var("y", 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(&[(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 12.0);
+        assert_close(s.x[x], 4.0);
+        assert_close(s.x[y], 0.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 3 => x=10,y=0? check: obj 2*10=20;
+        // or x=3,y=7 -> 6+21=27. Optimum x=10.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_var("x", 2.0);
+        let y = lp.add_var("y", 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Ge, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[x], 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 => y=1, x=2, z=3.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.x[x], 2.0);
+        assert_close(s.x[y], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 0.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. -x <= -5  (i.e. x >= 5)
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(&[(x, -1.0)], Cmp::Le, -5.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[x], 5.0);
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate example; Bland's rule must terminate.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x1 = lp.add_var("x1", 10.0);
+        let x2 = lp.add_var("x2", -57.0);
+        let x3 = lp.add_var("x3", -9.0);
+        let x4 = lp.add_var("x4", -24.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(x1, 1.0)], Cmp::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn share_exponent_lp_for_triangle() {
+        // LP (5) for C3 with equal sizes: mu_j = mu for all j. With
+        // p-normalized units mu = 1: minimize lambda s.t.
+        //   e1+e2+lambda >= 1, e2+e3+lambda >= 1, e3+e1+lambda >= 1,
+        //   e1+e2+e3 <= 1.
+        // Optimum: e_i = 1/3, lambda = 1/3  (load M/p^{1/3}... in exponent
+        // space: lambda = mu - 2/3 = 1/3 when mu = 1).
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let l = lp.add_var("lambda", 1.0);
+        let e1 = lp.add_var("e1", 0.0);
+        let e2 = lp.add_var("e2", 0.0);
+        let e3 = lp.add_var("e3", 0.0);
+        lp.add_constraint(&[(e1, 1.0), (e2, 1.0), (e3, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(&[(e1, 1.0), (e2, 1.0), (l, 1.0)], Cmp::Ge, 1.0);
+        lp.add_constraint(&[(e2, 1.0), (e3, 1.0), (l, 1.0)], Cmp::Ge, 1.0);
+        lp.add_constraint(&[(e3, 1.0), (e1, 1.0), (l, 1.0)], Cmp::Ge, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.0 / 3.0);
+    }
+}

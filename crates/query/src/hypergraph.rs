@@ -1,0 +1,149 @@
+//! The hypergraph view of a conjunctive query (Section 2.2).
+//!
+//! Nodes are variables, hyperedges are atoms. This module provides the
+//! structural predicates the paper's arguments lean on: integral edge
+//! matchings (subsets of pairwise variable-disjoint atoms, which drive the
+//! intuition behind Theorem 1.1's cartesian-product lower bounds), variable
+//! degrees, and connected components (used to decompose a query into
+//! independent sub-problems whose loads combine by `max`).
+
+use crate::query::Query;
+use crate::varset::VarSet;
+
+/// True iff the atom subset `atoms` is an (integral) *edge matching*: no two
+/// chosen atoms share a variable. The paper: "the subset is called an edge
+/// packing, or an edge matching, if no two relations share a common
+/// variable" (Section 1).
+pub fn is_edge_matching(q: &Query, atoms: &[usize]) -> bool {
+    let mut seen = VarSet::EMPTY;
+    for &j in atoms {
+        let vs = q.atom(j).var_set();
+        if !seen.intersect(vs).is_empty() {
+            return false;
+        }
+        seen = seen.union(vs);
+    }
+    true
+}
+
+/// All maximal integral edge matchings (as atom index sets, each sorted).
+/// Exponential in ℓ, fine for paper-sized queries.
+pub fn maximal_matchings(q: &Query) -> Vec<Vec<usize>> {
+    let l = q.num_atoms();
+    let mut all: Vec<Vec<usize>> = Vec::new();
+    for mask in 0u64..(1 << l) {
+        let subset: Vec<usize> = (0..l).filter(|&j| mask & (1 << j) != 0).collect();
+        if is_edge_matching(q, &subset) {
+            all.push(subset);
+        }
+    }
+    // Keep only subset-maximal ones.
+    let maximal: Vec<Vec<usize>> = all
+        .iter()
+        .filter(|s| {
+            !all.iter()
+                .any(|t| t.len() > s.len() && s.iter().all(|j| t.contains(j)))
+        })
+        .cloned()
+        .collect();
+    maximal
+}
+
+/// Degree of a variable: the number of atoms containing it.
+pub fn var_degree(q: &Query, i: usize) -> usize {
+    q.atoms_with_var(i).count()
+}
+
+/// Connected components of the hypergraph, as (variable set, atom indices)
+/// pairs in discovery order. Two atoms are connected when they share a
+/// variable.
+#[allow(clippy::needless_range_loop)]
+pub fn connected_components(q: &Query) -> Vec<(VarSet, Vec<usize>)> {
+    let l = q.num_atoms();
+    let mut assigned = vec![false; l];
+    let mut components = Vec::new();
+    for start in 0..l {
+        if assigned[start] {
+            continue;
+        }
+        let mut frontier = vec![start];
+        let mut comp_atoms = Vec::new();
+        let mut comp_vars = VarSet::EMPTY;
+        assigned[start] = true;
+        while let Some(j) = frontier.pop() {
+            comp_atoms.push(j);
+            comp_vars = comp_vars.union(q.atom(j).var_set());
+            for j2 in 0..l {
+                if !assigned[j2]
+                    && !q.atom(j2).var_set().intersect(comp_vars).is_empty()
+                {
+                    assigned[j2] = true;
+                    frontier.push(j2);
+                }
+            }
+        }
+        comp_atoms.sort_unstable();
+        components.push((comp_vars, comp_atoms));
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+
+    #[test]
+    fn matchings_in_chain() {
+        // L3: {S1,S3} is a matching, {S1,S2} is not (share x2).
+        let q = named::chain(3);
+        assert!(is_edge_matching(&q, &[0, 2]));
+        assert!(!is_edge_matching(&q, &[0, 1]));
+        let max = maximal_matchings(&q);
+        assert!(max.contains(&vec![0, 2]));
+        assert!(max.contains(&vec![1]));
+        assert!(!max.contains(&vec![0]));
+    }
+
+    #[test]
+    fn triangle_has_only_singleton_matchings() {
+        let q = named::cycle(3);
+        let max = maximal_matchings(&q);
+        assert_eq!(max, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn cartesian_is_one_big_matching() {
+        let q = named::cartesian(4);
+        assert!(is_edge_matching(&q, &[0, 1, 2, 3]));
+        assert_eq!(maximal_matchings(&q), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn degrees() {
+        let q = named::star(3);
+        let z = q.var_index("z").unwrap();
+        assert_eq!(var_degree(&q, z), 3);
+        assert_eq!(var_degree(&q, 0), 1);
+    }
+
+    #[test]
+    fn components_of_connected_query() {
+        let q = named::cycle(4);
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].1, vec![0, 1, 2, 3]);
+        assert_eq!(comps[0].0.len(), 4);
+    }
+
+    #[test]
+    fn components_of_cartesian() {
+        let q = named::cartesian(3);
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 3);
+        for (vars, atoms) in comps {
+            assert_eq!(vars.len(), 1);
+            assert_eq!(atoms.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Fractional edge packings and the vertex set `pk(q)` (Sections 2.2, 3.3).
+//!
+//! A fractional edge packing of `q` assigns a weight `u_j >= 0` to every
+//! atom such that for every variable `x_i`, the atoms containing `x_i` have
+//! total weight at most 1 (Eq. 2 of the paper). The communication cost of
+//! one-round evaluation is governed by the *non-dominated vertices* of this
+//! polytope, which Theorem 3.6 calls `pk(q)`; this module enumerates them
+//! exactly over the rationals.
+
+use crate::query::Query;
+use mpc_lp::{enumerate_vertices, non_dominated_max, Rat, RatMatrix};
+
+/// A fractional edge packing: one rational weight per atom, in atom order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Packing(pub Vec<Rat>);
+
+impl Packing {
+    /// The packing's total weight `u = Σ_j u_j`.
+    pub fn value(&self) -> Rat {
+        self.0.iter().copied().sum()
+    }
+
+    /// Weight of atom `j`.
+    pub fn weight(&self, j: usize) -> Rat {
+        self.0[j]
+    }
+
+    /// Weights as `f64`s.
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.0.iter().map(Rat::to_f64).collect()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff no atoms (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The constraint system `A u <= b` of the packing polytope of `q`:
+/// one row per variable (`Σ_{j: i∈S_j} u_j <= 1`) plus one explicit cap
+/// `u_j <= 1` per atom.
+///
+/// The caps are redundant for atoms with at least one variable (implied by
+/// any variable row through the atom) but make the polytope bounded even for
+/// zero-arity atoms, which arise in residual queries `q_x` when `x` swallows
+/// an entire atom. Redundant rows do not change the vertex set.
+pub fn packing_system(q: &Query) -> (RatMatrix, Vec<Rat>) {
+    let k = q.num_vars();
+    let l = q.num_atoms();
+    let a = RatMatrix::from_fn(k + l, l, |row, j| {
+        if row < k {
+            // Count multiplicity 0/1: an atom either contains the variable
+            // or not (repeated occurrences within an atom count once, per
+            // the definition `i ∈ S_j`).
+            if q.atom(j).vars().contains(&row) {
+                Rat::ONE
+            } else {
+                Rat::ZERO
+            }
+        } else if row - k == j {
+            Rat::ONE
+        } else {
+            Rat::ZERO
+        }
+    });
+    let b = vec![Rat::ONE; k + l];
+    (a, b)
+}
+
+/// True iff `u` is a feasible fractional edge packing of `q`.
+pub fn is_packing(q: &Query, u: &Packing) -> bool {
+    if u.len() != q.num_atoms() {
+        return false;
+    }
+    if u.0.iter().any(Rat::is_negative) {
+        return false;
+    }
+    (0..q.num_vars()).all(|i| {
+        let total: Rat = q.atoms_with_var(i).map(|j| u.0[j]).sum();
+        total <= Rat::ONE
+    })
+}
+
+/// True iff `u` is a *tight* packing: every variable constraint holds with
+/// equality. (Every tight fractional edge packing is a tight fractional edge
+/// cover and vice versa — Section 2.2.)
+pub fn is_tight_packing(q: &Query, u: &Packing) -> bool {
+    if !is_packing(q, u) {
+        return false;
+    }
+    (0..q.num_vars()).all(|i| {
+        let total: Rat = q.atoms_with_var(i).map(|j| u.0[j]).sum();
+        total == Rat::ONE
+    })
+}
+
+/// All vertices of the packing polytope of `q` (including dominated ones and
+/// the origin).
+pub fn packing_vertices(q: &Query) -> Vec<Packing> {
+    let (a, b) = packing_system(q);
+    let mut vs: Vec<Packing> = enumerate_vertices(&a, &b).into_iter().map(Packing).collect();
+    vs.sort();
+    vs
+}
+
+/// `pk(q)`: the non-dominated vertices of the packing polytope
+/// (Section 3.3). These are the only candidates for the maximizer of
+/// `L(u, M, p)`.
+pub fn pk(q: &Query) -> Vec<Packing> {
+    let (a, b) = packing_system(q);
+    let raw = enumerate_vertices(&a, &b);
+    let mut nd: Vec<Packing> = non_dominated_max(&raw).into_iter().map(Packing).collect();
+    nd.sort();
+    nd
+}
+
+/// The maximum total weight `τ*` over all fractional edge packings, equal by
+/// LP duality to the fractional vertex covering number of `q` (Section 1,
+/// discussion after Theorem 1.1).
+pub fn max_packing_value(q: &Query) -> Rat {
+    packing_vertices(q)
+        .iter()
+        .map(Packing::value)
+        .max()
+        .unwrap_or(Rat::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n as i128, d as i128)
+    }
+
+    #[test]
+    fn triangle_pk_matches_example_3_7() {
+        // Example 3.7: pk(C3) has exactly four vertices:
+        // (1/2,1/2,1/2), (1,0,0), (0,1,0), (0,0,1).
+        let q = named::cycle(3);
+        let mut got = pk(&q);
+        got.sort();
+        let mut expected = vec![
+            Packing(vec![r(1, 2), r(1, 2), r(1, 2)]),
+            Packing(vec![Rat::ONE, Rat::ZERO, Rat::ZERO]),
+            Packing(vec![Rat::ZERO, Rat::ONE, Rat::ZERO]),
+            Packing(vec![Rat::ZERO, Rat::ZERO, Rat::ONE]),
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn chain_l3_contains_101() {
+        // Section 2.2: for L3 = S1(x1,x2),S2(x2,x3),S3(x3,x4) the solution
+        // (1,0,1) is a tight feasible packing and appears in pk.
+        let q = named::chain(3);
+        let u = Packing(vec![Rat::ONE, Rat::ZERO, Rat::ONE]);
+        assert!(is_packing(&q, &u));
+        assert!(is_tight_packing(&q, &u));
+        assert!(pk(&q).contains(&u));
+    }
+
+    #[test]
+    fn chain_packing_violations_detected() {
+        let q = named::chain(3);
+        // u1 + u2 = 3/2 > 1 at variable x2.
+        let bad = Packing(vec![Rat::ONE, r(1, 2), Rat::ZERO]);
+        assert!(!is_packing(&q, &bad));
+        let neg = Packing(vec![-r(1, 2), Rat::ZERO, Rat::ZERO]);
+        assert!(!is_packing(&q, &neg));
+        let wrong_len = Packing(vec![Rat::ONE]);
+        assert!(!is_packing(&q, &wrong_len));
+    }
+
+    #[test]
+    fn cartesian_product_packing_is_all_ones() {
+        // Atoms share no variables: u = (1,...,1) is the unique non-dominated
+        // vertex and τ* = ℓ.
+        let q = named::cartesian(3);
+        let vs = pk(&q);
+        assert_eq!(vs, vec![Packing(vec![Rat::ONE; 3])]);
+        assert_eq!(max_packing_value(&q), Rat::int(3));
+    }
+
+    #[test]
+    fn star_query_tau_star() {
+        // Star with center z and 3 rays S_i(x_i, z): packings give weight <=1
+        // total on z, plus nothing else binds; τ* = 1 + 0? No: each ray
+        // contains its own leaf variable, so u_i <= 1 individually but the
+        // center constraint forces Σ u_i <= 1. τ* = 1.
+        let q = named::star(3);
+        assert_eq!(max_packing_value(&q), Rat::ONE);
+        // Non-dominated vertices are the three unit vectors.
+        let vs = pk(&q);
+        assert_eq!(vs.len(), 3);
+        for v in &vs {
+            assert_eq!(v.value(), Rat::ONE);
+        }
+    }
+
+    #[test]
+    fn two_way_join_tau_star_is_one() {
+        // q(x,y,z) = S1(x,z), S2(y,z): the shared z caps u1+u2 <= 1.
+        let q = named::two_way_join();
+        assert_eq!(max_packing_value(&q), Rat::ONE);
+        let vs = pk(&q);
+        let mut expected = vec![
+            Packing(vec![Rat::ONE, Rat::ZERO]),
+            Packing(vec![Rat::ZERO, Rat::ONE]),
+        ];
+        expected.sort();
+        assert_eq!(vs, expected);
+    }
+
+    #[test]
+    fn tightness_examples() {
+        let q = named::cycle(3);
+        assert!(is_tight_packing(&q, &Packing(vec![r(1, 2); 3])));
+        assert!(!is_tight_packing(
+            &q,
+            &Packing(vec![Rat::ONE, Rat::ZERO, Rat::ZERO])
+        ));
+    }
+
+    #[test]
+    fn pk_excludes_origin_and_dominated() {
+        let q = named::cycle(3);
+        let all = packing_vertices(&q);
+        // The raw polytope has the origin; pk must not.
+        assert!(all.contains(&Packing(vec![Rat::ZERO; 3])));
+        assert!(!pk(&q).contains(&Packing(vec![Rat::ZERO; 3])));
+        assert!(all.len() > pk(&q).len());
+    }
+
+    #[test]
+    fn longer_cycles_and_chains_have_sane_tau() {
+        // C4: maximum matching of a 4-cycle = 2; C5: τ* = 5/2 fractional.
+        assert_eq!(max_packing_value(&named::cycle(4)), Rat::int(2));
+        assert_eq!(max_packing_value(&named::cycle(5)), r(5, 2));
+        // Chain Lw: ceil(w/2)... L4 = S1..S4 over x1..x5: max packing 2
+        // ({S1,S3} or {S1,S4} or {S2,S4}).
+        assert_eq!(max_packing_value(&named::chain(4)), Rat::int(2));
+        assert_eq!(max_packing_value(&named::chain(5)), Rat::int(3));
+    }
+}

@@ -1,0 +1,239 @@
+//! A small text parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query    :=  [ ident "(" varlist ")" "=" ] atomlist
+//! atomlist :=  atom ("," atom)*
+//! atom     :=  ident "(" varlist ")"
+//! varlist  :=  ident ("," ident)*
+//! ident    :=  [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! The optional head must list exactly the body variables (the paper only
+//! considers *full* queries). Examples:
+//!
+//! ```
+//! use mpc_query::parser::parse_query;
+//! let q = parse_query("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)").unwrap();
+//! assert_eq!(q.num_atoms(), 3);
+//! let j = parse_query("S1(x,z), S2(y,z)").unwrap(); // head omitted
+//! assert_eq!(j.num_vars(), 3);
+//! ```
+
+use crate::query::{Query, QueryError};
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    End,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, pos: 0 }
+    }
+
+    fn next_tok(&mut self) -> Result<Tok, QueryError> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(Tok::End);
+        }
+        let c = bytes[self.pos];
+        self.pos += 1;
+        match c {
+            b'(' => Ok(Tok::LParen),
+            b')' => Ok(Tok::RParen),
+            b',' => Ok(Tok::Comma),
+            b'=' => Ok(Tok::Equals),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos - 1;
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Tok::Ident(self.src[start..self.pos].to_string()))
+            }
+            other => Err(QueryError::Parse(format!(
+                "unexpected character `{}` at byte {}",
+                other as char,
+                self.pos - 1
+            ))),
+        }
+    }
+
+    fn peek(&mut self) -> Result<Tok, QueryError> {
+        let save = self.pos;
+        let t = self.next_tok();
+        self.pos = save;
+        t
+    }
+}
+
+fn expect(lex: &mut Lexer, want: Tok) -> Result<(), QueryError> {
+    let got = lex.next_tok()?;
+    if got == want {
+        Ok(())
+    } else {
+        Err(QueryError::Parse(format!("expected {want:?}, got {got:?}")))
+    }
+}
+
+fn parse_varlist(lex: &mut Lexer) -> Result<Vec<String>, QueryError> {
+    expect(lex, Tok::LParen)?;
+    let mut vars = Vec::new();
+    loop {
+        match lex.next_tok()? {
+            Tok::Ident(v) => vars.push(v),
+            t => return Err(QueryError::Parse(format!("expected variable, got {t:?}"))),
+        }
+        match lex.next_tok()? {
+            Tok::Comma => continue,
+            Tok::RParen => break,
+            t => return Err(QueryError::Parse(format!("expected `,` or `)`, got {t:?}"))),
+        }
+    }
+    Ok(vars)
+}
+
+/// Parse a conjunctive query; see the module docs for the grammar.
+pub fn parse_query(src: &str) -> Result<Query, QueryError> {
+    let mut lex = Lexer::new(src);
+
+    // Optionally consume `name(vars) =` as a head.
+    let mut head: Option<(String, Vec<String>)> = None;
+    let save = lex.pos;
+    if let Tok::Ident(name) = lex.peek()? {
+        let _ = lex.next_tok()?;
+        if lex.peek()? == Tok::LParen {
+            let vars = parse_varlist(&mut lex)?;
+            if lex.peek()? == Tok::Equals {
+                let _ = lex.next_tok()?;
+                head = Some((name, vars));
+            } else {
+                // That was the first atom, not a head; rewind.
+                lex.pos = save;
+            }
+        } else {
+            lex.pos = save;
+        }
+    }
+
+    // Body.
+    let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
+    loop {
+        let rel = match lex.next_tok()? {
+            Tok::Ident(r) => r,
+            t => {
+                return Err(QueryError::Parse(format!(
+                    "expected relation name, got {t:?}"
+                )))
+            }
+        };
+        let vars = parse_varlist(&mut lex)?;
+        atoms.push((rel, vars));
+        match lex.next_tok()? {
+            Tok::Comma => continue,
+            Tok::End => break,
+            t => return Err(QueryError::Parse(format!("expected `,` or end, got {t:?}"))),
+        }
+    }
+
+    let name = head
+        .as_ref()
+        .map(|(n, _)| n.clone())
+        .unwrap_or_else(|| "q".to_string());
+    let atom_refs: Vec<(&str, Vec<&str>)> = atoms
+        .iter()
+        .map(|(r, vs)| (r.as_str(), vs.iter().map(String::as_str).collect()))
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> = atom_refs
+        .iter()
+        .map(|(r, vs)| (*r, vs.as_slice()))
+        .collect();
+    let q = Query::build(name, &borrowed)?;
+
+    // Fullness check against an explicit head.
+    if let Some((_, head_vars)) = head {
+        let mut body_vars: Vec<&str> = (0..q.num_vars()).map(|i| q.var_name(i)).collect();
+        let mut head_sorted: Vec<&str> = head_vars.iter().map(String::as_str).collect();
+        body_vars.sort_unstable();
+        head_sorted.sort_unstable();
+        head_sorted.dedup();
+        if body_vars != head_sorted {
+            return Err(QueryError::Parse(format!(
+                "query is not full: head variables {head_sorted:?} != body variables {body_vars:?}"
+            )));
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_triangle_with_head() {
+        let q = parse_query("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)").unwrap();
+        assert_eq!(q.name(), "C3");
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.atom(2).vars(), &[2, 0]);
+    }
+
+    #[test]
+    fn parses_headless_body() {
+        let q = parse_query("S1(x, z), S2(y, z)").unwrap();
+        assert_eq!(q.name(), "q");
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.atom(0).name(), "S1");
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let q = parse_query("  R (  a ,b ) ,T( b,c )  ").unwrap();
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.var_index("c"), Some(2));
+    }
+
+    #[test]
+    fn rejects_non_full_head() {
+        let err = parse_query("q(x) = S(x,y)").unwrap_err();
+        assert!(matches!(err, QueryError::Parse(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("S1(x,").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("S1(x) %").is_err());
+        assert!(parse_query("S1()").is_err());
+    }
+
+    #[test]
+    fn rejects_self_join() {
+        let err = parse_query("S(x,y), S(y,z)").unwrap_err();
+        assert!(matches!(err, QueryError::SelfJoin(_)));
+    }
+
+    #[test]
+    fn head_permutation_accepted() {
+        // Head lists the same variable set in a different order: still full.
+        let q = parse_query("q(z,x,y) = S1(x,y), S2(y,z)").unwrap();
+        assert_eq!(q.num_vars(), 3);
+    }
+}

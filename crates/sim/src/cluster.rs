@@ -1,0 +1,297 @@
+//! The one-round MPC cluster simulator.
+//!
+//! The MPC model (Section 2.1): `p` servers, one global communication round,
+//! cost = maximum bits received by a server. An algorithm in this simulator
+//! is a [`Router`]: a pure function from `(atom, tuple)` to destination
+//! servers, evaluated tuple-at-a-time — exactly the paper's upper-bound
+//! model in which "all our algorithms treat tuples in `S_j` independently of
+//! other tuples". After the round, each server holds one fragment per
+//! relation and evaluates the query locally; [`Cluster::all_answers`] unions
+//! the per-server outputs.
+
+use crate::load::LoadReport;
+use mpc_data::catalog::Database;
+use mpc_data::join;
+use mpc_data::relation::Relation;
+use mpc_query::Query;
+
+/// A one-round tuple routing policy. `route` appends the destination server
+/// ids for `tuple` of atom `atom` to `out` (`out` arrives cleared;
+/// duplicates are tolerated and deduplicated by the simulator).
+pub trait Router {
+    /// Compute destinations for one tuple.
+    fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>);
+}
+
+impl<F: Fn(usize, &[u64], &mut Vec<usize>)> Router for F {
+    fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>) {
+        self(atom, tuple, out)
+    }
+}
+
+/// The post-shuffle state: per-atom, per-server relation fragments.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    p: usize,
+    value_bits: u32,
+    input_bits: u64,
+    /// `fragments[atom][server]`.
+    fragments: Vec<Vec<Relation>>,
+}
+
+impl Cluster {
+    /// Execute one communication round of `router` over `db` on `p` servers.
+    ///
+    /// # Panics
+    /// Panics when a router emits an out-of-range server id.
+    pub fn run_round(db: &Database, p: usize, router: &impl Router) -> Cluster {
+        assert!(p > 0, "cluster needs at least one server");
+        let q = db.query();
+        let mut fragments: Vec<Vec<Relation>> = q
+            .atoms()
+            .iter()
+            .map(|a| (0..p).map(|_| Relation::new(a.name(), a.arity())).collect())
+            .collect();
+        let mut dests: Vec<usize> = Vec::new();
+        for (j, rel) in db.relations().iter().enumerate() {
+            let frag = &mut fragments[j];
+            for tuple in rel.rows() {
+                dests.clear();
+                router.route(j, tuple, &mut dests);
+                dests.sort_unstable();
+                dests.dedup();
+                for &server in dests.iter() {
+                    assert!(server < p, "router sent a tuple to server {server} >= p={p}");
+                    frag[server].push(tuple);
+                }
+            }
+        }
+        Cluster {
+            p,
+            value_bits: db.value_bits(),
+            input_bits: db.total_bits(),
+            fragments,
+        }
+    }
+
+    /// Number of servers.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The fragment of atom `j` on `server`.
+    pub fn fragment(&self, atom: usize, server: usize) -> &Relation {
+        &self.fragments[atom][server]
+    }
+
+    /// Exact load accounting for the round.
+    pub fn report(&self) -> LoadReport {
+        let mut per_server_bits = vec![0u64; self.p];
+        let mut per_server_tuples = vec![0u64; self.p];
+        let mut per_atom_server_tuples = Vec::with_capacity(self.fragments.len());
+        for frags in &self.fragments {
+            let mut row = vec![0u64; self.p];
+            for (s, frag) in frags.iter().enumerate() {
+                let tuples = frag.len() as u64;
+                row[s] = tuples;
+                per_server_tuples[s] += tuples;
+                per_server_bits[s] += frag.bit_size(self.value_bits);
+            }
+            per_atom_server_tuples.push(row);
+        }
+        LoadReport {
+            per_server_bits,
+            per_server_tuples,
+            per_atom_server_tuples,
+            input_bits: self.input_bits,
+        }
+    }
+
+    /// Answers found by one server: the local join of its fragments.
+    pub fn server_answers(&self, query: &Query, server: usize) -> Vec<Vec<u64>> {
+        let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[server]).collect();
+        join::join(query, &rels)
+    }
+
+    /// The union of all servers' answers, sorted and deduplicated. A correct
+    /// one-round algorithm makes this equal to the sequential join.
+    pub fn all_answers(&self, query: &Query) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        for s in 0..self.p {
+            let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
+            join::join_foreach(query, &rels, |row| out.push(row.to_vec()));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Count of distinct answers across servers.
+    pub fn answer_count(&self, query: &Query) -> u64 {
+        self.all_answers(query).len() as u64
+    }
+
+    /// [`Cluster::all_answers`] with the per-server local joins spread over
+    /// `threads` OS threads (the servers are independent, so this is an
+    /// embarrassingly parallel map). Results are identical to the
+    /// sequential path.
+    pub fn all_answers_parallel(&self, query: &Query, threads: usize) -> Vec<Vec<u64>> {
+        let threads = threads.max(1).min(self.p.max(1));
+        if threads <= 1 || self.p <= 1 {
+            return self.all_answers(query);
+        }
+        let chunk = self.p.div_ceil(threads);
+        let mut out: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(self.p);
+                if lo >= hi {
+                    break;
+                }
+                let fragments = &self.fragments;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<Vec<u64>> = Vec::new();
+                    for s in lo..hi {
+                        let rels: Vec<&Relation> =
+                            fragments.iter().map(|f| &f[s]).collect();
+                        join::join_foreach(query, &rels, |row| local.push(row.to_vec()));
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("local join panicked"))
+                .collect()
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// A router that broadcasts every tuple of every relation to all servers
+/// (the trivially correct, maximally expensive baseline; footnote 1 of the
+/// paper uses broadcasting for tiny relations).
+pub struct BroadcastRouter {
+    /// Number of servers.
+    pub p: usize,
+}
+
+impl Router for BroadcastRouter {
+    fn route(&self, _atom: usize, _tuple: &[u64], out: &mut Vec<usize>) {
+        out.extend(0..self.p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::generators;
+    use mpc_data::rng::Rng;
+    use mpc_query::named;
+
+    fn join_db(m: usize, seed: u64) -> Database {
+        let q = named::two_way_join();
+        let n = 1u64 << 12;
+        let mut rng = Rng::seed_from_u64(seed);
+        let s1 = generators::uniform("S1", 2, m, n, &mut rng);
+        let s2 = generators::uniform("S2", 2, m, n, &mut rng);
+        Database::new(q, vec![s1, s2], n).unwrap()
+    }
+
+    #[test]
+    fn broadcast_is_correct_and_expensive() {
+        let db = join_db(500, 1);
+        let p = 8;
+        let cluster = Cluster::run_round(&db, p, &BroadcastRouter { p });
+        let expected = {
+            let mut ans = mpc_data::join_database(&db);
+            ans.sort();
+            ans.dedup();
+            ans
+        };
+        assert_eq!(cluster.all_answers(db.query()), expected);
+        let report = cluster.report();
+        // Every server got everything.
+        assert_eq!(report.max_load_bits(), db.total_bits());
+        assert!((report.replication_rate() - p as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_join_router_is_correct() {
+        // Route both relations by hashing z (attribute 1 of each) to p
+        // buckets: the classic parallel hash join.
+        let db = join_db(800, 2);
+        let p = 16usize;
+        let key = 0xDEAD_BEEFu64;
+        let router = move |_atom: usize, tuple: &[u64], out: &mut Vec<usize>| {
+            out.push((mpc_data::mix64(tuple[1], key) % p as u64) as usize);
+        };
+        let cluster = Cluster::run_round(&db, p, &router);
+        let expected = {
+            let mut ans = mpc_data::join_database(&db);
+            ans.sort();
+            ans.dedup();
+            ans
+        };
+        assert_eq!(cluster.all_answers(db.query()), expected);
+        // No replication: every tuple goes to exactly one server.
+        let report = cluster.report();
+        assert!((report.replication_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(report.total_tuples(), 1600);
+    }
+
+    #[test]
+    fn dropping_tuples_loses_answers() {
+        // A router that drops one relation entirely must lose answers
+        // (sanity check that verification catches broken algorithms).
+        let db = join_db(500, 3);
+        let p = 4usize;
+        let router = move |atom: usize, _tuple: &[u64], out: &mut Vec<usize>| {
+            if atom == 0 {
+                out.push(0);
+            } // atom 1 dropped
+        };
+        let cluster = Cluster::run_round(&db, p, &router);
+        assert!(cluster.all_answers(db.query()).is_empty());
+    }
+
+    #[test]
+    fn report_counts_replication() {
+        let db = join_db(100, 4);
+        let p = 4usize;
+        // Send S1 tuples to two servers each, S2 to one.
+        let router = move |atom: usize, tuple: &[u64], out: &mut Vec<usize>| {
+            let h = (mpc_data::mix64(tuple[1], 7) % p as u64) as usize;
+            out.push(h);
+            if atom == 0 {
+                out.push((h + 1) % p);
+            }
+        };
+        let cluster = Cluster::run_round(&db, p, &router);
+        let report = cluster.report();
+        assert_eq!(report.total_tuples(), 100 * 2 + 100);
+    }
+
+    #[test]
+    fn duplicate_destinations_are_deduped() {
+        let db = join_db(50, 5);
+        let router = |_atom: usize, _tuple: &[u64], out: &mut Vec<usize>| {
+            out.extend([2usize, 2, 2]);
+        };
+        let cluster = Cluster::run_round(&db, 4, &router);
+        let report = cluster.report();
+        assert_eq!(report.per_server_tuples[2], 100);
+        assert_eq!(report.total_tuples(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "server")]
+    fn out_of_range_destination_panics() {
+        let db = join_db(10, 6);
+        let router = |_: usize, _: &[u64], out: &mut Vec<usize>| out.push(99);
+        let _ = Cluster::run_round(&db, 4, &router);
+    }
+}

@@ -1,0 +1,260 @@
+//! Hypercube server grids with mixed-radix addressing.
+//!
+//! The HyperCube algorithm (Section 3.1) organizes `p = p1 · p2 ··· pk`
+//! servers as a k-dimensional grid, one dimension per query variable with
+//! `p_i` *shares*. A tuple hashing to known coordinates in some dimensions
+//! is replicated to the whole subcube spanned by the remaining dimensions;
+//! [`Grid::subcube`] enumerates exactly that set of server ids.
+
+/// A k-dimensional grid of servers, `dims[i]` cells along dimension `i`.
+/// Server ids are mixed-radix encodings of coordinate vectors, dimension 0
+/// most significant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Grid {
+    dims: Vec<usize>,
+}
+
+impl Grid {
+    /// Build a grid; every dimension must be non-empty.
+    pub fn new(dims: Vec<usize>) -> Grid {
+        assert!(!dims.is_empty(), "grid needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "grid dimensions must be positive");
+        Grid { dims }
+    }
+
+    /// Dimension sizes (the share vector).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions `k`.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of cells `p1 ··· pk`.
+    pub fn num_cells(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Encode a coordinate vector into a server id.
+    pub fn encode(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate rank mismatch");
+        let mut id = 0usize;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            debug_assert!(c < d, "coordinate {c} out of range for dim {d}");
+            id = id * d + c;
+        }
+        id
+    }
+
+    /// Decode a server id into coordinates.
+    pub fn decode(&self, mut id: usize) -> Vec<usize> {
+        let mut coords = vec![0usize; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            coords[i] = id % self.dims[i];
+            id /= self.dims[i];
+        }
+        debug_assert_eq!(id, 0, "server id out of range");
+        coords
+    }
+
+    /// Enumerate all server ids whose coordinates agree with `fixed`
+    /// (a list of `(dimension, coordinate)` pairs); the remaining dimensions
+    /// range over everything. This is the subcube a tuple is replicated to
+    /// during the HyperCube shuffle.
+    ///
+    /// Destinations are appended to `out` (cleared first).
+    pub fn subcube(&self, fixed: &[(usize, usize)], out: &mut Vec<usize>) {
+        out.clear();
+        let k = self.dims.len();
+        let mut coord: Vec<Option<usize>> = vec![None; k];
+        for &(dim, c) in fixed {
+            assert!(dim < k, "fixed dimension out of range");
+            assert!(c < self.dims[dim], "fixed coordinate out of range");
+            // Repeated variables may fix the same dim twice; they must agree
+            // or the tuple matches no server.
+            if let Some(prev) = coord[dim] {
+                if prev != c {
+                    return;
+                }
+            }
+            coord[dim] = Some(c);
+        }
+        // Iterate the free dimensions with an odometer.
+        let free: Vec<usize> = (0..k).filter(|&i| coord[i].is_none()).collect();
+        let total: usize = free.iter().map(|&i| self.dims[i]).product();
+        out.reserve(total);
+        let mut odo = vec![0usize; free.len()];
+        let mut current = vec![0usize; k];
+        for (i, c) in coord.iter().enumerate() {
+            if let Some(v) = c {
+                current[i] = *v;
+            }
+        }
+        loop {
+            for (slot, &dim) in odo.iter().zip(&free) {
+                current[dim] = *slot;
+            }
+            out.push(self.encode(&current));
+            // Advance odometer.
+            let mut i = free.len();
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                odo[i] += 1;
+                if odo[i] < self.dims[free[i]] {
+                    break;
+                }
+                odo[i] = 0;
+            }
+        }
+    }
+
+    /// Convenience wrapper returning the subcube as a fresh vector.
+    pub fn subcube_vec(&self, fixed: &[(usize, usize)]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.subcube(fixed, &mut out);
+        out
+    }
+}
+
+/// Round real-valued shares `p^{e_i}` down to an integer share vector with
+/// `Π p_i <= p`, then greedily grow the dimension with the largest
+/// fractional headroom while the budget allows. This is the integer-share
+/// materialization step between Theorem 3.4's exponents and an actual grid.
+pub fn round_shares(p: usize, exponents: &[f64]) -> Vec<usize> {
+    assert!(p >= 1);
+    let k = exponents.len();
+    let ideal: Vec<f64> = exponents
+        .iter()
+        .map(|&e| (p as f64).powf(e.max(0.0)))
+        .collect();
+    let mut shares: Vec<usize> = ideal.iter().map(|&x| (x.floor() as usize).max(1)).collect();
+    // Clamp in case of floating error.
+    loop {
+        let product: usize = shares.iter().product();
+        if product <= p {
+            break;
+        }
+        // Shrink the dimension with the largest overshoot.
+        let i = (0..k)
+            .filter(|&i| shares[i] > 1)
+            .max_by(|&a, &b| {
+                let ra = shares[a] as f64 / ideal[a];
+                let rb = shares[b] as f64 / ideal[b];
+                ra.partial_cmp(&rb).expect("finite ratios")
+            })
+            .expect("some dimension is shrinkable");
+        shares[i] -= 1;
+    }
+    // Greedily grow while the budget allows, preferring the dimension whose
+    // current share is furthest below its ideal.
+    loop {
+        let product: usize = shares.iter().product();
+        let candidate = (0..k)
+            .filter(|&i| product / shares[i] * (shares[i] + 1) <= p)
+            .min_by(|&a, &b| {
+                let ra = (shares[a] + 1) as f64 / ideal[a].max(1.0);
+                let rb = (shares[b] + 1) as f64 / ideal[b].max(1.0);
+                ra.partial_cmp(&rb).expect("finite ratios")
+            });
+        match candidate {
+            Some(i) => shares[i] += 1,
+            None => break,
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let g = Grid::new(vec![3, 4, 5]);
+        assert_eq!(g.num_cells(), 60);
+        for id in 0..60 {
+            assert_eq!(g.encode(&g.decode(id)), id);
+        }
+    }
+
+    #[test]
+    fn subcube_fixes_dimensions() {
+        let g = Grid::new(vec![2, 3, 2]);
+        // Fix dim 1 = 2: expect 2*2 = 4 servers, all decoding with coord[1]=2.
+        let cells = g.subcube_vec(&[(1, 2)]);
+        assert_eq!(cells.len(), 4);
+        for id in cells {
+            assert_eq!(g.decode(id)[1], 2);
+        }
+    }
+
+    #[test]
+    fn subcube_with_all_fixed_is_single_cell() {
+        let g = Grid::new(vec![2, 3]);
+        let cells = g.subcube_vec(&[(0, 1), (1, 2)]);
+        assert_eq!(cells, vec![g.encode(&[1, 2])]);
+    }
+
+    #[test]
+    fn subcube_with_nothing_fixed_is_broadcast() {
+        let g = Grid::new(vec![2, 2]);
+        let mut cells = g.subcube_vec(&[]);
+        cells.sort_unstable();
+        assert_eq!(cells, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn subcube_conflicting_fixed_is_empty() {
+        let g = Grid::new(vec![4, 4]);
+        // Repeated variable mapped to the same dim with different hashes.
+        let cells = g.subcube_vec(&[(0, 1), (0, 2)]);
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn subcube_sizes_multiply() {
+        let g = Grid::new(vec![3, 5, 7]);
+        assert_eq!(g.subcube_vec(&[(0, 0)]).len(), 35);
+        assert_eq!(g.subcube_vec(&[(2, 6)]).len(), 15);
+        assert_eq!(g.subcube_vec(&[(0, 1), (2, 3)]).len(), 5);
+    }
+
+    #[test]
+    fn round_shares_respects_budget() {
+        for (p, exps) in [
+            (64usize, vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
+            (100, vec![0.5, 0.5, 0.0]),
+            (17, vec![0.9, 0.1]),
+            (8, vec![1.0]),
+            (1, vec![0.3, 0.7]),
+        ] {
+            let shares = round_shares(p, &exps);
+            let product: usize = shares.iter().product();
+            assert!(product <= p, "p={p} exps={exps:?} -> {shares:?}");
+            assert!(shares.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn round_shares_hits_exact_cubes() {
+        // p = 64 with equal thirds: 4 x 4 x 4.
+        assert_eq!(round_shares(64, &[1.0 / 3.0; 3]), vec![4, 4, 4]);
+        // p = 16 with halves: 4 x 4.
+        assert_eq!(round_shares(16, &[0.5, 0.5]), vec![4, 4]);
+    }
+
+    #[test]
+    fn round_shares_degenerate_dimension() {
+        // e = 0 should pin the share to ~1 but greedy growth may use spare
+        // budget; the product must stay within p.
+        let shares = round_shares(8, &[0.0, 1.0]);
+        let product: usize = shares.iter().product();
+        assert!(product <= 8);
+        assert!(shares[1] >= 4, "main dimension starved: {shares:?}");
+    }
+}

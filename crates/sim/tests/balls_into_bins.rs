@@ -1,0 +1,114 @@
+//! Empirical reproduction of Appendix C (balls into bins).
+//!
+//! Lemma C.1: throwing weighted balls (total weight ≤ m, each ball ≤
+//! B = a·m/p) uniformly into `p` bins keeps every bin below
+//! `3·ln(1/δ)·a·m/p` with probability ≥ 1 − pδ. Corollary C.2 is the
+//! unit-weight case with `δ = e^{-m/p}`. These tests throw real balls with
+//! the simulator's own hash functions and check the bounds across many
+//! seeds — the empirical footing under Lemma 3.1 and every high-probability
+//! claim downstream.
+
+use mpc_data::rng::{mix64, Rng};
+
+/// Throw `weights` into `p` bins keyed by `seed`; return max bin weight.
+fn max_bin_weight(weights: &[u64], p: usize, seed: u64) -> u64 {
+    let mut bins = vec![0u64; p];
+    for (i, &w) in weights.iter().enumerate() {
+        let b = (mix64(i as u64, seed) % p as u64) as usize;
+        bins[b] += w;
+    }
+    bins.into_iter().max().unwrap_or(0)
+}
+
+/// Corollary C.2: m unit balls into p bins stay below 3m/p w.h.p.
+/// (meaningful regime: m >= p ln p).
+#[test]
+fn corollary_c2_unit_balls() {
+    let m = 1usize << 14;
+    let p = 64usize;
+    let weights = vec![1u64; m];
+    let cap = 3 * (m / p) as u64;
+    let mut violations = 0;
+    let trials = 200;
+    for seed in 0..trials {
+        if max_bin_weight(&weights, p, seed) > cap {
+            violations += 1;
+        }
+    }
+    // Failure probability p·e^{-m/p} is astronomically small here.
+    assert_eq!(violations, 0, "{violations}/{trials} trials broke Cor C.2");
+}
+
+/// Lemma C.1: weighted balls with max weight B = a·m/p.
+#[test]
+fn lemma_c1_weighted_balls() {
+    let m = 1u64 << 16;
+    let p = 64usize;
+    let a = 4.0f64; // each ball up to 4x the per-bin average
+    let ball = (a * m as f64 / p as f64) as u64;
+    let count = (m / ball) as usize;
+    let weights = vec![ball; count];
+    let delta: f64 = 1e-3;
+    let cap = (3.0 * (1.0 / delta).ln() * a * m as f64 / p as f64) as u64;
+    let mut violations = 0;
+    let trials = 300usize;
+    for seed in 0..trials as u64 {
+        if max_bin_weight(&weights, p, 1000 + seed) > cap {
+            violations += 1;
+        }
+    }
+    let allowed = (trials as f64 * p as f64 * delta).ceil() as usize + 1;
+    assert!(
+        violations <= allowed,
+        "{violations} > {allowed} violations of Lemma C.1"
+    );
+}
+
+/// The concentration is tight-ish: with m >> p the max load approaches the
+/// mean (ratio close to 1), while with m ~ p it does not — the reason the
+/// paper needs m >= p polylog(p) (remark after Corollary C.2).
+#[test]
+fn concentration_needs_m_much_bigger_than_p() {
+    let p = 64usize;
+    let dense = vec![1u64; 1 << 16];
+    let sparse = vec![1u64; 2 * p];
+    let mut dense_ratio = 0.0;
+    let mut sparse_ratio = 0.0;
+    let trials = 50;
+    for seed in 0..trials {
+        dense_ratio +=
+            max_bin_weight(&dense, p, seed) as f64 / (dense.len() as f64 / p as f64);
+        sparse_ratio +=
+            max_bin_weight(&sparse, p, seed) as f64 / (sparse.len() as f64 / p as f64);
+    }
+    dense_ratio /= trials as f64;
+    sparse_ratio /= trials as f64;
+    assert!(dense_ratio < 1.3, "dense imbalance {dense_ratio}");
+    assert!(
+        sparse_ratio > 2.0,
+        "sparse regime should be visibly imbalanced: {sparse_ratio}"
+    );
+}
+
+/// Convexity remark in Lemma C.1's proof: for fixed total weight, fewer
+/// larger balls concentrate worse than many small ones.
+#[test]
+fn fewer_larger_balls_concentrate_worse() {
+    let p = 32usize;
+    let total = 1u64 << 14;
+    let small = vec![1u64; total as usize];
+    let big = vec![total / 64; 64];
+    let mut rng = Rng::seed_from_u64(5);
+    let mut small_max = 0.0;
+    let mut big_max = 0.0;
+    let trials = 100;
+    for _ in 0..trials {
+        let seed = rng.next_u64();
+        small_max += max_bin_weight(&small, p, seed) as f64;
+        big_max += max_bin_weight(&big, p, seed) as f64;
+    }
+    assert!(
+        big_max > small_max * 1.5,
+        "big balls {big_max} should dominate small balls {small_max}"
+    );
+}

@@ -1,0 +1,231 @@
+//! Heavy-hitter detection (Section 4).
+//!
+//! A partial assignment `h_j` to a variable subset `x_j ⊆ vars(S_j)` is a
+//! *heavy hitter* when its frequency exceeds the threshold:
+//! `m_j(h_j) > m_j / p` (Section 4.2). By construction there are fewer than
+//! `p` heavy hitters per `(relation, subset)` pair. The paper assumes every
+//! input server knows all heavy hitters and their (approximate)
+//! frequencies; this collector computes them exactly from the data, which
+//! is how a real engine's statistics pass would realize that assumption.
+
+use mpc_data::catalog::Database;
+use mpc_query::{Query, VarSet};
+use std::collections::HashMap;
+
+/// The heavy hitters of one relation at one variable subset.
+#[derive(Clone, Debug)]
+pub struct HeavyHitters {
+    /// Atom index `j`.
+    pub atom: usize,
+    /// The variable subset `x_j` (query variable indices).
+    pub vars: VarSet,
+    /// Attribute positions within the atom realizing `vars`, in `vars.iter()`
+    /// order (first position for repeated variables).
+    pub cols: Vec<usize>,
+    /// Heavy assignments and their exact frequencies `m_j(h_j)`, keyed in
+    /// `cols` order.
+    pub entries: HashMap<Vec<u64>, usize>,
+    /// The relation's cardinality `m_j` (denominator of the threshold).
+    pub cardinality: usize,
+    /// The `p` used for the threshold.
+    pub p: usize,
+}
+
+impl HeavyHitters {
+    /// The heaviness threshold `m_j / p`.
+    pub fn threshold(&self) -> f64 {
+        self.cardinality as f64 / self.p as f64
+    }
+
+    /// True iff assignment `key` (in `cols` order) is heavy.
+    pub fn is_heavy(&self, key: &[u64]) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Frequency of a heavy assignment (`None` for light ones).
+    pub fn frequency(&self, key: &[u64]) -> Option<usize> {
+        self.entries.get(key).copied()
+    }
+
+    /// Number of heavy hitters (always `< p`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff there are no heavy hitters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Attribute positions of `vars` within atom `j` of `q`, in `vars.iter()`
+/// order. Variables not present in the atom are skipped.
+pub fn columns_for(q: &Query, atom: usize, vars: VarSet) -> Vec<usize> {
+    let a = q.atom(atom);
+    vars.iter()
+        .filter_map(|v| a.position_of_var(v))
+        .collect()
+}
+
+/// Detect the heavy hitters of atom `j` at variable subset `vars`
+/// (`vars ⊆ vars(S_j)` after intersection; variables outside the atom are
+/// ignored).
+pub fn heavy_hitters(db: &Database, atom: usize, vars: VarSet, p: usize) -> HeavyHitters {
+    let q = db.query();
+    let eff_vars = vars.intersect(q.atom(atom).var_set());
+    let cols = columns_for(q, atom, eff_vars);
+    let rel = db.relation(atom);
+    let m = rel.len();
+    let threshold = m as f64 / p as f64;
+    let entries = rel
+        .frequencies(&cols)
+        .into_iter()
+        .filter(|(_, c)| (*c as f64) > threshold)
+        .collect();
+    HeavyHitters {
+        atom,
+        vars: eff_vars,
+        cols,
+        entries,
+        cardinality: m,
+        p,
+    }
+}
+
+/// Detect heavy hitters for *every* atom and every nonempty variable subset
+/// of that atom — the full complex-statistics regime of Section 4.2 ("one
+/// needs to consider sets of attributes of each relation S_j that may be
+/// heavy hitters jointly, even if none of them is a heavy hitter by
+/// itself").
+pub fn all_heavy_hitters(db: &Database, p: usize) -> Vec<HeavyHitters> {
+    let q = db.query();
+    let mut out = Vec::new();
+    for j in 0..q.num_atoms() {
+        let atom_vars = q.atom(j).var_set();
+        for subset in atom_vars.subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            out.push(heavy_hitters(db, j, subset, p));
+        }
+    }
+    out
+}
+
+/// Split a relation's tuples into (heavy, light) with respect to a set of
+/// heavy assignments at `cols`.
+pub fn split_heavy_light(
+    rel: &mpc_data::Relation,
+    hh: &HeavyHitters,
+) -> (mpc_data::Relation, mpc_data::Relation) {
+    rel.partition(|row| {
+        let key: Vec<u64> = hh.cols.iter().map(|&c| row[c]).collect();
+        hh.entries.contains_key(&key)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::{generators, Relation, Rng};
+    use mpc_query::named;
+
+    fn skewed_join_db(p: usize) -> (Database, usize) {
+        // S1(x,z): 100 tuples with z=7 (heavy for p >= 2), 100 spread out.
+        let q = named::two_way_join();
+        let mut rng = Rng::seed_from_u64(1);
+        let degrees: Vec<(Vec<u64>, usize)> = std::iter::once((vec![7u64], 100))
+            .chain((0..100).map(|i| (vec![100 + i as u64], 1)))
+            .collect();
+        let s1 = generators::from_degree_sequence("S1", 2, &[1], &degrees, 1 << 10, &mut rng);
+        let s2 = generators::uniform("S2", 2, 200, 1 << 10, &mut rng);
+        let db = Database::new(q, vec![s1, s2], 1 << 10).unwrap();
+        (db, p)
+    }
+
+    #[test]
+    fn detects_planted_heavy_hitter() {
+        let (db, p) = skewed_join_db(8);
+        let q = db.query();
+        let z = q.var_index("z").unwrap();
+        let hh = heavy_hitters(&db, 0, VarSet::singleton(z), p);
+        // threshold = 200/8 = 25; only z=7 (freq 100) exceeds it.
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh.frequency(&[7]), Some(100));
+        assert!(hh.is_heavy(&[7]));
+        assert!(!hh.is_heavy(&[100]));
+        assert!((hh.threshold() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_count_is_below_p() {
+        // Structural guarantee: fewer than p assignments can each exceed m/p.
+        let (db, _) = skewed_join_db(4);
+        for p in [2usize, 4, 8, 64] {
+            for j in 0..db.query().num_atoms() {
+                for subset in db.query().atom(j).var_set().subsets() {
+                    if subset.is_empty() {
+                        continue;
+                    }
+                    let hh = heavy_hitters(&db, j, subset, p);
+                    assert!(hh.len() < p, "p={p}: {} heavy hitters", hh.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_attribute_subsets_are_enumerated() {
+        // 14 tuples share the pair (x,z) = (1,2) out of 120; with p = 16 the
+        // threshold is 7.5, so the *pair* is a heavy hitter of the attribute
+        // subset {x,z}, and all_heavy_hitters must inspect that subset.
+        let q = named::two_way_join();
+        let mut rng = Rng::seed_from_u64(2);
+        let mut s1 = Relation::new("S1", 2);
+        for _ in 0..14 {
+            s1.push(&[1, 2]);
+        }
+        for i in 0..106u64 {
+            s1.push(&[10 + i, 300 + i]);
+        }
+        let s2 = generators::uniform("S2", 2, 100, 1 << 10, &mut rng);
+        let db = Database::new(q, vec![s1, s2], 1 << 10).unwrap();
+        let p = 16;
+        // threshold = 120/16 = 7.5
+        let x = db.query().var_index("x").unwrap();
+        let z = db.query().var_index("z").unwrap();
+        let joint = heavy_hitters(&db, 0, VarSet::from_iter([x, z]), p);
+        assert_eq!(joint.frequency(&[1, 2]), Some(14));
+        let single_x = heavy_hitters(&db, 0, VarSet::singleton(x), p);
+        assert_eq!(single_x.frequency(&[1]), Some(14));
+        // All subsets are enumerated by all_heavy_hitters.
+        let all = all_heavy_hitters(&db, p);
+        // Atom 0 has vars {x,z}: subsets {x},{z},{x,z}; atom 1: {y},{z},{y,z}.
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn split_heavy_light_partitions() {
+        let (db, p) = skewed_join_db(8);
+        let z = db.query().var_index("z").unwrap();
+        let hh = heavy_hitters(&db, 0, VarSet::singleton(z), p);
+        let (heavy, light) = split_heavy_light(db.relation(0), &hh);
+        assert_eq!(heavy.len(), 100);
+        assert_eq!(light.len(), 100);
+        assert!(heavy.rows().all(|r| r[1] == 7));
+        assert!(light.rows().all(|r| r[1] != 7));
+    }
+
+    #[test]
+    fn uniform_data_has_no_heavy_hitters() {
+        let q = named::two_way_join();
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 1u64 << 16;
+        let s1 = generators::matching("S1", 2, 1000, n, &mut rng);
+        let s2 = generators::matching("S2", 2, 1000, n, &mut rng);
+        let db = Database::new(q, vec![s1, s2], n).unwrap();
+        for hh in all_heavy_hitters(&db, 64) {
+            assert!(hh.is_empty(), "unexpected heavy hitters: {hh:?}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mpc-stats
+//!
+//! Database statistics for the `mpc-skew` workspace, covering both
+//! information regimes of Beame–Koutris–Suciu (PODS 2014):
+//!
+//! * [`cardinality::SimpleStatistics`] — cardinalities and bit sizes
+//!   (Section 3's "simple database statistics");
+//! * [`heavy`] — heavy-hitter detection per `(relation, attribute subset)`
+//!   at the `m_j/p` threshold (Section 4);
+//! * [`bins`] — the `log2 p` geometric frequency bins and bin exponents of
+//!   Section 4.2;
+//! * [`combination`] — bin combinations (Definition 4.1) with capped
+//!   assignment sets (`|C'(B)| <= p`, Lemma 4.2);
+//! * [`degree`] — exact x-statistics / degree sequences and the factorized
+//!   sum-of-products evaluator behind the `L_x(u, M, p)` lower bound
+//!   (Theorem 4.7).
+
+pub mod bins;
+pub mod cardinality;
+pub mod combination;
+pub mod degree;
+pub mod heavy;
+pub mod sampling;
+
+pub use bins::{bin_exponent, bin_of_frequency, num_bins, BinnedHitters, LIGHT_BIN_EXPONENT};
+pub use cardinality::SimpleStatistics;
+pub use combination::{enumerate_combinations, BinChoice, BinCombination, CombinationAssignment};
+pub use degree::{degree_statistics, joint_assignments, sum_over_assignments, DegreeStatistics};
+pub use heavy::{all_heavy_hitters, heavy_hitters, split_heavy_light, HeavyHitters};
+pub use sampling::{recommended_rate, sample_heavy_hitters, sampled_frequencies, SampledFrequencies};

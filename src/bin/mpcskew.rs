@@ -1,0 +1,258 @@
+//! `mpcskew` — a command-line front end for the library.
+//!
+//! ```text
+//! # Analyze a query's bounds for given statistics:
+//! mpcskew bounds "S1(x,y), S2(y,z), S3(z,x)" --cards 65536,65536,65536 --p 64
+//!
+//! # Generate a workload, run an algorithm, measure & verify:
+//! mpcskew run "S1(x,z), S2(y,z)" --m 20000 --p 64 --algo skew-join --theta 1.2
+//! ```
+//!
+//! Algorithms: `hc` (LP-optimal HyperCube), `hc-equal` (p^{1/k} shares),
+//! `hash` (partition on the first shared variable), `skew-join` (§4.1, two
+//! atoms only), `general` (§4.2 bin combinations).
+
+use mpc_skew::core::baselines::HashJoinRouter;
+use mpc_skew::core::bounds;
+use mpc_skew::core::hypercube::HyperCube;
+use mpc_skew::core::shares::ShareAllocation;
+use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
+use mpc_skew::core::skew_join::SkewJoin;
+use mpc_skew::core::verify;
+use mpc_skew::data::{generators, Database, Rng};
+use mpc_skew::query::{parse_query, Query, VarSet};
+use mpc_skew::sim::cluster::Cluster;
+use mpc_skew::stats::SimpleStatistics;
+use std::process::ExitCode;
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        }
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let k = raw[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", raw[i]))?;
+        let v = raw
+            .get(i + 1)
+            .ok_or_else(|| format!("--{k} is missing a value"))?;
+        flags.push((k.to_string(), v.clone()));
+        i += 2;
+    }
+    Ok(Args { flags })
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     mpcskew bounds <query> --cards m1,m2,... [--p 64] [--domain 1048576]\n  \
+     mpcskew run <query> [--m 10000] [--p 64] [--domain 65536] [--algo hc]\n          \
+     [--theta 0.0] [--seed 1] [--skew-col 1]\n\n\
+     queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
+     algos: hc | hc-equal | hash | skew-join | general"
+}
+
+fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
+    let p = args.usize_or("p", 64)?;
+    let domain = args.usize_or("domain", 1 << 20)? as u64;
+    let cards: Vec<usize> = args
+        .get("cards")
+        .ok_or("--cards m1,m2,... is required")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad cardinality `{s}`")))
+        .collect::<Result<_, _>>()?;
+    if cards.len() != q.num_atoms() {
+        return Err(format!(
+            "query has {} atoms but {} cardinalities were given",
+            q.num_atoms(),
+            cards.len()
+        ));
+    }
+    let arities: Vec<usize> = q.atoms().iter().map(|a| a.arity()).collect();
+    let st = SimpleStatistics::synthetic(&arities, cards.clone(), domain);
+
+    println!("query           : {q}");
+    println!("p               : {p}");
+    println!("M (bits)        : {:?}", st.bit_sizes);
+    println!(
+        "tau* (max pack) : {}",
+        mpc_skew::query::max_packing_value(q)
+    );
+    println!(
+        "rho* (min cover): {:.4}",
+        mpc_skew::query::cover::edge_cover_number(q).map_err(|e| e.to_string())?
+    );
+    println!(
+        "AGM bound       : {:.3e} tuples",
+        mpc_skew::query::cover::agm_bound(q, &cards).map_err(|e| e.to_string())?
+    );
+    println!(
+        "E[|q(I)|]       : {:.3e} tuples (Lemma A.1)",
+        bounds::expected_answers(q, &cards, domain)
+    );
+    println!(
+        "space exponent  : {:.4}",
+        bounds::space_exponent(q, &st, p)
+    );
+    println!("\npk(q) load table (Example 3.7 style):");
+    for (u, l) in bounds::packing_load_table(q, &st, p) {
+        println!("  u = {:?}  ->  L = {:.0} bits", u.to_f64(), l);
+    }
+    let (lower, best) = bounds::l_lower(q, &st, p);
+    println!("\nL_lower = L_upper = {:.0} bits  (packing {:?})", lower, best.to_f64());
+    let alloc = ShareAllocation::optimize(q, &st, p).map_err(|e| e.to_string())?;
+    println!(
+        "optimal shares  : {:?}  (exponents {:?})",
+        alloc.shares,
+        alloc
+            .exponents
+            .iter()
+            .map(|e| (e * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
+    let p = args.usize_or("p", 64)?;
+    let m = args.usize_or("m", 10_000)?;
+    let domain = args.usize_or("domain", 1 << 16)? as u64;
+    let theta = args.f64_or("theta", 0.0)?;
+    let seed = args.usize_or("seed", 1)? as u64;
+    let skew_col = args.usize_or("skew-col", 1)?;
+    let algo = args.get("algo").unwrap_or("hc");
+
+    // Workload: every relation Zipf(theta) on `skew_col` (uniform if 0.0).
+    let mut rng = Rng::seed_from_u64(seed);
+    let rels: Vec<mpc_skew::data::Relation> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            if theta > 0.0 && skew_col < a.arity() {
+                generators::zipf_column(a.name(), a.arity(), m, domain, skew_col, theta, &mut rng)
+            } else {
+                generators::uniform(a.name(), a.arity(), m, domain, &mut rng)
+            }
+        })
+        .collect();
+    let db = Database::new(q.clone(), rels, domain).map_err(|e| e.to_string())?;
+    let st = SimpleStatistics::of(&db);
+
+    println!("query  : {q}");
+    println!("data   : {} atoms x {m} tuples over [{domain}], theta = {theta}", q.num_atoms());
+    println!("algo   : {algo}, p = {p}, seed = {seed}\n");
+
+    let cluster: Cluster = match algo {
+        "hc" => {
+            let hc = HyperCube::with_optimal_shares(q, &st, p, seed);
+            println!("shares : {:?}", hc.grid().dims());
+            hc.run(&db).0
+        }
+        "hc-equal" => HyperCube::with_equal_shares(q, p, seed).run(&db).0,
+        "hash" => {
+            // Partition on the highest-degree variable (the usual join key).
+            let key = (0..q.num_vars())
+                .max_by_key(|&i| q.atoms_with_var(i).count())
+                .expect("query has variables");
+            println!("hash on: {}", q.var_name(key));
+            let router = HashJoinRouter::new(q, VarSet::singleton(key), p, seed);
+            Cluster::run_round(&db, p, &router)
+        }
+        "skew-join" => {
+            let sj = SkewJoin::plan(&db, p, seed);
+            println!("heavy z: {}", sj.num_heavy());
+            sj.run(&db).0
+        }
+        "general" => {
+            let alg = GeneralSkewAlgorithm::plan(&db, p, seed);
+            println!("combos : {}", alg.combination_summary().len());
+            println!("predict: {:.0} bits (max_B p^lambda)", alg.predicted_load_bits());
+            alg.run(&db).0
+        }
+        other => return Err(format!("unknown algorithm `{other}`\n{}", usage())),
+    };
+
+    let report = cluster.report();
+    let v = verify::verify(&db, &cluster);
+    let (lower, _) = bounds::l_lower(q, &st, p);
+    println!("\nmax load      : {} bits ({} tuples)", report.max_load_bits(), report.max_load_tuples());
+    println!("mean load     : {:.0} bits", report.mean_load_bits());
+    println!("imbalance     : {:.2}x", report.imbalance());
+    println!("replication   : {:.2}x", report.replication_rate());
+    println!("L_lower       : {:.0} bits", lower);
+    println!("load/bound    : {:.2}x", report.max_load_bits() as f64 / lower);
+    println!(
+        "answers       : {} distinct, verification {}",
+        v.found,
+        if v.is_complete() { "PASSED" } else { "FAILED" }
+    );
+    if !v.is_complete() {
+        return Err(format!("{} answers missing", v.missing.len()));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let cmd = argv[0].as_str();
+    let query_text = argv[1].as_str();
+    let q = match parse_query(query_text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("cannot parse query `{query_text}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match parse_args(&argv[2..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "bounds" => cmd_bounds(&q, &args),
+        "run" => cmd_run(&q, &args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

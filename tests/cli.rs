@@ -1,0 +1,107 @@
+//! Integration tests for the `mpcskew` CLI binary.
+
+use std::process::Command;
+
+fn mpcskew() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpcskew"))
+}
+
+#[test]
+fn bounds_command_prints_triangle_table() {
+    let out = mpcskew()
+        .args([
+            "bounds",
+            "S1(x,y), S2(y,z), S3(z,x)",
+            "--cards",
+            "65536,65536,65536",
+            "--p",
+            "64",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tau* (max pack) : 3/2"), "{text}");
+    assert!(text.contains("[0.5, 0.5, 0.5]"));
+    assert!(text.contains("L_lower = L_upper"));
+    assert!(text.contains("optimal shares  : [4, 4, 4]"));
+}
+
+#[test]
+fn run_command_executes_and_verifies() {
+    let out = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m",
+            "2000",
+            "--p",
+            "16",
+            "--algo",
+            "hc",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verification PASSED"), "{text}");
+    assert!(text.contains("max load"));
+}
+
+#[test]
+fn run_skew_join_on_skewed_data() {
+    let out = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m",
+            "4000",
+            "--p",
+            "16",
+            "--algo",
+            "skew-join",
+            "--theta",
+            "1.0",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("heavy z"), "{text}");
+    assert!(text.contains("verification PASSED"));
+}
+
+#[test]
+fn bad_query_is_rejected() {
+    let out = mpcskew()
+        .args(["bounds", "S1(x,", "--cards", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse query"), "{err}");
+}
+
+#[test]
+fn wrong_cardinality_count_is_rejected() {
+    let out = mpcskew()
+        .args(["bounds", "S1(x,z), S2(y,z)", "--cards", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cardinalities"), "{err}");
+}
+
+#[test]
+fn unknown_algorithm_is_rejected() {
+    let out = mpcskew()
+        .args(["run", "S1(x,z), S2(y,z)", "--algo", "quantum"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

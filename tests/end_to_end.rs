@@ -1,0 +1,226 @@
+//! End-to-end integration tests: every algorithm, on every workload class,
+//! must find exactly the sequential join's answers, and measured loads must
+//! respect the paper's bound relationships.
+
+use mpc_skew::core::baselines::{FragmentReplicateRouter, HashJoinRouter};
+use mpc_skew::core::bounds;
+use mpc_skew::core::hypercube::HyperCube;
+use mpc_skew::core::shares::ShareAllocation;
+use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
+use mpc_skew::core::skew_join::SkewJoin;
+use mpc_skew::core::verify;
+use mpc_skew::data::{generators, Database, Rng};
+use mpc_skew::query::{named, Query, VarSet};
+use mpc_skew::sim::cluster::Cluster;
+use mpc_skew::stats::SimpleStatistics;
+
+fn uniform_db(q: &Query, m: usize, n: u64, seed: u64) -> Database {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rels = q
+        .atoms()
+        .iter()
+        .map(|a| generators::uniform(a.name(), a.arity(), m, n, &mut rng))
+        .collect();
+    Database::new(q.clone(), rels, n).unwrap()
+}
+
+fn matching_db(q: &Query, m: usize, n: u64, seed: u64) -> Database {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rels = q
+        .atoms()
+        .iter()
+        .map(|a| generators::matching(a.name(), a.arity(), m, n, &mut rng))
+        .collect();
+    Database::new(q.clone(), rels, n).unwrap()
+}
+
+#[test]
+fn hypercube_complete_on_query_suite() {
+    let suite: Vec<(Query, usize, u64)> = vec![
+        (named::two_way_join(), 1500, 1 << 10),
+        (named::cycle(3), 1500, 1 << 7),
+        (named::chain(3), 1500, 1 << 8),
+        (named::star(3), 1500, 1 << 8),
+        (named::cartesian(2), 300, 1 << 10),
+        (named::cycle(4), 800, 1 << 7),
+        (named::chain(4), 800, 1 << 7),
+    ];
+    for (q, m, n) in suite {
+        let db = uniform_db(&q, m, n, 0xA11CE);
+        let st = SimpleStatistics::of(&db);
+        for p in [4usize, 16, 64] {
+            let hc = HyperCube::with_optimal_shares(&q, &st, p, 13);
+            let (cluster, _) = hc.run(&db);
+            verify::assert_complete(&db, &cluster);
+        }
+    }
+}
+
+#[test]
+fn equal_share_hypercube_complete_on_suite() {
+    for q in [named::cycle(3), named::two_way_join(), named::chain(3)] {
+        let db = uniform_db(&q, 1000, 1 << 8, 7);
+        let hc = HyperCube::with_equal_shares(&q, 32, 3);
+        let (cluster, _) = hc.run(&db);
+        verify::assert_complete(&db, &cluster);
+    }
+}
+
+#[test]
+fn skew_algorithms_complete_across_zipf_exponents() {
+    let q = named::two_way_join();
+    let n = 1u64 << 12;
+    let m = 3000usize;
+    for theta in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
+        let mut rng = Rng::seed_from_u64(100 + (theta * 4.0) as u64);
+        let d1 = generators::zipf_degrees(m, n, theta);
+        let d2 = generators::zipf_degrees(m, n, theta);
+        let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+        let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+        let db = Database::new(q.clone(), vec![s1, s2], n).unwrap();
+        let p = 16usize;
+
+        let sj = SkewJoin::plan(&db, p, 5);
+        let (c1, _) = sj.run(&db);
+        verify::assert_complete(&db, &c1);
+
+        let alg = GeneralSkewAlgorithm::plan(&db, p, 5);
+        let (c2, _) = alg.run(&db);
+        verify::assert_complete(&db, &c2);
+    }
+}
+
+#[test]
+fn load_ordering_under_heavy_skew() {
+    // skew join <= HC equal-shares << hash join on a heavily skewed input.
+    let q = named::two_way_join();
+    let n = 1u64 << 12;
+    let m = 6000usize;
+    let p = 32usize;
+    let mut rng = Rng::seed_from_u64(31);
+    let d = generators::zipf_degrees(m, n, 1.4);
+    let s1 = generators::from_degree_sequence("S1", 2, &[1], &d, n, &mut rng);
+    let s2 = generators::from_degree_sequence("S2", 2, &[1], &d, n, &mut rng);
+    let db = Database::new(q.clone(), vec![s1, s2], n).unwrap();
+
+    let z = q.var_index("z").unwrap();
+    let hj = HashJoinRouter::new(&q, VarSet::singleton(z), p, 4);
+    let hash_load = Cluster::run_round(&db, p, &hj).report().max_load_tuples();
+
+    let hc = HyperCube::with_equal_shares(&q, p, 4);
+    let (_, hc_rep) = hc.run(&db);
+
+    let sj = SkewJoin::plan(&db, p, 4);
+    let (_, sj_rep) = sj.run(&db);
+
+    assert!(
+        sj_rep.max_load_tuples() < hash_load,
+        "skew join {} !< hash join {}",
+        sj_rep.max_load_tuples(),
+        hash_load
+    );
+    assert!(
+        hc_rep.max_load_tuples() < hash_load,
+        "HC-equal {} !< hash join {}",
+        hc_rep.max_load_tuples(),
+        hash_load
+    );
+    // The skew join should beat or match resilient-HC on this workload.
+    assert!(
+        sj_rep.max_load_tuples() <= hc_rep.max_load_tuples() * 2,
+        "skew join {} unexpectedly dominated by HC {}",
+        sj_rep.max_load_tuples(),
+        hc_rep.max_load_tuples()
+    );
+}
+
+#[test]
+fn measured_load_never_beats_lower_bound() {
+    // No correct algorithm can receive fewer bits than L_lower (up to the
+    // constant c < 1; we check with constant 1/4 slack).
+    for q in [named::cycle(3), named::two_way_join(), named::chain(3)] {
+        let db = matching_db(&q, 4000, 1 << 14, 17);
+        let st = SimpleStatistics::of(&db);
+        for p in [8usize, 64] {
+            let (lower, _) = bounds::l_lower(&q, &st, p);
+            let hc = HyperCube::with_optimal_shares(&q, &st, p, 3);
+            let (cluster, report) = hc.run(&db);
+            verify::assert_complete(&db, &cluster);
+            assert!(
+                report.max_load_bits() as f64 >= lower / 4.0,
+                "{} p={p}: measured {} below lower bound {lower}",
+                q.name(),
+                report.max_load_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn broadcast_join_matches_footnote_1() {
+    // With M2 <= M1/p, broadcasting S2 costs at most ~2x the scan bound
+    // M1/p per server.
+    let q = named::two_way_join();
+    let n = 1u64 << 12;
+    let p = 16usize;
+    let mut rng = Rng::seed_from_u64(23);
+    let s1 = generators::uniform("S1", 2, 8000, n, &mut rng);
+    let s2 = generators::uniform("S2", 2, 8000 / p / 2, n, &mut rng);
+    let db = Database::new(q.clone(), vec![s1, s2], n).unwrap();
+    let router = FragmentReplicateRouter::new(p, 1, 5);
+    let cluster = Cluster::run_round(&db, p, &router);
+    verify::assert_complete(&db, &cluster);
+    let report = cluster.report();
+    let scan = db.bit_sizes()[0] as f64 / p as f64;
+    assert!(
+        (report.max_load_bits() as f64) < 2.5 * scan,
+        "broadcast join load {} above 2.5x scan bound {scan}",
+        report.max_load_bits()
+    );
+}
+
+#[test]
+fn general_algorithm_handles_triangle_and_star() {
+    for q in [named::cycle(3), named::star(2)] {
+        let n = 1u64 << 9;
+        let m = 1200usize;
+        let mut rng = Rng::seed_from_u64(97);
+        // One skewed relation, rest uniform.
+        let mut rels = Vec::new();
+        for (j, a) in q.atoms().iter().enumerate() {
+            if j == 0 {
+                let d = generators::zipf_degrees(m, n, 1.1);
+                rels.push(generators::from_degree_sequence(
+                    a.name(),
+                    a.arity(),
+                    &[1],
+                    &d,
+                    n,
+                    &mut rng,
+                ));
+            } else {
+                rels.push(generators::uniform(a.name(), a.arity(), m, n, &mut rng));
+            }
+        }
+        let db = Database::new(q.clone(), rels, n).unwrap();
+        let alg = GeneralSkewAlgorithm::plan(&db, 16, 19);
+        let (cluster, _) = alg.run(&db);
+        verify::assert_complete(&db, &cluster);
+    }
+}
+
+#[test]
+fn share_allocation_is_deterministic_and_budgeted() {
+    let q = named::cycle(3);
+    for cards in [[1usize << 12; 3], [1 << 16, 1 << 12, 1 << 8]] {
+        let arities = [2usize, 2, 2];
+        let st = SimpleStatistics::synthetic(&arities, cards.to_vec(), 1 << 20);
+        for p in [2usize, 5, 17, 64, 1000] {
+            let a1 = ShareAllocation::optimize(&q, &st, p).unwrap();
+            let a2 = ShareAllocation::optimize(&q, &st, p).unwrap();
+            assert_eq!(a1.shares, a2.shares);
+            let product: usize = a1.shares.iter().product();
+            assert!(product <= p, "p={p}: shares {:?}", a1.shares);
+        }
+    }
+}
