@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Tier-1 verification for the mpc-skew workspace. Hermetic: no network, no
+# registry dependencies (the only external surface, proptest/criterion, is
+# replaced in-tree by crates/testkit).
+#
+#   ./ci.sh            # build + test + lint + bench-compile
+#   ./ci.sh --quick    # tier-1 gate only (what the driver enforces)
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+if [ "${1:-}" = "--quick" ]; then
+    exit 0
+fi
+
+echo "==> cargo test -q -- --ignored   (heavy-output stress cases)"
+cargo test -q --workspace --offline -- --ignored
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo bench --no-run"
+cargo bench --workspace --offline --no-run
+
+echo "==> ci.sh: all green"

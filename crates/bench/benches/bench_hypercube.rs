@@ -1,7 +1,7 @@
 //! End-to-end shuffle throughput of the HyperCube algorithm: one full
 //! communication round (routing + fragment materialization) per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpc_bench::workloads::uniform_db;
 use mpc_core::hypercube::HyperCube;
 use mpc_query::named;

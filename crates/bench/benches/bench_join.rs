@@ -1,6 +1,6 @@
 //! Local multiway-join throughput (the per-server compute step).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpc_bench::workloads::uniform_db;
 use mpc_data::join::join_count;
 use mpc_data::Relation;

@@ -1,7 +1,7 @@
 //! Microbenchmarks for the LP/polytope substrate: the share-exponent LP (5)
 //! and the exact vertex enumeration behind `pk(q)`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpc_core::shares::ShareAllocation;
 use mpc_query::{named, packing};
 use mpc_stats::SimpleStatistics;

@@ -2,7 +2,7 @@
 
 use mpc_data::{generators, join, join_count, Relation, Rng};
 use mpc_query::named;
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -10,8 +10,8 @@ proptest! {
     /// sort_dedup produces a sorted duplicate-free relation preserving the
     /// underlying tuple *set*.
     #[test]
-    fn sort_dedup_is_canonical(rows in proptest::collection::vec(
-        proptest::collection::vec(0u64..8, 2), 0..40))
+    fn sort_dedup_is_canonical(rows in mpc_testkit::collection::vec(
+        mpc_testkit::collection::vec(0u64..8, 2), 0..40))
     {
         let mut r = Relation::new("S", 2);
         for row in &rows {
@@ -29,8 +29,8 @@ proptest! {
     /// Frequencies on any column subset sum to the cardinality.
     #[test]
     fn frequencies_sum_to_cardinality(
-        rows in proptest::collection::vec(proptest::collection::vec(0u64..6, 3), 1..60),
-        cols in proptest::collection::btree_set(0usize..3, 0..=3),
+        rows in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..6, 3), 1..60),
+        cols in mpc_testkit::collection::btree_set(0usize..3, 0..=3),
     ) {
         let mut r = Relation::new("S", 3);
         for row in &rows {
@@ -44,7 +44,7 @@ proptest! {
     /// partition splits losslessly.
     #[test]
     fn partition_is_lossless(
-        rows in proptest::collection::vec(proptest::collection::vec(0u64..16, 2), 0..50),
+        rows in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..16, 2), 0..50),
         pivot in 0u64..16,
     ) {
         let mut r = Relation::new("S", 2);
@@ -61,8 +61,8 @@ proptest! {
     /// nested loop on arbitrary relations.
     #[test]
     fn join_agrees_with_nested_loop(
-        r1 in proptest::collection::vec(proptest::collection::vec(0u64..8, 2), 0..30),
-        r2 in proptest::collection::vec(proptest::collection::vec(0u64..8, 2), 0..30),
+        r1 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..8, 2), 0..30),
+        r2 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..8, 2), 0..30),
     ) {
         let q = named::two_way_join();
         let mut s1 = Relation::new("S1", 2);
@@ -80,9 +80,9 @@ proptest! {
     /// Join output tuples actually satisfy every atom.
     #[test]
     fn join_outputs_are_sound(
-        r1 in proptest::collection::vec(proptest::collection::vec(0u64..6, 2), 1..25),
-        r2 in proptest::collection::vec(proptest::collection::vec(0u64..6, 2), 1..25),
-        r3 in proptest::collection::vec(proptest::collection::vec(0u64..6, 2), 1..25),
+        r1 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..6, 2), 1..25),
+        r2 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..6, 2), 1..25),
+        r3 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..6, 2), 1..25),
     ) {
         let q = named::cycle(3);
         let mk = |name: &str, rows: &Vec<Vec<u64>>| {

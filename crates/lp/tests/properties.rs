@@ -1,7 +1,7 @@
 //! Property-based tests for the exact-rational and LP substrate.
 
 use mpc_lp::{enumerate_vertices, is_feasible, Cmp, LinearProgram, Rat, RatMatrix, Sense};
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 /// Small rationals that cannot overflow through a few field operations.
 fn small_rat() -> impl Strategy<Value = Rat> {
@@ -62,8 +62,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]
     fn solve_reconstructs_planted_solution(
-        entries in proptest::collection::vec(-6i64..=6, 9),
-        xs in proptest::collection::vec(-5i64..=5, 3),
+        entries in mpc_testkit::collection::vec(-6i64..=6, 9),
+        xs in mpc_testkit::collection::vec(-5i64..=5, 3),
     ) {
         let a = RatMatrix::from_fn(3, 3, |r, c| Rat::int(entries[r * 3 + c]));
         let x: Vec<Rat> = xs.iter().map(|&v| Rat::int(v)).collect();
@@ -80,8 +80,8 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
     #[test]
-    fn vertices_are_basic_feasible(rows in proptest::collection::vec(
-        proptest::collection::vec(0i64..=2, 3), 2..5))
+    fn vertices_are_basic_feasible(rows in mpc_testkit::collection::vec(
+        mpc_testkit::collection::vec(0i64..=2, 3), 2..5))
     {
         let m = rows.len();
         let a = RatMatrix::from_fn(m, 3, |r, c| Rat::int(rows[r][c]));

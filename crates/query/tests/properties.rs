@@ -4,14 +4,14 @@ use mpc_lp::Rat;
 use mpc_query::packing::{is_packing, max_packing_value, packing_vertices, pk};
 use mpc_query::residual::{residual_query, saturates, saturating_packing_vertices};
 use mpc_query::{named, Packing, VarSet};
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 /// Generate a random small query: a random hypergraph over <= 5 variables
 /// with 2..=4 atoms of arity 1..=3 (distinct variables per atom, distinct
 /// relation names).
 fn arb_query() -> impl Strategy<Value = mpc_query::Query> {
-    let atom = proptest::collection::btree_set(0usize..5, 1..=3);
-    proptest::collection::vec(atom, 2..=4).prop_map(|atoms| {
+    let atom = mpc_testkit::collection::btree_set(0usize..5, 1..=3);
+    mpc_testkit::collection::vec(atom, 2..=4).prop_map(|atoms| {
         let names: Vec<String> = (0..atoms.len()).map(|j| format!("S{}", j + 1)).collect();
         let var_names: Vec<String> = (0..5).map(|i| format!("x{}", i + 1)).collect();
         let spec: Vec<(&str, Vec<&str>)> = atoms

@@ -4,10 +4,10 @@ use mpc_data::{generators, Database, Rng};
 use mpc_query::named;
 use mpc_sim::cluster::Cluster;
 use mpc_sim::topology::{round_shares, Grid};
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..6, 1..4)
+    mpc_testkit::collection::vec(1usize..6, 1..4)
 }
 
 proptest! {
@@ -51,7 +51,7 @@ proptest! {
     #[test]
     fn round_shares_budget(
         p in 1usize..5000,
-        exps in proptest::collection::vec(0.0f64..1.0, 1..5),
+        exps in mpc_testkit::collection::vec(0.0f64..1.0, 1..5),
     ) {
         // Normalize exponents to sum <= 1 as the LP guarantees.
         let total: f64 = exps.iter().sum();

@@ -6,7 +6,7 @@ use mpc_stats::bins::{bin_of_frequency, num_bins};
 use mpc_stats::combination::enumerate_combinations;
 use mpc_stats::degree::{degree_statistics, sum_over_assignments};
 use mpc_stats::heavy::heavy_hitters;
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -1,0 +1,151 @@
+//! Collection strategies mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use mpc_data::rng::Rng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything that can specify a collection size: an exact `usize`, a
+/// half-open `Range<usize>`, or a `RangeInclusive<usize>`.
+pub trait IntoSizeRange {
+    /// Inclusive `(min, max)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range {:?}", self);
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range {:?}", self);
+        (*self.start(), *self.end())
+    }
+}
+
+/// `proptest::collection::vec`: a `Vec` of `size` elements drawn from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = sample_len(rng, self.min_len, self.max_len);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: shorter vectors are simpler than
+        // vectors of simpler elements.
+        if value.len() > self.min_len {
+            let half = (value.len() / 2).max(self.min_len);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            let mut tail = value.clone();
+            tail.remove(0);
+            out.push(tail);
+            let mut head = value.clone();
+            head.pop();
+            out.push(head);
+        }
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// `proptest::collection::btree_set`: a `BTreeSet` of `size` distinct
+/// elements drawn from `element`. Panics during generation if the element
+/// domain cannot produce the minimum number of distinct values (a strategy
+/// must honor its declared size contract).
+pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    let (min_len, max_len) = size.bounds();
+    BTreeSetStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> BTreeSet<S::Value> {
+        let target = sample_len(rng, self.min_len, self.max_len);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 64 * (target + 1) {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        assert!(
+            set.len() >= self.min_len,
+            "btree_set strategy could not draw {} distinct elements in {attempts} \
+             attempts (element domain too small?); got {}",
+            self.min_len,
+            set.len()
+        );
+        set
+    }
+
+    fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+        if value.len() <= self.min_len {
+            return Vec::new();
+        }
+        value
+            .iter()
+            .map(|drop| value.iter().filter(|v| *v != drop).cloned().collect())
+            .collect()
+    }
+}
+
+fn sample_len(rng: &mut Rng, min_len: usize, max_len: usize) -> usize {
+    min_len + rng.below((max_len - min_len + 1) as u64) as usize
+}

@@ -1,0 +1,265 @@
+//! A criterion-compatible micro-benchmark harness (the slice of the API
+//! the workspace benches use), for `harness = false` bench targets.
+//!
+//! Timing model: each benchmark is calibrated so one sample takes roughly
+//! [`Criterion::sample_time_ms`], then `sample_size` samples are measured
+//! and the median, minimum and maximum per-iteration times are printed,
+//! plus throughput when the group declares one.
+
+pub use crate::{criterion_group, criterion_main};
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    sample_time_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            sample_time_ms: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target wall-clock time per sample, in milliseconds.
+    pub fn sample_time_ms(mut self, ms: u64) -> Self {
+        self.sample_time_ms = ms.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.0,
+            self.sample_size,
+            self.sample_time_ms,
+            None,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+/// Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration workload size, enabling element/byte
+    /// rates in the report.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Measure one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.sample_time_ms,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (report separation only; statistics are printed
+    /// per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group. Mirrors
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for groups whose name already identifies the
+    /// benchmark.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Per-iteration workload size. Mirrors `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing context handed to the benchmark closure. Mirrors
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`; the harness divides by the
+    /// iteration count afterwards.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    sample_time_ms: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: run single iterations until we know roughly how long
+    // one takes, then size samples to the target sample time.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let estimate = bencher.elapsed.max(Duration::from_nanos(1));
+    let per_sample = Duration::from_millis(sample_time_ms);
+    let iters = (per_sample.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns[0];
+    let hi = per_iter_ns[per_iter_ns.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" {:>12}/s", si(n as f64 * 1e9 / median, "elem")),
+        Throughput::Bytes(n) => format!(" {:>12}/s", si(n as f64 * 1e9 / median, "B")),
+    });
+    eprintln!(
+        "{label:<40} time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn si(value: f64, unit: &str) -> String {
+    if value >= 1e9 {
+        format!("{:.2} G{unit}", value / 1e9)
+    } else if value >= 1e6 {
+        format!("{:.2} M{unit}", value / 1e6)
+    } else if value >= 1e3 {
+        format!("{:.2} K{unit}", value / 1e3)
+    } else {
+        format!("{value:.1} {unit}")
+    }
+}
+
+/// Declare a benchmark group function callable from
+/// [`criterion_main!`](crate::criterion_main). Both the struct form
+/// (`name = ..; config = ..; targets = ..`) and the positional form are
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::criterion::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::criterion::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

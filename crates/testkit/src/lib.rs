@@ -1,0 +1,59 @@
+//! # mpc-testkit
+//!
+//! Self-contained test infrastructure for the `mpc-skew` workspace: a
+//! proptest-compatible property-testing surface and a criterion-compatible
+//! micro-benchmark harness, with **zero dependencies outside the
+//! workspace**. Randomness comes from the workspace's own deterministic
+//! xoshiro256** PRNG ([`mpc_data::rng::Rng`]), so every property run is
+//! reproducible from a printed seed.
+//!
+//! ## Property testing
+//!
+//! ```
+//! use mpc_testkit::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     // in a test module this would carry #[test]
+//!     fn addition_commutes(a in -1000i64..=1000, b in -1000i64..=1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+//!
+//! The [`proptest!`] macro accepts the same shape as the `proptest` crate:
+//! an optional `#![proptest_config(..)]` inner attribute, then `#[test]`
+//! functions whose arguments are drawn from [`Strategy`] expressions
+//! (integer/float ranges, tuples, [`collection::vec`],
+//! [`collection::btree_set`], and [`Strategy::prop_map`]). On failure the
+//! runner greedily shrinks the counterexample (ranges shrink toward their
+//! low end, collections drop elements) and panics with the minimal failing
+//! input plus the seed that reproduces it.
+//!
+//! Environment knobs: `MPC_TESTKIT_SEED` perturbs every test's base seed
+//! (for soak runs); `MPC_TESTKIT_CASES` overrides the default case count
+//! of configs built with [`ProptestConfig::default`].
+//!
+//! ## Benchmarks
+//!
+//! The [`criterion`] module mirrors the small slice of the criterion API
+//! the workspace benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`, throughput) and prints median
+//! per-iteration times. Benches are declared with `harness = false`.
+
+pub mod collection;
+pub mod criterion;
+mod macros;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{run_property, ProptestConfig, TestCaseError};
+pub use strategy::{Just, Map, Strategy};
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::runner::{ProptestConfig, TestCaseError};
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

@@ -1,0 +1,154 @@
+//! The `proptest!` macro family, source-compatible with the subset of the
+//! `proptest` crate the workspace tests use.
+
+/// Declare property tests. Accepts the `proptest` crate's surface:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(a in 0u64..100, b in collection::vec(0i64..=5, 0..10)) {
+///         prop_assert!(a < 100);
+///     }
+/// }
+/// ```
+///
+/// Each function body runs once per generated case and may use
+/// [`prop_assert!`](crate::prop_assert),
+/// [`prop_assert_eq!`](crate::prop_assert_eq),
+/// [`prop_assert_ne!`](crate::prop_assert_ne) and
+/// [`prop_assume!`](crate::prop_assume).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategy = ($($strategy,)+);
+                $crate::run_property(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__strategy,
+                    |__case: &_| {
+                        #[allow(unused_mut)]
+                        let ($(mut $arg,)+) = ::std::clone::Clone::clone(__case);
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert a boolean condition inside a property; on failure the current
+/// case is reported (after shrinking) instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "property assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "property assertion failed: {} ({}) at {}:{}",
+                format!($($fmt)+),
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "property assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "property assertion failed: {}\n  left: {:?}\n right: {:?}\n at {}:{}",
+                format!($($fmt)+),
+                __left,
+                __right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if __left == __right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "property assertion failed: `{} != {}`\n  both: {:?}\n at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (it does not satisfy the property's
+/// preconditions); the runner retries with fresh input and the case does
+/// not count toward the configured total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(format!(
+                "assumption failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}

@@ -1,0 +1,144 @@
+//! The property-test runner: seeded case generation, rejection handling,
+//! and greedy shrinking.
+
+use crate::strategy::Strategy;
+use mpc_data::rng::{mix64, Rng};
+
+/// Outcome of one property-body execution. Produced by the `prop_assert*`
+/// and `prop_assume!` macros.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy the property's preconditions
+    /// (`prop_assume!`); the case is retried with fresh input.
+    Reject(String),
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum number of shrink-candidate executions after a failure.
+    pub max_shrink_iters: u32,
+    /// Maximum number of `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("MPC_TESTKIT_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 512,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Execute a property: draw inputs from `strategy` until `config.cases`
+/// cases pass, retrying rejected cases and shrinking + panicking on the
+/// first failure. `test_name` seeds the deterministic RNG, so every test
+/// function explores its own reproducible sequence of inputs.
+pub fn run_property<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let base_seed = base_seed(test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        attempt += 1;
+        let mut rng = case_rng(base_seed, attempt);
+        let value = strategy.generate(&mut rng);
+        match body(&value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "[mpc-testkit] property `{test_name}`: too many rejected inputs \
+                         ({rejected}; last: {why}); weaken prop_assume! or widen the strategy"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, final_msg, steps) =
+                    shrink(strategy, value, msg, &body, config.max_shrink_iters);
+                panic!(
+                    "[mpc-testkit] property `{test_name}` failed after {passed} passing \
+                     case(s), attempt {attempt} (base seed {base_seed:#018x}; rerun is \
+                     deterministic, set MPC_TESTKIT_SEED to perturb).\n\
+                     minimal failing input after {steps} shrink step(s):\n  \
+                     {minimal:?}\n{final_msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly adopt the first candidate that still fails,
+/// until no candidate fails or the budget is exhausted.
+fn shrink<S, F>(
+    strategy: &S,
+    mut current: S::Value,
+    mut message: String,
+    body: &F,
+    budget: u32,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    'outer: while steps < budget {
+        for candidate in strategy.shrink(&current) {
+            if steps >= budget {
+                break 'outer;
+            }
+            steps += 1;
+            if let Err(TestCaseError::Fail(msg)) = body(&candidate) {
+                current = candidate;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    // FNV-1a over the fully qualified test name, perturbed by the optional
+    // environment seed so soak runs can explore fresh inputs.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let env = std::env::var("MPC_TESTKIT_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    h ^ mix64(env, 0x5bf0_3635)
+}
+
+fn case_rng(base_seed: u64, attempt: u64) -> Rng {
+    Rng::seed_from_u64(base_seed ^ mix64(attempt, 0x9e37_79b9_7f4a_7c15))
+}

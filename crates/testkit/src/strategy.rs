@@ -1,0 +1,292 @@
+//! The `Strategy` trait and the built-in value generators.
+//!
+//! A [`Strategy`] knows how to draw a random value from a deterministic
+//! [`Rng`] and how to propose *simpler* candidate values when a property
+//! fails (shrinking). Unlike full proptest there is no value tree: shrink
+//! candidates are derived from the failing value itself, which keeps the
+//! implementation small while still minimizing ranges and collections.
+
+use mpc_data::rng::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random test values with optional shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draw one value using the deterministic RNG.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Propose simpler candidates for a failing value, most aggressive
+    /// first. An empty vector means the value is fully shrunk.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Map generated values through `f` (shrinking does not cross the map,
+    /// matching the fact that `f` is not invertible).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let span = self.end.wrapping_sub(self.start) as u128;
+                assert!(
+                    span <= u64::MAX as u128,
+                    "range strategy {:?} spans more than 2^64 values",
+                    self
+                );
+                self.start.wrapping_add(rng.below(span as u64) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {:?}", self);
+                let span = hi.wrapping_sub(lo) as u128;
+                assert!(
+                    span <= u64::MAX as u128,
+                    "range strategy {:?} spans more than 2^64 values",
+                    self
+                );
+                if span == u64::MAX as u128 {
+                    // Full 64-bit span: below(span + 1) would overflow, but
+                    // every 64-bit offset is in range.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(rng.below(span as u64 + 1) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, *self.start())
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+/// Shrink an integer toward the low end of its range: the minimum itself,
+/// the midpoint, and one step down.
+fn shrink_int<T>(value: T, lo: T) -> Vec<T>
+where
+    T: Copy + PartialEq + PartialOrd + ShrinkArith,
+{
+    if value == lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo.midpoint_toward(value);
+    if mid != lo && mid != value {
+        out.push(mid);
+    }
+    let step = value.step_toward(lo);
+    if step != lo && step != mid {
+        out.push(step);
+    }
+    out
+}
+
+/// Minimal arithmetic needed by [`shrink_int`].
+trait ShrinkArith {
+    fn midpoint_toward(self, other: Self) -> Self;
+    fn step_toward(self, lo: Self) -> Self;
+}
+
+macro_rules! shrink_arith {
+    ($($t:ty),*) => {$(
+        impl ShrinkArith for $t {
+            fn midpoint_toward(self, other: $t) -> $t {
+                // lo + (value - lo) / 2, computed without overflow for the
+                // small spans property tests use.
+                self.wrapping_add(other.wrapping_sub(self) / 2)
+            }
+
+            fn step_toward(self, lo: $t) -> $t {
+                if self > lo { self - 1 } else { self }
+            }
+        }
+    )*};
+}
+
+shrink_arith!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let v = self.start + rng.f64() as $t * (self.end - self.start);
+                // f64() may return values arbitrarily close to 1; keep the
+                // half-open contract under rounding.
+                if v >= self.end { self.start } else { v }
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(*value, self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {:?}", self);
+                lo + rng.f64() as $t * (hi - lo)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float(*value, *self.start())
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+fn shrink_float<T>(value: T, lo: T) -> Vec<T>
+where
+    T: Copy + PartialEq + PartialOrd + std::ops::Add<Output = T> + std::ops::Sub<Output = T> + Halvable,
+{
+    if value == lo {
+        return Vec::new();
+    }
+    let mid = lo + (value - lo).half();
+    if mid == lo || mid == value {
+        vec![lo]
+    } else {
+        vec![lo, mid]
+    }
+}
+
+trait Halvable {
+    fn half(self) -> Self;
+}
+
+impl Halvable for f32 {
+    fn half(self) -> f32 {
+        self / 2.0
+    }
+}
+
+impl Halvable for f64 {
+    fn half(self) -> f64 {
+        self / 2.0
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut Rng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        assert!(lo < hi, "empty range strategy {:?}", self);
+        // Rejection-sample around the surrogate gap.
+        loop {
+            let v = lo + rng.below((hi - lo) as u64) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+
+    fn shrink(&self, value: &char) -> Vec<char> {
+        if *value == self.start {
+            Vec::new()
+        } else {
+            vec![self.start]
+        }
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9)
+}

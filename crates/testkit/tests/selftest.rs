@@ -1,0 +1,185 @@
+//! The testkit tests itself: deterministic generation, strategy bounds,
+//! macro plumbing, shrinking quality, and the bench harness.
+
+use mpc_data::rng::Rng;
+use mpc_testkit::collection;
+use mpc_testkit::criterion::{Criterion, Throughput};
+use mpc_testkit::prelude::*;
+use mpc_testkit::run_property;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+#[test]
+fn generation_is_deterministic() {
+    let strategy = (0u64..1_000_000, collection::vec(-50i64..=50, 0..20));
+    let a: Vec<_> = (0..100)
+        .map(|i| strategy.generate(&mut Rng::seed_from_u64(i)))
+        .collect();
+    let b: Vec<_> = (0..100)
+        .map(|i| strategy.generate(&mut Rng::seed_from_u64(i)))
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ranges_respect_bounds() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..2000 {
+        let v = (5u64..17).generate(&mut rng);
+        assert!((5..17).contains(&v));
+        let w = (-3i128..=3).generate(&mut rng);
+        assert!((-3..=3).contains(&w));
+        let x = (0.25f64..0.75).generate(&mut rng);
+        assert!((0.25..0.75).contains(&x));
+        let y = (1usize..2).generate(&mut rng);
+        assert_eq!(y, 1);
+    }
+}
+
+#[test]
+fn collections_respect_size_bounds() {
+    let mut rng = Rng::seed_from_u64(11);
+    let vecs = collection::vec(0u32..100, 2..7);
+    let sets = collection::btree_set(0usize..50, 1..=6);
+    let mut seen_lens = std::collections::BTreeSet::new();
+    for _ in 0..500 {
+        let v = vecs.generate(&mut rng);
+        assert!((2..7).contains(&v.len()), "len {}", v.len());
+        seen_lens.insert(v.len());
+        let s = sets.generate(&mut rng);
+        assert!((1..=6).contains(&s.len()), "set len {}", s.len());
+        assert!(s.iter().all(|&e| e < 50));
+    }
+    // The whole size range is actually exercised.
+    assert_eq!(seen_lens.into_iter().collect::<Vec<_>>(), vec![2, 3, 4, 5, 6]);
+}
+
+#[test]
+fn btree_set_panics_when_domain_cannot_fill_minimum() {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        collection::btree_set(0usize..2, 3..=3).generate(&mut Rng::seed_from_u64(1))
+    }));
+    assert!(
+        outcome.is_err(),
+        "a 2-value domain must not satisfy a minimum size of 3 silently"
+    );
+}
+
+#[test]
+fn prop_map_transforms_values() {
+    let evens = (0u64..100).prop_map(|v| v * 2);
+    let mut rng = Rng::seed_from_u64(3);
+    for _ in 0..200 {
+        assert_eq!(evens.generate(&mut rng) % 2, 0);
+    }
+}
+
+#[test]
+fn failing_property_shrinks_to_minimal_counterexample() {
+    // Property: all values are < 17. Greedy shrinking over 0u64..1000 must
+    // land exactly on the boundary counterexample 17.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_property(
+            &ProptestConfig::with_cases(64),
+            "selftest::shrinks_to_minimal",
+            &(0u64..1000),
+            |&v| {
+                if v < 17 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::Fail(format!("{v} is too big")))
+                }
+            },
+        );
+    }));
+    let panic = outcome.expect_err("property must fail");
+    let message = panic
+        .downcast_ref::<String>()
+        .expect("panic carries a String");
+    assert!(
+        message.contains("minimal failing input"),
+        "unexpected message: {message}"
+    );
+    assert!(
+        message.contains("17"),
+        "did not shrink to the boundary counterexample: {message}"
+    );
+    assert!(message.contains("17 is too big"), "lost the failure detail: {message}");
+}
+
+#[test]
+fn vec_shrinking_reduces_length() {
+    // Property: no vector contains a 9. The minimal counterexample is a
+    // single-element vector [9].
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_property(
+            &ProptestConfig::with_cases(256),
+            "selftest::vec_shrink",
+            &collection::vec(0u32..10, 0..30),
+            |v: &Vec<u32>| {
+                if v.contains(&9) {
+                    Err(TestCaseError::Fail("found a 9".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }));
+    let panic = outcome.expect_err("property must fail");
+    let message = panic.downcast_ref::<String>().unwrap();
+    assert!(
+        message.contains("[9]"),
+        "expected minimal vector [9], got: {message}"
+    );
+}
+
+#[test]
+fn rejected_cases_are_retried_not_counted() {
+    let executed = AtomicU32::new(0);
+    run_property(
+        &ProptestConfig::with_cases(50),
+        "selftest::rejects",
+        &(0u64..100),
+        |&v| {
+            if v % 2 == 1 {
+                return Err(TestCaseError::Reject("odd".into()));
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        },
+    );
+    assert_eq!(executed.load(Ordering::Relaxed), 50);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The macro front end: multiple arguments, trailing comma, tuples
+    /// through `prop_map`, and `prop_assume!` all cooperate.
+    #[test]
+    fn macro_roundtrip(
+        a in 0u64..1000,
+        pair in (1i64..=20, 1i64..=20).prop_map(|(x, y)| (x, x + y)),
+        v in collection::vec(0u32..5, 1..8),
+    ) {
+        prop_assume!(a != 999);
+        prop_assert!(pair.1 > pair.0, "mapped pair must be increasing");
+        prop_assert_eq!(v.len(), v.iter().map(|&e| e as usize).filter(|&e| e < 5).count());
+        prop_assert_ne!(v.len(), 0);
+    }
+}
+
+#[test]
+fn criterion_harness_runs_and_reports() {
+    let mut c = Criterion::default().sample_size(2).sample_time_ms(1);
+    let mut group = c.benchmark_group("selftest");
+    group.throughput(Throughput::Elements(64));
+    let mut runs = 0u64;
+    group.bench_function("sum", |b| {
+        runs += 1;
+        b.iter(|| (0u64..64).sum::<u64>())
+    });
+    group.finish();
+    // Calibration pass + sample_size samples.
+    assert_eq!(runs, 3);
+}

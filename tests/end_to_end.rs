@@ -66,12 +66,10 @@ fn equal_share_hypercube_complete_on_suite() {
     }
 }
 
-#[test]
-fn skew_algorithms_complete_across_zipf_exponents() {
+fn check_skew_algorithms_at(m: usize, thetas: &[f64]) {
     let q = named::two_way_join();
     let n = 1u64 << 12;
-    let m = 3000usize;
-    for theta in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
+    for &theta in thetas {
         let mut rng = Rng::seed_from_u64(100 + (theta * 4.0) as u64);
         let d1 = generators::zipf_degrees(m, n, theta);
         let d2 = generators::zipf_degrees(m, n, theta);
@@ -88,6 +86,22 @@ fn skew_algorithms_complete_across_zipf_exponents() {
         let (c2, _) = alg.run(&db);
         verify::assert_complete(&db, &c2);
     }
+}
+
+#[test]
+fn skew_algorithms_complete_across_zipf_exponents() {
+    // Moderate cardinality across the full exponent sweep. The heavy-output
+    // extreme (large m at theta >= 1.5, where |q(I)| grows with the square
+    // of the top frequency) lives in the #[ignore]d test below so `cargo
+    // test -q` stays fast.
+    check_skew_algorithms_at(1200, &[0.0, 0.5, 1.0, 1.5, 2.0]);
+}
+
+#[test]
+#[ignore = "heavy-output stress case; run by `./ci.sh` (full mode) via --ignored"]
+fn skew_algorithms_complete_extreme_zipf() {
+    // The seed's original full-size workload: every exponent at m = 3000.
+    check_skew_algorithms_at(3000, &[0.0, 0.5, 1.0, 1.5, 2.0]);
 }
 
 #[test]

@@ -9,7 +9,7 @@ use mpc_skew::core::verify;
 use mpc_skew::data::{generators, Database, Rng};
 use mpc_skew::query::{named, Query};
 use mpc_skew::stats::SimpleStatistics;
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 fn query_pool() -> Vec<Query> {
     vec![
@@ -32,7 +32,7 @@ proptest! {
     #[test]
     fn lp_equals_closed_form(
         qi in 0usize..8,
-        log_cards in proptest::collection::vec(8u32..24, 4),
+        log_cards in mpc_testkit::collection::vec(8u32..24, 4),
         p_exp in 2u32..10,
     ) {
         let q = &query_pool()[qi];

@@ -7,7 +7,7 @@ use mpc_skew::core::skew_join::SkewJoin;
 use mpc_skew::core::verify;
 use mpc_skew::data::{generators, Database, Relation, Rng};
 use mpc_skew::query::{named, Query};
-use proptest::prelude::*;
+use mpc_testkit::prelude::*;
 
 /// A randomized relation for one atom: a mix of planted heavy values on a
 /// random attribute, Zipf noise, and uniform filler.
