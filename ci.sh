@@ -3,22 +3,29 @@
 # registry dependencies (the only external surface, proptest/criterion, is
 # replaced in-tree by crates/testkit).
 #
-#   ./ci.sh            # build + test + lint + bench-compile
+#   ./ci.sh            # build + dual-backend tests + lint + bench-compile
 #   ./ci.sh --quick    # tier-1 gate only (what the driver enforces)
+#
+# The test suite runs twice: once pinned to the sequential execution
+# backend (MPCSKEW_THREADS=1) and once on the default (threaded) backend,
+# so every test doubles as a cross-backend differential check.
 set -eu
 
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q"
+echo "==> cargo test -q  (MPCSKEW_THREADS=1: sequential backend)"
+MPCSKEW_THREADS=1 cargo test -q --workspace --offline
+
+echo "==> cargo test -q  (default backend: threaded)"
 cargo test -q --workspace --offline
 
 if [ "${1:-}" = "--quick" ]; then
     exit 0
 fi
 
-echo "==> cargo test -q -- --ignored   (heavy-output stress cases)"
-cargo test -q --workspace --offline -- --ignored
+echo "==> cargo test -q -- --ignored   (heavy-output stress cases, threaded backend)"
+MPCSKEW_THREADS=4 cargo test -q --workspace --offline -- --ignored
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings

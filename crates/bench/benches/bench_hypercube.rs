@@ -5,10 +5,12 @@ use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Crite
 use mpc_bench::workloads::uniform_db;
 use mpc_core::hypercube::HyperCube;
 use mpc_query::named;
+use mpc_sim::backend::Backend;
 use mpc_stats::SimpleStatistics;
 use std::hint::black_box;
 
 fn bench_round(c: &mut Criterion) {
+    let backend = Backend::from_env();
     let mut g = c.benchmark_group("hypercube_round");
     for (name, q, m, n) in [
         ("join_16k", named::two_way_join(), 1usize << 14, 1u64 << 16),
@@ -23,7 +25,7 @@ fn bench_round(c: &mut Criterion) {
             let hc = HyperCube::with_optimal_shares(&q, &st, p, 3);
             g.bench_function(BenchmarkId::new(name, p), |b| {
                 b.iter(|| {
-                    let (cluster, report) = hc.run(black_box(&db));
+                    let (cluster, report) = hc.run_on(black_box(&db), backend);
                     black_box((cluster.p(), report.max_load_bits()))
                 })
             });

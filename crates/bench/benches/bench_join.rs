@@ -1,10 +1,14 @@
-//! Local multiway-join throughput (the per-server compute step).
+//! Local multiway-join throughput (the per-server compute step) and the
+//! full-cluster Zipf end-to-end case (shuffle + per-server local joins)
+//! on both execution backends.
 
 use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mpc_bench::workloads::uniform_db;
+use mpc_bench::workloads::{skewed_join_db, uniform_db};
+use mpc_core::skew_join::SkewJoin;
 use mpc_data::join::join_count;
 use mpc_data::Relation;
 use mpc_query::named;
+use mpc_sim::backend::Backend;
 use std::hint::black_box;
 
 fn bench_local_join(c: &mut Criterion) {
@@ -24,9 +28,37 @@ fn bench_local_join(c: &mut Criterion) {
     g.finish();
 }
 
+/// The large Zipf end-to-end case: plan once, then per iteration run the
+/// full round (shuffle + load report + every server's local join) on a
+/// given backend. `Sequential` vs `Threaded(4)` quantifies the threaded
+/// executor's wall-clock win (parity on single-core machines — results
+/// are bit-identical either way).
+fn bench_cluster_zipf(c: &mut Criterion) {
+    let q = named::two_way_join();
+    let m = 1usize << 15;
+    let db = skewed_join_db(&q, m, 1 << 15, 1.2, 500, 5);
+    let p = 64usize;
+    let sj = SkewJoin::plan(&db, p, 2);
+
+    let mut g = c.benchmark_group("cluster_zipf");
+    g.throughput(Throughput::Elements(2 * m as u64));
+    for (name, backend) in [
+        ("sequential", Backend::Sequential),
+        ("threaded4", Backend::Threaded(4)),
+    ] {
+        g.bench_function(BenchmarkId::new("skew_join_e2e", name), |b| {
+            b.iter(|| {
+                let (cluster, report) = sj.run_on(black_box(&db), backend);
+                black_box((cluster.answer_count(&q), report.max_load_bits()))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_local_join
+    targets = bench_local_join, bench_cluster_zipf
 }
 criterion_main!(benches);

@@ -8,10 +8,11 @@ use mpc_core::baselines::HashJoinRouter;
 use mpc_core::skew_general::GeneralSkewAlgorithm;
 use mpc_core::skew_join::SkewJoin;
 use mpc_query::{named, VarSet};
-use mpc_sim::cluster::Cluster;
+use mpc_sim::backend::Backend;
 use std::hint::black_box;
 
 fn bench_skew_round(c: &mut Criterion) {
+    let backend = Backend::from_env();
     let q = named::two_way_join();
     let m = 1usize << 14;
     let db = skewed_join_db(&q, m, 1 << 14, 1.2, 400, 5);
@@ -24,15 +25,15 @@ fn bench_skew_round(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("hash_join", p), |b| {
         let router = HashJoinRouter::new(&q, VarSet::singleton(z), p, 1);
         b.iter(|| {
-            let cluster = Cluster::run_round(black_box(&db), p, &router);
-            black_box(cluster.report().max_load_tuples())
+            let (_, report) = router.run_on(black_box(&db), backend);
+            black_box(report.max_load_tuples())
         })
     });
 
     g.bench_function(BenchmarkId::new("skew_join_plan_and_run", p), |b| {
         b.iter(|| {
             let sj = SkewJoin::plan(black_box(&db), p, 2);
-            let (cluster, _) = sj.run(&db);
+            let (cluster, _) = sj.run_on(&db, backend);
             black_box(cluster.p())
         })
     });
@@ -40,7 +41,7 @@ fn bench_skew_round(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("skew_join_run_only", p), |b| {
         let sj = SkewJoin::plan(&db, p, 2);
         b.iter(|| {
-            let (cluster, report) = sj.run(black_box(&db));
+            let (cluster, report) = sj.run_on(black_box(&db), backend);
             black_box((cluster.p(), report.max_load_tuples()))
         })
     });
@@ -55,7 +56,7 @@ fn bench_skew_round(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("general_alg_run_only", p), |b| {
         let alg = GeneralSkewAlgorithm::plan(&db, p, 3);
         b.iter(|| {
-            let (cluster, report) = alg.run(black_box(&db));
+            let (cluster, report) = alg.run_on(black_box(&db), backend);
             black_box((cluster.p(), report.max_load_bits()))
         })
     });

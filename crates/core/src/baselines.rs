@@ -9,9 +9,12 @@
 //! * [`FragmentReplicateRouter`] — footnote 1's broadcast join: replicate
 //!   one (small) relation everywhere, split every other relation evenly.
 
+use mpc_data::catalog::Database;
 use mpc_data::mix64;
 use mpc_query::{Query, VarSet};
-use mpc_sim::cluster::Router;
+use mpc_sim::backend::Backend;
+use mpc_sim::cluster::{Cluster, Router};
+use mpc_sim::load::LoadReport;
 
 /// Partition by hash of the values of `vars`; broadcast atoms that do not
 /// contain all of `vars`.
@@ -50,6 +53,14 @@ impl HashJoinRouter {
             key: mix64(seed, 0x9E3779B97F4A7C15),
         }
     }
+
+    /// Execute the round on `db` with an explicit execution backend
+    /// (mirrors [`crate::hypercube::HyperCube::run_on`]).
+    pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
+        let cluster = Cluster::run_round_on(db, self.p, self, backend);
+        let report = cluster.report();
+        (cluster, report)
+    }
 }
 
 impl Router for HashJoinRouter {
@@ -85,6 +96,13 @@ impl FragmentReplicateRouter {
             broadcast_atom,
             key: mix64(seed, 0xD6E8_FEB8_6659_FD93),
         }
+    }
+
+    /// Execute the round on `db` with an explicit execution backend.
+    pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
+        let cluster = Cluster::run_round_on(db, self.p, self, backend);
+        let report = cluster.report();
+        (cluster, report)
     }
 }
 

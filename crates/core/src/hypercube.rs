@@ -12,6 +12,7 @@
 use crate::shares::ShareAllocation;
 use mpc_data::catalog::Database;
 use mpc_query::Query;
+use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{Cluster, Router};
 use mpc_sim::hashing::HashFamily;
 use mpc_sim::load::LoadReport;
@@ -104,10 +105,16 @@ impl HyperCube {
             .product()
     }
 
-    /// Execute the round on `db`; returns the cluster state and its load
-    /// report.
+    /// Execute the round on `db` with the [`Backend::from_env`] backend;
+    /// returns the cluster state and its load report.
     pub fn run(&self, db: &Database) -> (Cluster, LoadReport) {
-        let cluster = Cluster::run_round(db, self.p, self);
+        self.run_on(db, Backend::from_env())
+    }
+
+    /// [`HyperCube::run`] on an explicit execution backend. Results are
+    /// bit-identical across backends.
+    pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
+        let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();
         (cluster, report)
     }

@@ -23,6 +23,7 @@
 use mpc_data::catalog::Database;
 use mpc_data::mix64;
 use mpc_query::{Query, VarSet};
+use mpc_sim::backend::Backend;
 use std::collections::HashMap;
 
 /// Load accounting for one round of the multi-round plan.
@@ -105,10 +106,23 @@ fn plan_order(q: &Query, db: &Database) -> Vec<usize> {
     order
 }
 
-/// Execute the multi-round baseline on `p` servers. Loads are measured in
-/// bits with the database's value width, exactly like the one-round
-/// algorithms.
+/// Execute the multi-round baseline on `p` servers with the
+/// [`Backend::from_env`] backend. Loads are measured in bits with the
+/// database's value width, exactly like the one-round algorithms.
 pub fn run_multi_round(db: &Database, p: usize, seed: u64) -> MultiRoundResult {
+    run_multi_round_on(db, p, seed, Backend::from_env())
+}
+
+/// [`run_multi_round`] on an explicit execution backend: each round's
+/// per-server local joins (servers are independent) run in parallel and
+/// their fragments are collected in server-index order, so results and
+/// round statistics are identical across backends.
+pub fn run_multi_round_on(
+    db: &Database,
+    p: usize,
+    seed: u64,
+    backend: Backend,
+) -> MultiRoundResult {
     assert!(p >= 1);
     let q = db.query();
     let bits = db.value_bits() as u64;
@@ -215,19 +229,30 @@ pub fn run_multi_round(db: &Database, p: usize, seed: u64) -> MultiRoundResult {
             }
         }
 
-        // --- Local join on every server. ---
+        // --- Local join on every server (independent; parallel on the
+        // threaded backend, fragments collected in server-index order). ---
         let s_vars = atom_var_order(q, j);
-        for server in 0..p {
-            local_hash_join(
-                &inter.vars,
-                &i_parts[server],
-                &s_vars,
-                &s_parts[server],
-                &shared,
-                &out_vars,
-                &mut next.fragments[server],
-            );
-        }
+        next.fragments = backend
+            .run_chunks(p, 1, |lo, hi| {
+                let mut frags = Vec::with_capacity(hi - lo);
+                for server in lo..hi {
+                    let mut out = Vec::new();
+                    local_hash_join(
+                        &inter.vars,
+                        &i_parts[server],
+                        &s_vars,
+                        &s_parts[server],
+                        &shared,
+                        &out_vars,
+                        &mut out,
+                    );
+                    frags.push(out);
+                }
+                frags
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         rounds.push(RoundStats {
             round,

@@ -34,6 +34,7 @@
 use mpc_data::catalog::Database;
 use mpc_lp::{Cmp, LinearProgram, Sense};
 use mpc_query::{Query, VarSet};
+use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{Cluster, Router};
 use mpc_sim::hashing::HashFamily;
 use mpc_sim::load::LoadReport;
@@ -330,9 +331,15 @@ impl GeneralSkewAlgorithm {
         out.extend(scratch.iter().map(|&cell| self.fold(offset + cell)));
     }
 
-    /// Execute on `db`.
+    /// Execute on `db` with the [`Backend::from_env`] backend.
     pub fn run(&self, db: &Database) -> (Cluster, LoadReport) {
-        let cluster = Cluster::run_round(db, self.p, self);
+        self.run_on(db, Backend::from_env())
+    }
+
+    /// [`GeneralSkewAlgorithm::run`] on an explicit execution backend.
+    /// Results are bit-identical across backends.
+    pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
+        let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();
         (cluster, report)
     }

@@ -21,6 +21,7 @@
 use mpc_data::catalog::Database;
 use mpc_data::mix64;
 use mpc_query::VarSet;
+use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{Cluster, Router};
 use mpc_sim::load::LoadReport;
 use std::collections::HashMap;
@@ -243,9 +244,15 @@ impl SkewJoin {
         (h % buckets as u64) as usize
     }
 
-    /// Execute on `db`.
+    /// Execute on `db` with the [`Backend::from_env`] backend.
     pub fn run(&self, db: &Database) -> (Cluster, LoadReport) {
-        let cluster = Cluster::run_round(db, self.p, self);
+        self.run_on(db, Backend::from_env())
+    }
+
+    /// [`SkewJoin::run`] on an explicit execution backend. Results are
+    /// bit-identical across backends.
+    pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
+        let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();
         (cluster, report)
     }

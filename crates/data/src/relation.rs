@@ -73,6 +73,20 @@ impl Relation {
         self.data.extend_from_slice(tuple);
     }
 
+    /// Append every tuple of `other`, preserving order (the fragment-merge
+    /// step of the threaded shuffle).
+    ///
+    /// # Panics
+    /// Panics when the arities differ.
+    pub fn append(&mut self, other: Relation) {
+        assert_eq!(
+            self.arity, other.arity,
+            "cannot append arity-{} relation to arity-{}",
+            other.arity, self.arity
+        );
+        self.data.extend(other.data);
+    }
+
     /// Tuple `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[u64] {
@@ -208,6 +222,23 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new("S", 2);
         r.push(&[1]);
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut a = Relation::from_rows("S", 2, &[&[1, 2], &[3, 4]]);
+        let b = Relation::from_rows("S", 2, &[&[5, 6]]);
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(0), &[1, 2]);
+        assert_eq!(a.row(2), &[5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append arity-1 relation to arity-2")]
+    fn append_arity_mismatch_panics() {
+        let mut a = Relation::new("S", 2);
+        a.append(Relation::new("T", 1));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Execution backends for the simulator.
+//!
+//! The MPC model is massively *parallel*, so the simulator should be too: a
+//! [`Backend`] selects how the two hot loops — the shuffle in
+//! [`crate::cluster::Cluster::run_round_on`] and the per-server local joins
+//! in [`crate::cluster::Cluster::all_answers`] — are executed.
+//!
+//! Both backends are **bit-identical**: work is split into contiguous index
+//! chunks, each worker produces its partial result independently, and
+//! partials are merged in worker-index order. Fragment tuple order, answer
+//! sets, and [`crate::load::LoadReport`]s therefore never depend on the
+//! thread count (the differential suite in `tests/differential.rs` enforces
+//! this).
+//!
+//! Selection precedence: explicit [`Backend`] argument > the
+//! `MPCSKEW_THREADS` environment variable (`1` = sequential, `0`/unset =
+//! all available cores, `n` = n threads) > available parallelism.
+
+use std::sync::OnceLock;
+
+/// How simulator loops over independent work items are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Everything on the calling thread.
+    Sequential,
+    /// Up to `n` std::thread workers per parallel loop (scoped threads, no
+    /// pool; `Threaded(1)` behaves exactly like [`Backend::Sequential`]).
+    Threaded(usize),
+}
+
+impl Backend {
+    /// `Threaded(available_parallelism)`.
+    pub fn available() -> Backend {
+        Backend::Threaded(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Backend selected by the `MPCSKEW_THREADS` environment variable
+    /// (read once per process): `1` → [`Backend::Sequential`], `n > 1` →
+    /// `Threaded(n)`, `0`/unset → [`Backend::available`].
+    ///
+    /// # Panics
+    /// Panics when the variable is set but not an integer — a typo must
+    /// not silently downgrade a pinned-backend CI run to the default.
+    pub fn from_env() -> Backend {
+        static ENV: OnceLock<Option<usize>> = OnceLock::new();
+        let parsed = *ENV.get_or_init(|| {
+            std::env::var("MPCSKEW_THREADS").ok().map(|v| {
+                v.trim().parse::<usize>().unwrap_or_else(|_| {
+                    panic!("MPCSKEW_THREADS must be an integer, got `{v}`")
+                })
+            })
+        });
+        Backend::from_thread_count(parsed)
+    }
+
+    /// The [`Backend::from_env`] mapping, exposed for flag parsing (the CLI
+    /// `--threads` flag uses the same convention).
+    pub fn from_thread_count(threads: Option<usize>) -> Backend {
+        match threads {
+            None | Some(0) => Backend::available(),
+            Some(1) => Backend::Sequential,
+            Some(n) => Backend::Threaded(n),
+        }
+    }
+
+    /// Worker-thread budget of this backend (>= 1).
+    pub fn threads(&self) -> usize {
+        match *self {
+            Backend::Sequential => 1,
+            Backend::Threaded(n) => n.max(1),
+        }
+    }
+
+    /// Number of workers a loop over `len` items with at least `min_chunk`
+    /// items per worker would actually use.
+    pub fn workers_for(&self, len: usize, min_chunk: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        self.threads().min(len.div_ceil(min_chunk.max(1))).max(1)
+    }
+
+    /// Split `0..len` into contiguous chunks of at least `min_chunk` items,
+    /// evaluate `work(lo, hi)` for each (in parallel on the threaded
+    /// backend), and return the per-chunk results **in chunk order** — the
+    /// deterministic-merge primitive every parallel loop in the simulator
+    /// is built on. Worker panics are re-raised on the caller with their
+    /// original payload.
+    pub fn run_chunks<T, F>(&self, len: usize, min_chunk: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        let workers = self.workers_for(len, min_chunk);
+        if workers == 0 {
+            return Vec::new();
+        }
+        if workers == 1 {
+            return vec![work(0, len)];
+        }
+        let chunk = len.div_ceil(workers);
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| (t * chunk, ((t + 1) * chunk).min(len)))
+                .filter(|&(lo, hi)| lo < hi)
+                .map(|(lo, hi)| scope.spawn(move || work(lo, hi)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Backend {
+        Backend::from_env()
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Sequential => write!(f, "sequential"),
+            Backend::Threaded(n) => write!(f, "threaded({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_mapping() {
+        assert_eq!(Backend::from_thread_count(Some(1)), Backend::Sequential);
+        assert_eq!(Backend::from_thread_count(Some(2)), Backend::Threaded(2));
+        assert_eq!(Backend::from_thread_count(Some(8)), Backend::Threaded(8));
+        // 0 and unset mean "all available cores".
+        assert_eq!(Backend::from_thread_count(Some(0)), Backend::available());
+        assert_eq!(Backend::from_thread_count(None), Backend::available());
+        assert!(Backend::available().threads() >= 1);
+    }
+
+    #[test]
+    fn worker_budgeting_respects_min_chunk() {
+        let b = Backend::Threaded(8);
+        assert_eq!(b.workers_for(0, 16), 0);
+        assert_eq!(b.workers_for(10, 16), 1);
+        assert_eq!(b.workers_for(32, 16), 2);
+        assert_eq!(b.workers_for(1 << 20, 16), 8);
+        assert_eq!(Backend::Sequential.workers_for(1 << 20, 1), 1);
+        assert_eq!(Backend::Threaded(0).threads(), 1);
+    }
+
+    #[test]
+    fn run_chunks_covers_range_in_order() {
+        for backend in [
+            Backend::Sequential,
+            Backend::Threaded(1),
+            Backend::Threaded(3),
+            Backend::Threaded(64),
+        ] {
+            let parts = backend.run_chunks(1000, 1, |lo, hi| (lo..hi).collect::<Vec<_>>());
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn run_chunks_result_is_thread_count_invariant() {
+        let sum = |lo: usize, hi: usize| (lo..hi).map(|i| i as u64 * i as u64).sum::<u64>();
+        let seq: u64 = Backend::Sequential.run_chunks(4096, 1, sum).into_iter().sum();
+        for n in [2usize, 3, 8, 17] {
+            let par: u64 = Backend::Threaded(n).run_chunks(4096, 1, sum).into_iter().sum();
+            assert_eq!(par, seq, "Threaded({n})");
+        }
+    }
+
+    #[test]
+    fn empty_range_runs_no_work() {
+        let parts = Backend::Threaded(4).run_chunks(0, 1, |_, _| panic!("no work expected"));
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded at 7")]
+    fn worker_panics_propagate_with_payload() {
+        Backend::Threaded(4).run_chunks(16, 1, |lo, hi| {
+            for i in lo..hi {
+                assert!(i != 7, "worker exploded at {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Backend::Sequential.to_string(), "sequential");
+        assert_eq!(Backend::Threaded(4).to_string(), "threaded(4)");
+    }
+}

@@ -9,11 +9,18 @@
 //! relation and evaluates the query locally; [`Cluster::all_answers`] unions
 //! the per-server outputs.
 
+use crate::backend::Backend;
 use crate::load::LoadReport;
 use mpc_data::catalog::Database;
 use mpc_data::join;
 use mpc_data::relation::Relation;
 use mpc_query::Query;
+
+/// Smallest number of tuples a shuffle worker is worth spawning for.
+const SHUFFLE_MIN_CHUNK: usize = 512;
+/// Smallest number of servers a load-accounting worker is worth spawning
+/// for (per-server accounting is O(num_atoms), i.e. very cheap).
+const REPORT_MIN_CHUNK: usize = 256;
 
 /// A one-round tuple routing policy. `route` appends the destination server
 /// ids for `tuple` of atom `atom` to `out` (`out` arrives cleared;
@@ -37,14 +44,66 @@ pub struct Cluster {
     input_bits: u64,
     /// `fragments[atom][server]`.
     fragments: Vec<Vec<Relation>>,
+    /// Execution backend for local evaluation and load accounting.
+    backend: Backend,
+}
+
+/// Route rows `lo..hi` of `rel` (atom `j`) into one per-server buffer set.
+/// Shared by both backends so their fragment contents are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn route_rows(
+    rel: &Relation,
+    j: usize,
+    name: &str,
+    arity: usize,
+    lo: usize,
+    hi: usize,
+    p: usize,
+    router: &(impl Router + Sync),
+) -> Vec<Relation> {
+    let mut bufs: Vec<Relation> = (0..p).map(|_| Relation::new(name, arity)).collect();
+    let mut dests: Vec<usize> = Vec::new();
+    for i in lo..hi {
+        let tuple = rel.row(i);
+        dests.clear();
+        router.route(j, tuple, &mut dests);
+        dests.sort_unstable();
+        dests.dedup();
+        for &server in dests.iter() {
+            assert!(
+                server < p,
+                "router sent a tuple of atom {j} ({name}) to server {server} >= p={p}"
+            );
+            bufs[server].push(tuple);
+        }
+    }
+    bufs
 }
 
 impl Cluster {
-    /// Execute one communication round of `router` over `db` on `p` servers.
+    /// Execute one communication round of `router` over `db` on `p` servers,
+    /// with the backend chosen by [`Backend::from_env`].
     ///
     /// # Panics
-    /// Panics when a router emits an out-of-range server id.
-    pub fn run_round(db: &Database, p: usize, router: &impl Router) -> Cluster {
+    /// Panics when a router emits an out-of-range server id, naming the
+    /// offending atom and server.
+    pub fn run_round(db: &Database, p: usize, router: &(impl Router + Sync)) -> Cluster {
+        Cluster::run_round_on(db, p, router, Backend::from_env())
+    }
+
+    /// [`Cluster::run_round`] on an explicit [`Backend`].
+    ///
+    /// On the threaded backend each relation's rows are sharded into
+    /// contiguous chunks, every worker routes its chunk into private
+    /// per-server buffers, and buffers are merged in worker-index order —
+    /// so fragment tuple order (hence answers and [`LoadReport`]s) is
+    /// independent of the thread count.
+    pub fn run_round_on(
+        db: &Database,
+        p: usize,
+        router: &(impl Router + Sync),
+        backend: Backend,
+    ) -> Cluster {
         assert!(p > 0, "cluster needs at least one server");
         let q = db.query();
         let mut fragments: Vec<Vec<Relation>> = q
@@ -52,17 +111,21 @@ impl Cluster {
             .iter()
             .map(|a| (0..p).map(|_| Relation::new(a.name(), a.arity())).collect())
             .collect();
-        let mut dests: Vec<usize> = Vec::new();
         for (j, rel) in db.relations().iter().enumerate() {
+            let name = q.atom(j).name();
+            let arity = q.atom(j).arity();
             let frag = &mut fragments[j];
-            for tuple in rel.rows() {
-                dests.clear();
-                router.route(j, tuple, &mut dests);
-                dests.sort_unstable();
-                dests.dedup();
-                for &server in dests.iter() {
-                    assert!(server < p, "router sent a tuple to server {server} >= p={p}");
-                    frag[server].push(tuple);
+            if backend.workers_for(rel.len(), SHUFFLE_MIN_CHUNK) <= 1 {
+                // Route straight into the fragments, no intermediate buffers.
+                *frag = route_rows(rel, j, name, arity, 0, rel.len(), p, router);
+            } else {
+                let parts = backend.run_chunks(rel.len(), SHUFFLE_MIN_CHUNK, |lo, hi| {
+                    route_rows(rel, j, name, arity, lo, hi, p, router)
+                });
+                for bufs in parts {
+                    for (s, buf) in bufs.into_iter().enumerate() {
+                        frag[s].append(buf);
+                    }
                 }
             }
         }
@@ -71,6 +134,7 @@ impl Cluster {
             value_bits: db.value_bits(),
             input_bits: db.total_bits(),
             fragments,
+            backend,
         }
     }
 
@@ -79,25 +143,52 @@ impl Cluster {
         self.p
     }
 
+    /// The backend used for local evaluation and load accounting.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Replace the local-evaluation backend (the fragments are unchanged).
+    pub fn with_backend(mut self, backend: Backend) -> Cluster {
+        self.backend = backend;
+        self
+    }
+
     /// The fragment of atom `j` on `server`.
     pub fn fragment(&self, atom: usize, server: usize) -> &Relation {
         &self.fragments[atom][server]
     }
 
-    /// Exact load accounting for the round.
+    /// Exact load accounting for the round. Per-server counters are
+    /// computed on the cluster's backend (server ranges are independent)
+    /// and stitched together in server-index order, so the report is
+    /// identical whatever the thread count.
     pub fn report(&self) -> LoadReport {
-        let mut per_server_bits = vec![0u64; self.p];
-        let mut per_server_tuples = vec![0u64; self.p];
-        let mut per_atom_server_tuples = Vec::with_capacity(self.fragments.len());
-        for frags in &self.fragments {
-            let mut row = vec![0u64; self.p];
-            for (s, frag) in frags.iter().enumerate() {
-                let tuples = frag.len() as u64;
-                row[s] = tuples;
-                per_server_tuples[s] += tuples;
-                per_server_bits[s] += frag.bit_size(self.value_bits);
+        let num_atoms = self.fragments.len();
+        let parts = self.backend.run_chunks(self.p, REPORT_MIN_CHUNK, |lo, hi| {
+            let mut bits = vec![0u64; hi - lo];
+            let mut tuples = vec![0u64; hi - lo];
+            let mut per_atom = vec![vec![0u64; hi - lo]; num_atoms];
+            for (a, frags) in self.fragments.iter().enumerate() {
+                for s in lo..hi {
+                    let t = frags[s].len() as u64;
+                    per_atom[a][s - lo] = t;
+                    tuples[s - lo] += t;
+                    bits[s - lo] += frags[s].bit_size(self.value_bits);
+                }
             }
-            per_atom_server_tuples.push(row);
+            (bits, tuples, per_atom)
+        });
+        let mut per_server_bits = Vec::with_capacity(self.p);
+        let mut per_server_tuples = Vec::with_capacity(self.p);
+        let mut per_atom_server_tuples: Vec<Vec<u64>> =
+            (0..num_atoms).map(|_| Vec::with_capacity(self.p)).collect();
+        for (bits, tuples, per_atom) in parts {
+            per_server_bits.extend(bits);
+            per_server_tuples.extend(tuples);
+            for (a, row) in per_atom.into_iter().enumerate() {
+                per_atom_server_tuples[a].extend(row);
+            }
         }
         LoadReport {
             per_server_bits,
@@ -115,12 +206,21 @@ impl Cluster {
 
     /// The union of all servers' answers, sorted and deduplicated. A correct
     /// one-round algorithm makes this equal to the sequential join.
+    ///
+    /// The per-server local joins are independent, so the cluster's backend
+    /// evaluates server ranges in parallel and merges per-worker outputs in
+    /// server-index order before the final sort — answers are identical for
+    /// every thread count.
     pub fn all_answers(&self, query: &Query) -> Vec<Vec<u64>> {
-        let mut out: Vec<Vec<u64>> = Vec::new();
-        for s in 0..self.p {
-            let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
-            join::join_foreach(query, &rels, |row| out.push(row.to_vec()));
-        }
+        let parts = self.backend.run_chunks(self.p, 1, |lo, hi| {
+            let mut local: Vec<Vec<u64>> = Vec::new();
+            for s in lo..hi {
+                let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
+                join::join_foreach(query, &rels, |row| local.push(row.to_vec()));
+            }
+            local
+        });
+        let mut out: Vec<Vec<u64>> = parts.into_iter().flatten().collect();
         out.sort();
         out.dedup();
         out
@@ -129,45 +229,6 @@ impl Cluster {
     /// Count of distinct answers across servers.
     pub fn answer_count(&self, query: &Query) -> u64 {
         self.all_answers(query).len() as u64
-    }
-
-    /// [`Cluster::all_answers`] with the per-server local joins spread over
-    /// `threads` OS threads (the servers are independent, so this is an
-    /// embarrassingly parallel map). Results are identical to the
-    /// sequential path.
-    pub fn all_answers_parallel(&self, query: &Query, threads: usize) -> Vec<Vec<u64>> {
-        let threads = threads.max(1).min(self.p.max(1));
-        if threads <= 1 || self.p <= 1 {
-            return self.all_answers(query);
-        }
-        let chunk = self.p.div_ceil(threads);
-        let mut out: Vec<Vec<u64>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(self.p);
-                if lo >= hi {
-                    break;
-                }
-                let fragments = &self.fragments;
-                handles.push(scope.spawn(move || {
-                    let mut local: Vec<Vec<u64>> = Vec::new();
-                    for s in lo..hi {
-                        let rels: Vec<&Relation> =
-                            fragments.iter().map(|f| &f[s]).collect();
-                        join::join_foreach(query, &rels, |row| local.push(row.to_vec()));
-                    }
-                    local
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("local join panicked"))
-                .collect()
-        });
-        out.sort();
-        out.dedup();
-        out
     }
 }
 
@@ -293,5 +354,91 @@ mod tests {
         let db = join_db(10, 6);
         let router = |_: usize, _: &[u64], out: &mut Vec<usize>| out.push(99);
         let _ = Cluster::run_round(&db, 4, &router);
+    }
+
+    #[test]
+    #[should_panic(expected = "router sent a tuple of atom 1 (S2) to server 99 >= p=4")]
+    fn out_of_range_panic_names_atom_and_server() {
+        let db = join_db(10, 6);
+        let router = |atom: usize, _: &[u64], out: &mut Vec<usize>| {
+            out.push(if atom == 1 { 99 } else { 0 });
+        };
+        let _ = Cluster::run_round_on(&db, 4, &router, Backend::Sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "router sent a tuple of atom 0 (S1) to server 99 >= p=4")]
+    fn out_of_range_panic_propagates_from_worker_threads() {
+        // Big enough that the threaded shuffle really shards; the worker's
+        // panic payload must reach the caller verbatim.
+        let db = join_db(4096, 6);
+        let router = |atom: usize, _: &[u64], out: &mut Vec<usize>| {
+            out.push(if atom == 0 { 99 } else { 0 });
+        };
+        let _ = Cluster::run_round_on(&db, 4, &router, Backend::Threaded(4));
+    }
+
+    #[test]
+    fn backends_produce_identical_clusters() {
+        // Fragment contents (incl. tuple order), reports, and answers must
+        // be bit-identical whatever the thread count.
+        let db = join_db(3000, 7);
+        let p = 8;
+        let router = BroadcastRouter { p };
+        let seq = Cluster::run_round_on(&db, p, &router, Backend::Sequential);
+        for threads in [1usize, 2, 3, 8] {
+            let thr = Cluster::run_round_on(&db, p, &router, Backend::Threaded(threads));
+            assert_eq!(thr.backend(), Backend::Threaded(threads));
+            for atom in 0..2 {
+                for s in 0..p {
+                    assert_eq!(
+                        seq.fragment(atom, s),
+                        thr.fragment(atom, s),
+                        "fragment[{atom}][{s}] differs at {threads} threads"
+                    );
+                }
+            }
+            assert_eq!(seq.report(), thr.report(), "{threads} threads");
+            assert_eq!(
+                seq.all_answers(db.query()),
+                thr.all_answers(db.query()),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn report_merge_is_exercised_beyond_the_chunk_threshold() {
+        // p large enough that workers_for(p, REPORT_MIN_CHUNK) > 1, so the
+        // threaded report really takes the multi-part stitch path.
+        let db = join_db(2000, 9);
+        let p = 1024;
+        let key = 0xBADC_0FFEu64;
+        let router = move |atom: usize, tuple: &[u64], out: &mut Vec<usize>| {
+            let h = (mpc_data::mix64(tuple[1], key) % p as u64) as usize;
+            out.push(h);
+            if atom == 0 {
+                out.push((h + 513) % p);
+            }
+        };
+        let backend = Backend::Threaded(4);
+        assert!(backend.workers_for(p, super::REPORT_MIN_CHUNK) > 1);
+        let seq = Cluster::run_round_on(&db, p, &router, Backend::Sequential);
+        let thr = Cluster::run_round_on(&db, p, &router, backend);
+        let (rs, rt) = (seq.report(), thr.report());
+        assert_eq!(rs, rt);
+        assert_eq!(rs.num_servers(), p);
+        assert_eq!(rs.total_tuples(), 2000 * 2 + 2000);
+    }
+
+    #[test]
+    fn with_backend_swaps_local_evaluation() {
+        let db = join_db(500, 8);
+        let p = 4;
+        let cluster = Cluster::run_round_on(&db, p, &BroadcastRouter { p }, Backend::Sequential);
+        let answers_seq = cluster.all_answers(db.query());
+        let cluster = cluster.with_backend(Backend::Threaded(3));
+        assert_eq!(cluster.backend(), Backend::Threaded(3));
+        assert_eq!(cluster.all_answers(db.query()), answers_seq);
     }
 }

@@ -7,6 +7,9 @@
 //! * [`cluster::Cluster`] — executes a [`cluster::Router`] (a pure
 //!   tuple-at-a-time routing policy, the paper's one-round algorithm model)
 //!   and materializes per-server fragments;
+//! * [`backend::Backend`] — the execution backend (`Sequential` or
+//!   `Threaded(n)`) driving the shuffle and the per-server local joins,
+//!   with bit-identical results whatever the thread count;
 //! * [`load::LoadReport`] — exact per-server bit/tuple accounting, maximum
 //!   load `L`, and the replication rate `r` of Section 5;
 //! * [`topology::Grid`] — the hypercube server grid with subcube
@@ -14,11 +17,13 @@
 //! * [`hashing::HashFamily`] — independent per-dimension hash functions and
 //!   the bucket-load experiment of Lemma 3.1.
 
+pub mod backend;
 pub mod cluster;
 pub mod hashing;
 pub mod load;
 pub mod topology;
 
+pub use backend::Backend;
 pub use cluster::{BroadcastRouter, Cluster, Router};
 pub use hashing::{bucket_loads, summarize, HashFamily, LoadSummary};
 pub use load::LoadReport;

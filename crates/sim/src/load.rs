@@ -6,8 +6,9 @@
 //! same counters.
 
 /// Exact communication accounting for one round, produced by
-/// [`crate::cluster::Cluster::report`].
-#[derive(Clone, Debug)]
+/// [`crate::cluster::Cluster::report`]. Equality is exact per-server
+/// equality — the differential suite uses it to prove backend determinism.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoadReport {
     /// Bits received per server.
     pub per_server_bits: Vec<u64>,

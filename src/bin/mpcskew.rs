@@ -21,6 +21,7 @@ use mpc_skew::core::skew_join::SkewJoin;
 use mpc_skew::core::verify;
 use mpc_skew::data::{generators, Database, Rng};
 use mpc_skew::query::{parse_query, Query, VarSet};
+use mpc_skew::sim::backend::Backend;
 use mpc_skew::sim::cluster::Cluster;
 use mpc_skew::stats::SimpleStatistics;
 use std::process::ExitCode;
@@ -76,9 +77,11 @@ fn usage() -> &'static str {
     "usage:\n  \
      mpcskew bounds <query> --cards m1,m2,... [--p 64] [--domain 1048576]\n  \
      mpcskew run <query> [--m 10000] [--p 64] [--domain 65536] [--algo hc]\n          \
-     [--theta 0.0] [--seed 1] [--skew-col 1]\n\n\
+     [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N]\n\n\
      queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
-     algos: hc | hc-equal | hash | skew-join | general"
+     algos: hc | hc-equal | hash | skew-join | general;\n\
+     --threads: simulator worker threads (1 = sequential backend; default:\n\
+     MPCSKEW_THREADS or all available cores; results are identical either way)"
 }
 
 fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
@@ -150,6 +153,15 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     let seed = args.usize_or("seed", 1)? as u64;
     let skew_col = args.usize_or("skew-col", 1)?;
     let algo = args.get("algo").unwrap_or("hc");
+    let backend = match args.get("threads") {
+        None => Backend::from_env(),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--threads expects an integer, got `{v}`"))?;
+            Backend::from_thread_count(Some(n))
+        }
+    };
 
     // Workload: every relation Zipf(theta) on `skew_col` (uniform if 0.0).
     let mut rng = Rng::seed_from_u64(seed);
@@ -169,15 +181,15 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
 
     println!("query  : {q}");
     println!("data   : {} atoms x {m} tuples over [{domain}], theta = {theta}", q.num_atoms());
-    println!("algo   : {algo}, p = {p}, seed = {seed}\n");
+    println!("algo   : {algo}, p = {p}, seed = {seed}, backend = {backend}\n");
 
     let cluster: Cluster = match algo {
         "hc" => {
             let hc = HyperCube::with_optimal_shares(q, &st, p, seed);
             println!("shares : {:?}", hc.grid().dims());
-            hc.run(&db).0
+            hc.run_on(&db, backend).0
         }
-        "hc-equal" => HyperCube::with_equal_shares(q, p, seed).run(&db).0,
+        "hc-equal" => HyperCube::with_equal_shares(q, p, seed).run_on(&db, backend).0,
         "hash" => {
             // Partition on the highest-degree variable (the usual join key).
             let key = (0..q.num_vars())
@@ -185,18 +197,18 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
                 .expect("query has variables");
             println!("hash on: {}", q.var_name(key));
             let router = HashJoinRouter::new(q, VarSet::singleton(key), p, seed);
-            Cluster::run_round(&db, p, &router)
+            router.run_on(&db, backend).0
         }
         "skew-join" => {
             let sj = SkewJoin::plan(&db, p, seed);
             println!("heavy z: {}", sj.num_heavy());
-            sj.run(&db).0
+            sj.run_on(&db, backend).0
         }
         "general" => {
             let alg = GeneralSkewAlgorithm::plan(&db, p, seed);
             println!("combos : {}", alg.combination_summary().len());
             println!("predict: {:.0} bits (max_B p^lambda)", alg.predicted_load_bits());
-            alg.run(&db).0
+            alg.run_on(&db, backend).0
         }
         other => return Err(format!("unknown algorithm `{other}`\n{}", usage())),
     };

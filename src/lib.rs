@@ -44,6 +44,7 @@ pub mod prelude {
     pub use mpc_data::rng::Rng;
     pub use mpc_query::query::Query;
     pub use mpc_query::varset::VarSet;
+    pub use mpc_sim::backend::Backend;
     pub use mpc_sim::cluster::Cluster;
     pub use mpc_stats::cardinality::SimpleStatistics;
 }

@@ -76,6 +76,57 @@ fn run_skew_join_on_skewed_data() {
 }
 
 #[test]
+fn threads_flag_selects_backend_and_output_is_invariant() {
+    let run = |threads: &str| {
+        let out = mpcskew()
+            .args([
+                "run",
+                "S1(x,z), S2(y,z)",
+                "--m",
+                "3000",
+                "--p",
+                "16",
+                "--algo",
+                "general",
+                "--theta",
+                "1.2",
+                "--seed",
+                "7",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let seq = run("1");
+    assert!(seq.contains("backend = sequential"), "{seq}");
+    assert!(seq.contains("verification PASSED"), "{seq}");
+    let thr = run("4");
+    assert!(thr.contains("backend = threaded(4)"), "{thr}");
+    // Identical measurements, modulo the backend banner line.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("backend = "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&seq), strip(&thr), "output drifted across backends");
+}
+
+#[test]
+fn bad_threads_flag_is_rejected() {
+    let out = mpcskew()
+        .args(["run", "S1(x,z), S2(y,z)", "--threads", "many"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads expects an integer"), "{err}");
+}
+
+#[test]
 fn bad_query_is_rejected() {
     let out = mpcskew()
         .args(["bounds", "S1(x,", "--cards", "10"])

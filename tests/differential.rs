@@ -1,0 +1,229 @@
+//! Cross-backend differential oracle suite.
+//!
+//! A shared scenario matrix (uniform / Zipf / single heavy hitter / empty
+//! relation / all-duplicates) is run through every algorithm (HyperCube
+//! LP-optimal and equal-shares, the §4.1 skew join, the §4.2 general
+//! algorithm, and the hash-join / fragment-replicate / broadcast
+//! baselines), asserting two things for each (scenario, algorithm) cell:
+//!
+//! 1. **oracle equality** — the distributed answer set equals the
+//!    sequential `mpc_data::join` of the input;
+//! 2. **backend determinism** — `Sequential`, `Threaded(2)` and
+//!    `Threaded(8)` produce identical answer sets *and* identical
+//!    [`LoadReport`]s (exact per-server equality), i.e. the threaded
+//!    executor is bit-identical to the sequential one.
+
+use mpc_skew::core::baselines::{FragmentReplicateRouter, HashJoinRouter};
+use mpc_skew::core::hypercube::HyperCube;
+use mpc_skew::core::multi_round::run_multi_round_on;
+use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
+use mpc_skew::core::skew_join::SkewJoin;
+use mpc_skew::data::{generators, Database, Relation, Rng};
+use mpc_skew::query::{named, VarSet};
+use mpc_skew::sim::backend::Backend;
+use mpc_skew::sim::cluster::{BroadcastRouter, Cluster, Router};
+use mpc_skew::sim::load::LoadReport;
+
+/// The three backends the acceptance matrix requires (`Threaded(1)` is
+/// covered separately by `threaded_one_matches_sequential`).
+const BACKENDS: [Backend; 3] = [
+    Backend::Sequential,
+    Backend::Threaded(2),
+    Backend::Threaded(8),
+];
+
+/// The scenario matrix over the two-way join `S1(x,z) ⋈ S2(y,z)`. Sizes
+/// are chosen so the threaded shuffle genuinely shards (> 512-tuple
+/// chunks) without making the oracle join expensive.
+fn scenarios() -> Vec<(&'static str, Database)> {
+    let q = named::two_way_join();
+    let n = 1u64 << 10;
+    let mut out = Vec::new();
+
+    // Uniform: no skew at all.
+    {
+        let mut rng = Rng::seed_from_u64(0xD1FF_0001);
+        let s1 = generators::uniform("S1", 2, 2000, n, &mut rng);
+        let s2 = generators::uniform("S2", 2, 2000, n, &mut rng);
+        out.push(("uniform", Database::new(q.clone(), vec![s1, s2], n).unwrap()));
+    }
+
+    // Zipf(1.2) on z on both sides.
+    {
+        let mut rng = Rng::seed_from_u64(0xD1FF_0002);
+        let d1 = generators::zipf_degrees(1800, n, 1.2);
+        let d2 = generators::zipf_degrees(1800, n, 1.2);
+        let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+        let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+        out.push(("zipf", Database::new(q.clone(), vec![s1, s2], n).unwrap()));
+    }
+
+    // Single heavy hitter: one z value carries half of S1, S2 is a matching
+    // (matchings need m <= n, hence the wider domain).
+    {
+        let n = 1u64 << 12;
+        let mut rng = Rng::seed_from_u64(0xD1FF_0003);
+        let m = 2048usize;
+        let degrees: Vec<(Vec<u64>, usize)> = std::iter::once((vec![9u64], m / 2))
+            .chain((0..(m / 2) as u64).map(|i| (vec![100 + (i % 900)], 1)))
+            .collect();
+        let s1 = generators::from_degree_sequence("S1", 2, &[1], &degrees, n, &mut rng);
+        let s2 = generators::matching("S2", 2, m, n, &mut rng);
+        out.push((
+            "single_heavy_hitter",
+            Database::new(q.clone(), vec![s1, s2], n).unwrap(),
+        ));
+    }
+
+    // Empty relation: S1 has no tuples, so there are no answers.
+    {
+        let mut rng = Rng::seed_from_u64(0xD1FF_0004);
+        let s1 = Relation::new("S1", 2);
+        let s2 = generators::uniform("S2", 2, 1500, n, &mut rng);
+        out.push((
+            "empty_relation",
+            Database::new(q.clone(), vec![s1, s2], n).unwrap(),
+        ));
+    }
+
+    // All duplicates: every tuple of each relation is the same row, and the
+    // shared z matches — maximal duplication on one answer (heavy on both
+    // sides, so the skew join's H12 grid is exercised too). 600 copies:
+    // enough for the threaded shuffle to shard, while keeping the
+    // broadcast baseline's quadratic per-server output (600²·p) tame.
+    {
+        let mut s1 = Relation::new("S1", 2);
+        let mut s2 = Relation::new("S2", 2);
+        for _ in 0..600 {
+            s1.push(&[3, 7]);
+            s2.push(&[5, 7]);
+        }
+        out.push((
+            "all_duplicates",
+            Database::new(q.clone(), vec![s1, s2], n).unwrap(),
+        ));
+    }
+
+    out
+}
+
+/// Sequential ground truth.
+fn oracle(db: &Database) -> Vec<Vec<u64>> {
+    let mut ans = mpc_skew::data::join_database(db);
+    ans.sort();
+    ans.dedup();
+    ans
+}
+
+/// Run `router` over every backend; assert oracle equality (`expected` is
+/// the precomputed sequential join) and exact cross-backend equality of
+/// answers and reports.
+fn check_router(
+    tag: &str,
+    db: &Database,
+    expected: &[Vec<u64>],
+    p: usize,
+    router: &(impl Router + Sync),
+) {
+    let mut baseline: Option<(Vec<Vec<u64>>, LoadReport)> = None;
+    for backend in BACKENDS {
+        let cluster = Cluster::run_round_on(db, p, router, backend);
+        let answers = cluster.all_answers(db.query());
+        let report = cluster.report();
+        assert_eq!(answers, expected, "{tag} [{backend}]: oracle mismatch");
+        match &baseline {
+            None => baseline = Some((answers, report)),
+            Some((a0, r0)) => {
+                assert_eq!(&answers, a0, "{tag} [{backend}]: answers differ from Sequential");
+                assert_eq!(&report, r0, "{tag} [{backend}]: LoadReport differs from Sequential");
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_matrix_times_algorithms_is_deterministic_and_complete() {
+    let p = 16usize;
+    for (name, db) in scenarios() {
+        let q = db.query().clone();
+        let st = mpc_skew::stats::SimpleStatistics::of(&db);
+        let z = q.var_index("z").unwrap();
+        let expected = oracle(&db);
+
+        let hc = HyperCube::with_optimal_shares(&q, &st, p, 11);
+        check_router(&format!("{name}/hypercube_optimal"), &db, &expected, p, &hc);
+
+        let hce = HyperCube::with_equal_shares(&q, p, 11);
+        check_router(&format!("{name}/hypercube_equal"), &db, &expected, p, &hce);
+
+        let sj = SkewJoin::plan(&db, p, 11);
+        check_router(&format!("{name}/skew_join"), &db, &expected, p, &sj);
+
+        let general = GeneralSkewAlgorithm::plan(&db, p, 11);
+        check_router(&format!("{name}/general_skew"), &db, &expected, p, &general);
+
+        let hj = HashJoinRouter::new(&q, VarSet::singleton(z), p, 11);
+        check_router(&format!("{name}/hash_join"), &db, &expected, p, &hj);
+
+        let fr = FragmentReplicateRouter::new(p, 1, 11);
+        check_router(&format!("{name}/fragment_replicate"), &db, &expected, p, &fr);
+
+        check_router(&format!("{name}/broadcast"), &db, &expected, p, &BroadcastRouter { p });
+    }
+}
+
+#[test]
+fn multi_round_is_backend_invariant_on_the_matrix() {
+    let p = 8usize;
+    for (name, db) in scenarios() {
+        let expected = oracle(&db);
+        let seq = run_multi_round_on(&db, p, 5, Backend::Sequential);
+        assert_eq!(seq.answers, expected, "{name}: multi-round lost answers");
+        for backend in [Backend::Threaded(2), Backend::Threaded(8)] {
+            let thr = run_multi_round_on(&db, p, 5, backend);
+            assert_eq!(thr.answers, seq.answers, "{name} [{backend}]");
+            assert_eq!(thr.num_rounds(), seq.num_rounds(), "{name} [{backend}]");
+            for (a, b) in seq.rounds.iter().zip(&thr.rounds) {
+                assert_eq!(a.max_load_bits, b.max_load_bits, "{name} [{backend}]");
+                assert_eq!(a.intermediate_tuples, b.intermediate_tuples, "{name} [{backend}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_one_matches_sequential() {
+    // Threaded(1) is the degenerate threaded configuration; it must take
+    // the same fast path and produce the same bits.
+    let (_, db) = scenarios().remove(1);
+    let p = 16usize;
+    let sj = SkewJoin::plan(&db, p, 3);
+    let (c_seq, r_seq) = sj.run_on(&db, Backend::Sequential);
+    let (c_one, r_one) = sj.run_on(&db, Backend::Threaded(1));
+    assert_eq!(r_seq, r_one);
+    assert_eq!(c_seq.all_answers(db.query()), c_one.all_answers(db.query()));
+}
+
+#[test]
+fn triangle_differential_beyond_two_atoms() {
+    // The matrix above is two-atom (so the skew join applies everywhere);
+    // cover a 3-atom query for the algorithms that support it.
+    let q = named::cycle(3);
+    let n = 1u64 << 7;
+    let mut rng = Rng::seed_from_u64(0xD1FF_0005);
+    let d = generators::zipf_degrees(1500, n, 1.0);
+    let mut rels = vec![generators::from_degree_sequence("S1", 2, &[1], &d, n, &mut rng)];
+    for a in ["S2", "S3"] {
+        rels.push(generators::uniform(a, 2, 1500, n, &mut rng));
+    }
+    let db = Database::new(q.clone(), rels, n).unwrap();
+    let p = 16usize;
+    let st = mpc_skew::stats::SimpleStatistics::of(&db);
+
+    let expected = oracle(&db);
+    let hc = HyperCube::with_optimal_shares(&q, &st, p, 7);
+    check_router("triangle/hypercube_optimal", &db, &expected, p, &hc);
+
+    let general = GeneralSkewAlgorithm::plan(&db, p, 7);
+    check_router("triangle/general_skew", &db, &expected, p, &general);
+}

@@ -1,12 +1,14 @@
 //! Completeness fuzzing for the skew-handling algorithms: randomized
 //! multi-relation, multi-attribute skew patterns must never lose answers.
 
+use mpc_skew::core::hypercube::HyperCube;
 use mpc_skew::core::multi_round::{run_multi_round, verify_multi_round};
 use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
 use mpc_skew::core::skew_join::SkewJoin;
 use mpc_skew::core::verify;
 use mpc_skew::data::{generators, Database, Relation, Rng};
 use mpc_skew::query::{named, Query};
+use mpc_skew::sim::backend::Backend;
 use mpc_testkit::prelude::*;
 
 /// A randomized relation for one atom: a mix of planted heavy values on a
@@ -97,6 +99,56 @@ proptest! {
         prop_assert!(v.is_complete(),
             "seed={seed} p={p} frac=({frac0:.2},{frac1:.2}): {} missing",
             v.missing.len());
+    }
+
+    /// Determinism regression guard: for random queries and databases,
+    /// answer sets and per-server loads (the whole `LoadReport`) are
+    /// invariant under the executor's thread count — `Threaded(t)` is
+    /// bit-identical to `Sequential` for both the §4.2 general algorithm
+    /// and equal-share HyperCube.
+    #[test]
+    fn thread_count_invariance_fuzz(
+        qi in 0usize..4,
+        seed in 0u64..10_000,
+        frac0 in 0.0f64..0.6,
+        col in 0usize..2,
+        p_exp in 2u32..6,
+        threads in 2usize..9,
+    ) {
+        let queries: Vec<Query> = vec![
+            named::two_way_join(),
+            named::cycle(3),
+            named::star(2),
+            named::chain(3),
+        ];
+        let q = &queries[qi];
+        let n = 1u64 << 9;
+        let m = 600usize;
+        let p = 1usize << p_exp;
+        let mut rng = Rng::seed_from_u64(seed);
+        let rels: Vec<Relation> = q.atoms().iter().enumerate()
+            .map(|(j, a)| {
+                let frac = if j == 0 { frac0 } else { 0.0 };
+                random_skewed_relation(a.name(), a.arity(), m, n, frac, col, &mut rng)
+            })
+            .collect();
+        let db = Database::new(q.clone(), rels, n).unwrap();
+
+        let alg = GeneralSkewAlgorithm::plan(&db, p, seed ^ 0x7777);
+        let (c_seq, r_seq) = alg.run_on(&db, Backend::Sequential);
+        let (c_thr, r_thr) = alg.run_on(&db, Backend::Threaded(threads));
+        prop_assert_eq!(&r_seq, &r_thr,
+            "{} seed={seed} p={p} threads={threads}: general LoadReport drifted", q.name());
+        prop_assert_eq!(c_seq.all_answers(q), c_thr.all_answers(q),
+            "{} seed={seed} p={p} threads={threads}: general answers drifted", q.name());
+
+        let hc = HyperCube::with_equal_shares(q, p, seed ^ 0x2222);
+        let (h_seq, hr_seq) = hc.run_on(&db, Backend::Sequential);
+        let (h_thr, hr_thr) = hc.run_on(&db, Backend::Threaded(threads));
+        prop_assert_eq!(&hr_seq, &hr_thr,
+            "{} seed={seed} p={p} threads={threads}: HC LoadReport drifted", q.name());
+        prop_assert_eq!(h_seq.all_answers(q), h_thr.all_answers(q),
+            "{} seed={seed} p={p} threads={threads}: HC answers drifted", q.name());
     }
 
     /// The multi-round baseline never loses answers either (it is a
