@@ -3,34 +3,111 @@
 # registry dependencies (the only external surface, proptest/criterion, is
 # replaced in-tree by crates/testkit).
 #
-#   ./ci.sh            # build + dual-backend tests + lint + bench-compile
+#   ./ci.sh            # build + triple-backend tests + fmt + lint + bench-compile
 #   ./ci.sh --quick    # tier-1 gate only (what the driver enforces)
+#   ./ci.sh --bench    # bench smoke only (reduced budget) -> BENCH_pr3.json;
+#                      # run --quick or the full gate separately for tests
 #
-# The test suite runs twice: once pinned to the sequential execution
-# backend (MPCSKEW_THREADS=1) and once on the default (threaded) backend,
-# so every test doubles as a cross-backend differential check.
+# The test suite runs three times — pinned to the sequential backend
+# (MPCSKEW_THREADS=1), to the persistent worker pool (pool:4), and on the
+# default (threaded) backend — so every test triples as a three-way
+# differential check across executors.
+#
+# A per-stage wall-clock summary is printed at the end of every run, so
+# regressions in CI time itself stay visible.
 set -eu
 
-echo "==> cargo build --release"
-cargo build --release --offline
+STAGE_SUMMARY=""
+STAGE_NAME=""
+STAGE_START=0
+CI_START=$(date +%s)
 
-echo "==> cargo test -q  (MPCSKEW_THREADS=1: sequential backend)"
-MPCSKEW_THREADS=1 cargo test -q --workspace --offline
+stage() {
+    stage_end
+    STAGE_NAME="$1"
+    STAGE_START=$(date +%s)
+    echo "==> $1"
+}
 
-echo "==> cargo test -q  (default backend: threaded)"
-cargo test -q --workspace --offline
+stage_end() {
+    if [ -n "$STAGE_NAME" ]; then
+        STAGE_SUMMARY="${STAGE_SUMMARY}  $(( $(date +%s) - STAGE_START ))s  ${STAGE_NAME}\n"
+        STAGE_NAME=""
+    fi
+}
 
-if [ "${1:-}" = "--quick" ]; then
+summary() {
+    stage_end
+    printf '\n==> ci.sh stage wall-clock summary (total %ss):\n' "$(( $(date +%s) - CI_START ))"
+    # shellcheck disable=SC2059
+    printf "$STAGE_SUMMARY"
+}
+
+if [ "${1:-}" = "--bench" ]; then
+    # Bench smoke: every criterion-lite group on a reduced sample budget,
+    # recorded to BENCH_pr3.json at the repo root so the perf trajectory
+    # accumulates PR over PR. The schema is documented in the file's
+    # "_schema" field; per-benchmark records come from the harness's
+    # MPC_TESTKIT_BENCH_JSON hook (crates/testkit/src/criterion.rs).
+    stage "cargo bench (reduced budget) -> BENCH_pr3.json"
+    # Absolute path: cargo runs bench binaries with cwd at their package
+    # root, not the workspace root.
+    BENCH_JSONL="$(pwd)/target/bench_results.jsonl"
+    rm -f "$BENCH_JSONL"
+    MPC_TESTKIT_BENCH_JSON="$BENCH_JSONL" \
+    MPC_TESTKIT_SAMPLES=5 \
+    MPC_TESTKIT_SAMPLE_MS=20 \
+        cargo bench --workspace --offline
+    NPROC=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
+    {
+        printf '{\n'
+        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations. backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host.",\n'
+        printf '  "pr": "pr3",\n'
+        printf '  "generated_by": "ci.sh --bench",\n'
+        printf '  "nproc": %s,\n' "$NPROC"
+        printf '  "backend": "%s",\n' "${MPCSKEW_THREADS:-default(all cores)}"
+        printf '  "sample_budget": {"samples": 5, "sample_ms": 20},\n'
+        printf '  "results": [\n'
+        sed 's/^/    /; $!s/$/,/' "$BENCH_JSONL"
+        printf '  ]\n}\n'
+    } > BENCH_pr3.json
+    echo "wrote BENCH_pr3.json ($(grep -c . "$BENCH_JSONL") benchmarks)"
+    summary
     exit 0
 fi
 
-echo "==> cargo test -q -- --ignored   (heavy-output stress cases, threaded backend)"
+stage "cargo build --release"
+cargo build --release --offline
+
+stage "cargo test -q  (MPCSKEW_THREADS=1: sequential backend)"
+MPCSKEW_THREADS=1 cargo test -q --workspace --offline
+
+stage "cargo test -q  (MPCSKEW_THREADS=pool:4: persistent worker pool)"
+MPCSKEW_THREADS=pool:4 cargo test -q --workspace --offline
+
+stage "cargo test -q  (default backend: threaded)"
+cargo test -q --workspace --offline
+
+if [ "${1:-}" = "--quick" ]; then
+    summary
+    exit 0
+fi
+
+stage "cargo test -q -- --ignored   (heavy-output stress cases, threaded backend)"
 MPCSKEW_THREADS=4 cargo test -q --workspace --offline -- --ignored
 
-echo "==> cargo clippy -- -D warnings"
+stage "cargo test -q -- --ignored   (heavy-output stress cases, pooled backend)"
+MPCSKEW_THREADS=pool:4 cargo test -q --workspace --offline -- --ignored
+
+stage "cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+stage "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo bench --no-run"
+stage "cargo bench --no-run"
 cargo bench --workspace --offline --no-run
 
+stage_end
 echo "==> ci.sh: all green"
+summary

@@ -1,12 +1,12 @@
 //! End-to-end shuffle throughput of the HyperCube algorithm: one full
 //! communication round (routing + fragment materialization) per iteration.
 
-use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpc_bench::workloads::uniform_db;
 use mpc_core::hypercube::HyperCube;
 use mpc_query::named;
 use mpc_sim::backend::Backend;
 use mpc_stats::SimpleStatistics;
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_round(c: &mut Criterion) {

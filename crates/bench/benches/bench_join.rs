@@ -1,14 +1,14 @@
 //! Local multiway-join throughput (the per-server compute step) and the
 //! full-cluster Zipf end-to-end case (shuffle + per-server local joins)
-//! on both execution backends.
+//! on every execution backend, including the pool-reuse and batch cases.
 
-use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpc_bench::workloads::{skewed_join_db, uniform_db};
 use mpc_core::skew_join::SkewJoin;
 use mpc_data::join::join_count;
 use mpc_data::Relation;
 use mpc_query::named;
 use mpc_sim::backend::Backend;
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_local_join(c: &mut Criterion) {
@@ -30,9 +30,9 @@ fn bench_local_join(c: &mut Criterion) {
 
 /// The large Zipf end-to-end case: plan once, then per iteration run the
 /// full round (shuffle + load report + every server's local join) on a
-/// given backend. `Sequential` vs `Threaded(4)` quantifies the threaded
-/// executor's wall-clock win (parity on single-core machines — results
-/// are bit-identical either way).
+/// given backend. `Sequential` vs `Threaded(4)` vs `Pooled(4)` quantifies
+/// the parallel executors' wall-clock win (parity on single-core machines —
+/// results are bit-identical either way).
 fn bench_cluster_zipf(c: &mut Criterion) {
     let q = named::two_way_join();
     let m = 1usize << 15;
@@ -45,6 +45,7 @@ fn bench_cluster_zipf(c: &mut Criterion) {
     for (name, backend) in [
         ("sequential", Backend::Sequential),
         ("threaded4", Backend::Threaded(4)),
+        ("pooled4", Backend::Pooled(4)),
     ] {
         g.bench_function(BenchmarkId::new("skew_join_e2e", name), |b| {
             b.iter(|| {
@@ -53,6 +54,49 @@ fn bench_cluster_zipf(c: &mut Criterion) {
             })
         });
     }
+
+    // Pool-reuse case: 16 small rounds per iteration. Each round's shuffle
+    // shards into 4 chunks per relation, so Threaded(4) pays thread spawn +
+    // join on every parallel loop of every round while Pooled(4) reuses one
+    // persistent worker set — the spawn-amortization win the pool exists
+    // for (pooled median ≤ threaded median even on one core).
+    let rounds = 16usize;
+    let m_small = 1usize << 12;
+    let small = skewed_join_db(&q, m_small, 1 << 12, 1.2, 200, 7);
+    let sj_small = SkewJoin::plan(&small, 16, 2);
+    g.throughput(Throughput::Elements((rounds * 2 * m_small) as u64));
+    for (name, backend) in [
+        ("threaded4", Backend::Threaded(4)),
+        ("pooled4", Backend::Pooled(4)),
+    ] {
+        g.bench_function(BenchmarkId::new("small_rounds_x16", name), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..rounds {
+                    let (cluster, report) = sj_small.run_on(black_box(&small), backend);
+                    acc ^= report.max_load_bits() ^ cluster.p() as u64;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    // The same 16 rounds submitted as one batch: parallelism across rounds
+    // (each round sequential inside) on the persistent pool — the
+    // multi-query-throughput shape.
+    let jobs: Vec<mpc_sim::BatchJob> = (0..rounds)
+        .map(|_| mpc_sim::BatchJob {
+            db: &small,
+            p: 16,
+            router: &sj_small,
+        })
+        .collect();
+    g.bench_function(BenchmarkId::new("small_rounds_x16", "batch_pooled4"), |b| {
+        b.iter(|| {
+            let results = mpc_sim::Cluster::run_batch(black_box(&jobs), Backend::Pooled(4));
+            black_box(results.len())
+        })
+    });
     g.finish();
 }
 

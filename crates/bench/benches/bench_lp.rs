@@ -1,10 +1,10 @@
 //! Microbenchmarks for the LP/polytope substrate: the share-exponent LP (5)
 //! and the exact vertex enumeration behind `pk(q)`.
 
-use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpc_core::shares::ShareAllocation;
 use mpc_query::{named, packing};
 use mpc_stats::SimpleStatistics;
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_share_lp(c: &mut Criterion) {

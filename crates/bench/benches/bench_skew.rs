@@ -2,13 +2,13 @@
 //! the Section 4.1 skew join, the Section 4.2 general algorithm, and the
 //! hash-join baseline, on a Zipf(1.2) workload.
 
-use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpc_bench::workloads::skewed_join_db;
 use mpc_core::baselines::HashJoinRouter;
 use mpc_core::skew_general::GeneralSkewAlgorithm;
 use mpc_core::skew_join::SkewJoin;
 use mpc_query::{named, VarSet};
 use mpc_sim::backend::Backend;
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_skew_round(c: &mut Criterion) {

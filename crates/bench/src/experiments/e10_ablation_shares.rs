@@ -39,7 +39,10 @@ pub fn run() {
         let lp_load = lp.expected_load_bits(&q, &st);
         let au_load = au.expected_load_bits(&q, &st);
         t.row(&[
-            format!("2^{:?}", cards.iter().map(|c| c.ilog2()).collect::<Vec<_>>()),
+            format!(
+                "2^{:?}",
+                cards.iter().map(|c| c.ilog2()).collect::<Vec<_>>()
+            ),
             fmt(lp_load),
             fmt(au_load),
             fmt_ratio(au_load / lp_load),

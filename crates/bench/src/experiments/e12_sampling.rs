@@ -57,14 +57,8 @@ pub fn run() {
         verify::assert_complete(&db, &c_s);
 
         let empty: HashMap<Vec<u64>, usize> = HashMap::new();
-        let blind = SkewJoin::plan_with_frequencies(
-            &db,
-            p,
-            9,
-            SkewJoinConfig::default(),
-            &empty,
-            &empty,
-        );
+        let blind =
+            SkewJoin::plan_with_frequencies(&db, p, 9, SkewJoinConfig::default(), &empty, &empty);
         let (c_b, r_b) = blind.run(&db);
         verify::assert_complete(&db, &c_b);
 

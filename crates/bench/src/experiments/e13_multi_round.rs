@@ -33,7 +33,12 @@ pub fn run() {
     );
     // (query, m, n): n controls density and hence intermediate size.
     let cases = vec![
-        ("join sparse", named::two_way_join(), 1usize << 13, 1u64 << 14),
+        (
+            "join sparse",
+            named::two_way_join(),
+            1usize << 13,
+            1u64 << 14,
+        ),
         ("L3 sparse", named::chain(3), 1 << 13, 1 << 14),
         ("C3 sparse", named::cycle(3), 1 << 13, 1 << 13),
         ("C3 dense", named::cycle(3), 1 << 13, 1 << 7),
@@ -53,7 +58,10 @@ pub fn run() {
 
         let mr = run_multi_round(&db, p, 5);
         if n > 1 << 8 {
-            assert!(verify_multi_round(&db, &mr), "{label}: multi-round lost answers");
+            assert!(
+                verify_multi_round(&db, &mr),
+                "{label}: multi-round lost answers"
+            );
         }
 
         t.row(&[

@@ -23,13 +23,8 @@ pub fn run() {
     // materialize at measurement scale).
     let small = {
         let mut db = uniform_db(&q, 256, n, 11);
-        let rel2 = mpc_data::generators::uniform(
-            "S2",
-            1,
-            512,
-            n,
-            &mut mpc_data::Rng::seed_from_u64(12),
-        );
+        let rel2 =
+            mpc_data::generators::uniform("S2", 1, 512, n, &mut mpc_data::Rng::seed_from_u64(12));
         db.replace_relation(1, rel2).unwrap();
         db
     };
@@ -40,14 +35,20 @@ pub fn run() {
 
     // Load sweep.
     let mut db = uniform_db(&q, m1, n, 13);
-    let rel2 =
-        mpc_data::generators::uniform("S2", 1, m2, n, &mut mpc_data::Rng::seed_from_u64(14));
+    let rel2 = mpc_data::generators::uniform("S2", 1, m2, n, &mut mpc_data::Rng::seed_from_u64(14));
     db.replace_relation(1, rel2).unwrap();
     let st = SimpleStatistics::of(&db);
 
     let t = Table::new(
         "E1: cartesian product S1 x S2 (m1=4096, m2=16384) — load vs sqrt(m1 m2 / p)",
-        &["p", "shares", "max tuples", "2√(m1m2/p)", "ratio", "lower √(m1m2/p)"],
+        &[
+            "p",
+            "shares",
+            "max tuples",
+            "2√(m1m2/p)",
+            "ratio",
+            "lower √(m1m2/p)",
+        ],
     );
     for p in [4usize, 16, 64, 256] {
         let hc = HyperCube::with_optimal_shares(&q, &st, p, 21);

@@ -14,7 +14,14 @@ use mpc_stats::SimpleStatistics;
 pub fn run() {
     let t = Table::new(
         "E4: Theorem 3.4 — measured HC load vs L_upper on skew-free (matching) data",
-        &["query", "p", "measured bits", "L_upper", "ratio", "complete"],
+        &[
+            "query",
+            "p",
+            "measured bits",
+            "L_upper",
+            "ratio",
+            "complete",
+        ],
     );
     let queries = vec![
         named::two_way_join(),

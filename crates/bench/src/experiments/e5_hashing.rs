@@ -16,7 +16,15 @@ use mpc_sim::topology::Grid;
 pub fn run() {
     let t = Table::new(
         "E5: Lemma 3.1 — max bucket load under per-attribute hashing (m = 65536)",
-        &["instance", "r", "grid", "max", "m/p", "max/(m/p)", "m/min p_i"],
+        &[
+            "instance",
+            "r",
+            "grid",
+            "max",
+            "m/p",
+            "max/(m/p)",
+            "m/min p_i",
+        ],
     );
     let m = 1usize << 16;
     let n = 1u64 << 20;

@@ -61,7 +61,10 @@ pub fn run() {
             fmt(hc_rep.max_load_tuples() as f64),
             fmt(sj_rep.max_load_tuples() as f64),
             fmt(bound.max_tuples()),
-            format!("{:.1}x", sj_rep.max_load_tuples() as f64 / bound.max_tuples()),
+            format!(
+                "{:.1}x",
+                sj_rep.max_load_tuples() as f64 / bound.max_tuples()
+            ),
             sj.num_heavy().to_string(),
         ]);
     }

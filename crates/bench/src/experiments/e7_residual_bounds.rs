@@ -69,7 +69,14 @@ pub fn run() {
     let n = 1u64 << 14;
     let t = Table::new(
         "E7: Theorem 4.7 residual bounds vs the cardinality-only bound (bits), p = 64",
-        &["workload", "x", "flat bound", "residual", "resid/flat", "packing u"],
+        &[
+            "workload",
+            "x",
+            "flat bound",
+            "residual",
+            "resid/flat",
+            "packing u",
+        ],
     );
 
     for theta in [0.0f64, 1.0, 1.5] {

@@ -1,6 +1,10 @@
 //! Experiment implementations (E1–E9 of DESIGN.md §3). Each module's
 //! `run()` regenerates one table/figure/worked example of the paper.
 
+pub mod e10_ablation_shares;
+pub mod e11_ablation_skew;
+pub mod e12_sampling;
+pub mod e13_multi_round;
 pub mod e1_cartesian;
 pub mod e2_example33;
 pub mod e3_example37;
@@ -10,10 +14,6 @@ pub mod e6_skew_join;
 pub mod e7_residual_bounds;
 pub mod e8_general_skew;
 pub mod e9_replication;
-pub mod e10_ablation_shares;
-pub mod e11_ablation_skew;
-pub mod e12_sampling;
-pub mod e13_multi_round;
 
 /// Run every experiment in order.
 pub fn run_all() {

@@ -30,14 +30,7 @@ pub fn matching_db(q: &Query, m: usize, n: u64, seed: u64) -> Database {
 /// (disjoint celebrity sets, so the output stays materializable), plus one
 /// shared heavy value (777 on both sides) of frequency `h12` — the H12
 /// class of Section 4.1.
-pub fn skewed_join_db(
-    q: &Query,
-    m: usize,
-    n: u64,
-    theta: f64,
-    h12: usize,
-    seed: u64,
-) -> Database {
+pub fn skewed_join_db(q: &Query, m: usize, n: u64, theta: f64, h12: usize, seed: u64) -> Database {
     assert!(h12 < m);
     let mut rng = Rng::seed_from_u64(seed);
     let mut d1 = generators::zipf_degrees(m - h12, n, theta);

@@ -55,7 +55,8 @@ impl HashJoinRouter {
     }
 
     /// Execute the round on `db` with an explicit execution backend
-    /// (mirrors [`crate::hypercube::HyperCube::run_on`]).
+    /// (mirrors [`crate::hypercube::HyperCube::run_on`]; results are
+    /// bit-identical across `Sequential`, `Threaded(n)`, and `Pooled(n)`).
     pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
         let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();

@@ -413,7 +413,10 @@ mod tests {
             (named::cartesian(2), 2.0),
             (named::two_way_join(), 1.0),
         ] {
-            let st = stats(&vec![q.atom(0).arity(); q.num_atoms()], &vec![1 << 16; q.num_atoms()]);
+            let st = stats(
+                &vec![q.atom(0).arity(); q.num_atoms()],
+                &vec![1 << 16; q.num_atoms()],
+            );
             let p = 64usize;
             let (lv, _) = l_lower(&q, &st, p);
             let m = st.bit_sizes_f64()[0];
@@ -458,7 +461,10 @@ mod tests {
         let term = |f: f64| 2.0 * f * bits as f64;
         let sum = term(100.0) * term(100.0) + term(50.0) * term(50.0) + term(10.0) * term(10.0);
         let expected = (sum / p as f64).sqrt();
-        assert!((val - expected).abs() / expected < 1e-9, "got {val} vs {expected}");
+        assert!(
+            (val - expected).abs() / expected < 1e-9,
+            "got {val} vs {expected}"
+        );
         assert_eq!(u.to_f64(), vec![1.0, 1.0]);
     }
 
@@ -503,7 +509,10 @@ mod tests {
         // tie; the value must match M/p up to the residual refinement.
         let st = SimpleStatistics::of(&db);
         let (flat, _) = l_lower(&q, &st, p);
-        assert!(val >= flat - 1e-9, "max residual {val} below flat {flat} (x={x})");
+        assert!(
+            val >= flat - 1e-9,
+            "max residual {val} below flat {flat} (x={x})"
+        );
     }
 
     #[test]
@@ -521,10 +530,9 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let f2: HashMap<Vec<u64>, usize> =
-            [(vec![1u64], 40usize), (vec![2], 5), (vec![3], 55)]
-                .into_iter()
-                .collect();
+        let f2: HashMap<Vec<u64>, usize> = [(vec![1u64], 40usize), (vec![2], 5), (vec![3], 55)]
+            .into_iter()
+            .collect();
         let b = skew_join_bound(m1, m2, &f1, &f2, p);
         assert!((b.scan1 - 25.0).abs() < 1e-12);
         assert!((b.l12 - (50.0f64 * 40.0 / 4.0).sqrt()).abs() < 1e-9);
@@ -550,7 +558,10 @@ mod tests {
         let l = m / 64.0;
         let r = replication_rate_bound(&q, &st, l);
         let expected = (m / l).sqrt() / 3.0;
-        assert!((r - expected).abs() / expected < 1e-9, "r {r} vs {expected}");
+        assert!(
+            (r - expected).abs() / expected < 1e-9,
+            "r {r} vs {expected}"
+        );
         let reducers = min_reducers(&q, &st, l);
         let expected_p = expected * 3.0 * m / l;
         assert!((reducers - expected_p).abs() / expected_p < 1e-9);

@@ -76,8 +76,8 @@ impl HyperCube {
         p: usize,
         seed: u64,
     ) -> HyperCube {
-        let alloc = ShareAllocation::optimize(query, stats, p)
-            .expect("share LP is always feasible");
+        let alloc =
+            ShareAllocation::optimize(query, stats, p).expect("share LP is always feasible");
         HyperCube::new(query, &alloc, seed)
     }
 
@@ -112,7 +112,8 @@ impl HyperCube {
     }
 
     /// [`HyperCube::run`] on an explicit execution backend. Results are
-    /// bit-identical across backends.
+    /// bit-identical across backends (`Sequential`, `Threaded(n)`, and the
+    /// persistent-pool `Pooled(n)`).
     pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
         let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();

@@ -145,6 +145,9 @@ mod tests {
         let st = stats(&q, 1 << 14);
         let s = servers_for_reducer_cap(&q, &st, st.bit_sizes_f64()[0], 1 << 16).unwrap();
         let total = predicted_total_bits(&s);
-        assert!(total >= st.total_bits() as f64 * 0.4, "total {total} too small");
+        assert!(
+            total >= st.total_bits() as f64 * 0.4,
+            "total {total} too small"
+        );
     }
 }

@@ -55,7 +55,11 @@ pub struct MultiRoundResult {
 impl MultiRoundResult {
     /// The maximum per-round load (the MPC model's per-round cost).
     pub fn max_round_load_bits(&self) -> u64 {
-        self.rounds.iter().map(|r| r.max_load_bits).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_load_bits)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of communication rounds.
@@ -375,11 +379,29 @@ fn local_hash_join(
     }
 }
 
-/// Convenience: compare the multi-round answers with the sequential join.
+/// Execute a batch of independent multi-round queries, parallelizing
+/// **across** queries on one backend instead of inside each round — with
+/// [`Backend::Pooled`] the whole batch reuses one persistent worker set
+/// and schedules queries dynamically from the shared queue (the
+/// multi-query-throughput shape). Each job `(db, p, seed)` runs its rounds
+/// sequentially, so every result is bit-identical to
+/// `run_multi_round_on(db, p, seed, Backend::Sequential)`; results come
+/// back in job order.
+pub fn run_multi_round_batch(
+    jobs: &[(&Database, usize, u64)],
+    backend: Backend,
+) -> Vec<MultiRoundResult> {
+    backend.run_items(jobs.len(), |i| {
+        let (db, p, seed) = jobs[i];
+        run_multi_round_on(db, p, seed, Backend::Sequential)
+    })
+}
+
+/// Convenience: compare the multi-round answers with the ground-truth join
+/// (computed on the [`Backend::from_env`] backend; the answer set is the
+/// same whichever executor runs it).
 pub fn verify_multi_round(db: &Database, result: &MultiRoundResult) -> bool {
-    let mut expected = mpc_data::join_database(db);
-    expected.sort();
-    expected.dedup();
+    let expected = mpc_sim::oracle::join_database_on(db, Backend::from_env());
     expected == result.answers
 }
 
@@ -466,9 +488,42 @@ mod tests {
         // Round loads can exceed the input (intermediate blow-up) but are
         // bounded by intermediate + relation sizes.
         let bits = db.value_bits() as u64;
-        let cap: u64 = result.max_intermediate_tuples() * 3 * bits
-            + db.total_bits();
+        let cap: u64 = result.max_intermediate_tuples() * 3 * bits + db.total_bits();
         assert!(result.max_round_load_bits() <= cap);
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_in_job_order() {
+        let q = named::cycle(3);
+        let dbs: Vec<Database> = (0..5).map(|s| uniform_db(&q, 400, 64, 20 + s)).collect();
+        let jobs: Vec<(&Database, usize, u64)> = dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| (db, 4 + i, 30 + i as u64))
+            .collect();
+        let expected: Vec<MultiRoundResult> = jobs
+            .iter()
+            .map(|&(db, p, seed)| run_multi_round_on(db, p, seed, Backend::Sequential))
+            .collect();
+        for backend in [
+            Backend::Sequential,
+            Backend::Threaded(3),
+            Backend::Pooled(4),
+        ] {
+            let results = run_multi_round_batch(&jobs, backend);
+            assert_eq!(results.len(), jobs.len(), "{backend}");
+            for (i, (r, e)) in results.iter().zip(&expected).enumerate() {
+                assert_eq!(r.answers, e.answers, "job {i} [{backend}]");
+                assert_eq!(r.num_rounds(), e.num_rounds(), "job {i} [{backend}]");
+                for (a, b) in r.rounds.iter().zip(&e.rounds) {
+                    assert_eq!(a.max_load_bits, b.max_load_bits, "job {i} [{backend}]");
+                    assert_eq!(
+                        a.intermediate_tuples, b.intermediate_tuples,
+                        "job {i} [{backend}]"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,8 +18,8 @@
 use crate::bounds;
 use mpc_lp::{Cmp, LinearProgram, LpError, Sense};
 use mpc_query::Query;
-use mpc_stats::cardinality::SimpleStatistics;
 use mpc_sim::topology::round_shares;
+use mpc_stats::cardinality::SimpleStatistics;
 
 /// An optimized share allocation for a query.
 #[derive(Clone, Debug)]
@@ -191,10 +191,7 @@ impl ShareAllocation {
         // Report lambda as the resulting *maximum* per-relation exponent so
         // it is comparable with LP (5)'s objective.
         let lambda = (0..q.num_atoms())
-            .map(|j| {
-                log_m[j] / logp
-                    - q.atom(j).var_set().iter().map(|i| e[i]).sum::<f64>()
-            })
+            .map(|j| log_m[j] / logp - q.atom(j).var_set().iter().map(|i| e[i]).sum::<f64>())
             .fold(f64::NEG_INFINITY, f64::max)
             .max(0.0);
         let shares = round_shares(p, &e);
@@ -277,7 +274,11 @@ mod tests {
         let p = 64usize;
         let alloc = ShareAllocation::optimize(&q, &st, p).unwrap();
         for &e in &alloc.exponents {
-            assert!((e - 1.0 / 3.0).abs() < 1e-6, "exponents {:?}", alloc.exponents);
+            assert!(
+                (e - 1.0 / 3.0).abs() < 1e-6,
+                "exponents {:?}",
+                alloc.exponents
+            );
         }
         assert_eq!(alloc.shares, vec![4, 4, 4]);
         let (lp_val, closed) = alloc.verify_against_closed_form(&q, &st, 1e-6);
@@ -368,7 +369,11 @@ mod tests {
         let st = stats(&q, &[1 << 16; 3]);
         let au = ShareAllocation::afrati_ullman(&q, &st, 64);
         for &e in &au.exponents {
-            assert!((e - 1.0 / 3.0).abs() < 0.02, "AU exponents {:?}", au.exponents);
+            assert!(
+                (e - 1.0 / 3.0).abs() < 0.02,
+                "AU exponents {:?}",
+                au.exponents
+            );
         }
         let lp = ShareAllocation::optimize(&q, &st, 64).unwrap();
         assert!(

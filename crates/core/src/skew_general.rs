@@ -115,8 +115,7 @@ impl GeneralSkewAlgorithm {
                     }
                 })
                 .collect();
-            let budget: Vec<(usize, f64)> =
-                evars.iter().flatten().map(|&v| (v, 1.0)).collect();
+            let budget: Vec<(usize, f64)> = evars.iter().flatten().map(|&v| (v, 1.0)).collect();
             lp.add_constraint(&budget, Cmp::Le, (1.0 - alpha).max(0.0));
             for j in 0..q.num_atoms() {
                 let mut terms: Vec<(usize, f64)> = q
@@ -337,7 +336,8 @@ impl GeneralSkewAlgorithm {
     }
 
     /// [`GeneralSkewAlgorithm::run`] on an explicit execution backend.
-    /// Results are bit-identical across backends.
+    /// Results are bit-identical across backends (`Sequential`,
+    /// `Threaded(n)`, and the persistent-pool `Pooled(n)`).
     pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
         let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();
@@ -363,8 +363,7 @@ impl Router for GeneralSkewAlgorithm {
                     }
                 }
                 Some(map) => {
-                    let key: Vec<u64> =
-                        pc.proj_cols[atom].iter().map(|&c| tuple[c]).collect();
+                    let key: Vec<u64> = pc.proj_cols[atom].iter().map(|&c| tuple[c]).collect();
                     if let Some(assignments) = map.get(&key) {
                         for &a in assignments {
                             self.route_block(pc, a, atom, tuple, out, &mut scratch);
@@ -473,9 +472,7 @@ mod tests {
         let m = 1024usize;
         let p = 8usize;
         let mut degrees: Vec<(Vec<u64>, usize)> = vec![(vec![3, 4], m / 4)];
-        degrees.extend((0..(3 * m / 4) as u64).map(|i| {
-            (vec![10 + (i % 500), 600 + (i % 300)], 1)
-        }));
+        degrees.extend((0..(3 * m / 4) as u64).map(|i| (vec![10 + (i % 500), 600 + (i % 300)], 1)));
         let s1 = generators::from_degree_sequence("S1", 2, &[0, 1], &degrees, n, &mut rng);
         let s2 = generators::uniform("S2", 2, m, n, &mut rng);
         let s3 = generators::uniform("S3", 2, m, n, &mut rng);

@@ -250,7 +250,8 @@ impl SkewJoin {
     }
 
     /// [`SkewJoin::run`] on an explicit execution backend. Results are
-    /// bit-identical across backends.
+    /// bit-identical across backends (`Sequential`, `Threaded(n)`, and the
+    /// persistent-pool `Pooled(n)`).
     pub fn run_on(&self, db: &Database, backend: Backend) -> (Cluster, LoadReport) {
         let cluster = Cluster::run_round_on(db, self.p, self, backend);
         let report = cluster.report();
@@ -342,7 +343,10 @@ mod tests {
         for theta in [1.0f64, 1.5] {
             let db = zipf_db(4000, theta, 2);
             let sj = SkewJoin::plan(&db, 16, 8);
-            assert!(sj.num_heavy() > 0, "theta={theta} should plant heavy hitters");
+            assert!(
+                sj.num_heavy() > 0,
+                "theta={theta} should plant heavy hitters"
+            );
             let (cluster, _) = sj.run(&db);
             assert_complete(&db, &cluster);
         }

@@ -7,6 +7,7 @@
 
 use mpc_data::catalog::Database;
 use mpc_sim::cluster::Cluster;
+use mpc_sim::oracle;
 
 /// Outcome of verifying a cluster against the sequential ground truth.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -29,10 +30,13 @@ impl Verification {
 }
 
 /// Compare a cluster's unioned answers against the sequential join of `db`.
+///
+/// The ground truth runs through [`mpc_sim::oracle::join_database_on`] on
+/// the cluster's own backend — hash-partitioned and parallel when the
+/// cluster is parallel, and bit-identical to the sequential join either
+/// way — so stress verification no longer serializes on the oracle.
 pub fn verify(db: &Database, cluster: &Cluster) -> Verification {
-    let mut expected = mpc_data::join_database(db);
-    expected.sort();
-    expected.dedup();
+    let expected = oracle::join_database_on(db, cluster.backend());
     // The per-server local joins run on the cluster's own backend.
     let got = cluster.all_answers(db.query());
     let mut missing = Vec::new();

@@ -20,20 +20,41 @@ pub enum CatalogError {
         got: usize,
     },
     /// A tuple value falls outside the declared domain.
-    ValueOutOfDomain { atom: String, value: u64, domain: u64 },
+    ValueOutOfDomain {
+        atom: String,
+        value: u64,
+        domain: u64,
+    },
 }
 
 impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CatalogError::WrongRelationCount { expected, got } => {
-                write!(f, "query has {expected} atoms but {got} relations were supplied")
+                write!(
+                    f,
+                    "query has {expected} atoms but {got} relations were supplied"
+                )
             }
-            CatalogError::ArityMismatch { atom, expected, got } => {
-                write!(f, "atom `{atom}` has arity {expected} but its relation has arity {got}")
+            CatalogError::ArityMismatch {
+                atom,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "atom `{atom}` has arity {expected} but its relation has arity {got}"
+                )
             }
-            CatalogError::ValueOutOfDomain { atom, value, domain } => {
-                write!(f, "relation for `{atom}` contains value {value} outside domain [0,{domain})")
+            CatalogError::ValueOutOfDomain {
+                atom,
+                value,
+                domain,
+            } => {
+                write!(
+                    f,
+                    "relation for `{atom}` contains value {value} outside domain [0,{domain})"
+                )
             }
         }
     }
@@ -51,7 +72,11 @@ pub struct Database {
 
 impl Database {
     /// Assemble and validate.
-    pub fn new(query: Query, relations: Vec<Relation>, domain: u64) -> Result<Database, CatalogError> {
+    pub fn new(
+        query: Query,
+        relations: Vec<Relation>,
+        domain: u64,
+    ) -> Result<Database, CatalogError> {
         if relations.len() != query.num_atoms() {
             return Err(CatalogError::WrongRelationCount {
                 expected: query.num_atoms(),

@@ -99,11 +99,7 @@ impl<'a> AtomIndex<'a> {
 
 /// Evaluate `query` over `relations` (one per atom, in atom order),
 /// invoking `emit` once per answer tuple (values indexed by query variable).
-pub fn join_foreach(
-    query: &Query,
-    relations: &[&Relation],
-    mut emit: impl FnMut(&[u64]),
-) {
+pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut(&[u64])) {
     assert_eq!(relations.len(), query.num_atoms());
     if relations.iter().any(|r| r.is_empty()) {
         return;
@@ -214,6 +210,97 @@ pub fn join_foreach(
         &mut key_buf,
         &mut emit,
     );
+}
+
+/// A hash-partitioned decomposition of a join into independent sub-joins.
+///
+/// The sequential oracle join is the slowest piece of stress verification;
+/// this splits it into `buckets` sub-joins that can run on any executor
+/// (each bucket is self-contained). A partition variable `v` is chosen to
+/// appear in as many atoms as possible; every row of an atom containing `v`
+/// goes to the bucket hashing its `v`-value, and rows of atoms without `v`
+/// are replicated to all buckets. Any answer binds `v` to a single value
+/// `c`, and all rows of `v`-atoms deriving it live only in `hash(c)`'s
+/// bucket — so the concatenation of all bucket outputs equals the full join
+/// as a multiset, with no cross-bucket duplicates.
+pub struct PartitionedJoin<'a> {
+    query: &'a Query,
+    /// `relations[bucket][atom]`.
+    relations: Vec<Vec<Relation>>,
+}
+
+/// Partitioning hash salt (fixed: the decomposition is deterministic).
+const PARTITION_SALT: u64 = 0x9a3c_51f2_0b6d_e771;
+
+/// Decompose `query` over `relations` into `buckets` independent sub-joins
+/// (see [`PartitionedJoin`]). `buckets` is clamped to at least 1; if the
+/// query has no variables the whole join lands in a single bucket.
+pub fn partition_join<'a>(
+    query: &'a Query,
+    relations: &[&Relation],
+    buckets: usize,
+) -> PartitionedJoin<'a> {
+    assert_eq!(relations.len(), query.num_atoms());
+    let buckets = buckets.max(1);
+    // The variable in the most atoms minimizes replication (ties: lowest
+    // variable index, so the decomposition is deterministic).
+    let key_var =
+        (0..query.num_vars()).max_by_key(|&v| (query.atoms_with_var(v).count(), usize::MAX - v));
+    let buckets = match key_var {
+        Some(v) if query.atoms_with_var(v).count() > 0 => buckets,
+        _ => 1,
+    };
+    let mut parts: Vec<Vec<Relation>> = (0..buckets)
+        .map(|_| {
+            query
+                .atoms()
+                .iter()
+                .map(|a| Relation::new(a.name(), a.arity()))
+                .collect()
+        })
+        .collect();
+    for (j, rel) in relations.iter().enumerate() {
+        let key_pos = key_var.and_then(|v| query.atom(j).position_of_var(v));
+        match key_pos {
+            Some(pos) if buckets > 1 => {
+                for row in rel.rows() {
+                    let b = (crate::mix64(row[pos], PARTITION_SALT) % buckets as u64) as usize;
+                    parts[b][j].push(row);
+                }
+            }
+            _ => {
+                for part in parts.iter_mut() {
+                    for row in rel.rows() {
+                        part[j].push(row);
+                    }
+                }
+            }
+        }
+    }
+    PartitionedJoin {
+        query,
+        relations: parts,
+    }
+}
+
+impl PartitionedJoin<'_> {
+    /// Number of independent sub-joins.
+    pub fn num_buckets(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Evaluate one bucket's sub-join, invoking `emit` per answer.
+    pub fn join_bucket_foreach(&self, bucket: usize, emit: impl FnMut(&[u64])) {
+        let rels: Vec<&Relation> = self.relations[bucket].iter().collect();
+        join_foreach(self.query, &rels, emit);
+    }
+
+    /// Materialize one bucket's answers.
+    pub fn join_bucket(&self, bucket: usize) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        self.join_bucket_foreach(bucket, |row| out.push(row.to_vec()));
+        out
+    }
 }
 
 /// Materialize all answers as rows over the query's variables.
@@ -371,6 +458,65 @@ mod tests {
         let db = Database::new(q, vec![s1, s2], 16).unwrap();
         assert_eq!(join_database_count(&db), 1);
         assert_eq!(join_database(&db).len(), 1);
+    }
+
+    #[test]
+    fn partitioned_join_is_exact_across_queries_and_bucket_counts() {
+        // The concatenated bucket outputs must equal the sequential join as
+        // a multiset (here compared sorted, duplicates preserved) for every
+        // query shape, including the no-shared-variable cartesian where all
+        // atoms but the key atom are replicated.
+        let cases: Vec<(Query, usize, u64)> = vec![
+            (named::two_way_join(), 400, 128),
+            (named::cycle(3), 300, 32),
+            (named::chain(3), 300, 64),
+            (named::star(2), 300, 64),
+            (named::cartesian(2), 40, 256),
+        ];
+        for (q, m, n) in cases {
+            let mut rng = Rng::seed_from_u64(0xACE5);
+            let rels: Vec<Relation> = q
+                .atoms()
+                .iter()
+                .map(|a| generators::uniform(a.name(), a.arity(), m, n, &mut rng))
+                .collect();
+            let refs: Vec<&Relation> = rels.iter().collect();
+            let mut expected = join(&q, &refs);
+            expected.sort();
+            for buckets in [1usize, 2, 7, 16] {
+                let parts = partition_join(&q, &refs, buckets);
+                assert_eq!(parts.num_buckets(), buckets.max(1), "{}", q.name());
+                let mut got: Vec<Vec<u64>> = (0..parts.num_buckets())
+                    .flat_map(|b| parts.join_bucket(b))
+                    .collect();
+                got.sort();
+                assert_eq!(got, expected, "{} with {buckets} buckets", q.name());
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_join_handles_skew_and_duplicates() {
+        // A single heavy value lands in one bucket; duplicate rows keep
+        // their multiplicity.
+        let q = named::two_way_join();
+        let mut s1 = Relation::new("S1", 2);
+        let mut s2 = Relation::new("S2", 2);
+        for i in 0..200u64 {
+            s1.push(&[i, 7]); // all of S1 shares z = 7
+            s2.push(&[i % 3, 7]);
+        }
+        let refs = [&s1, &s2];
+        let mut expected = join(&q, &refs);
+        expected.sort();
+        let parts = partition_join(&q, &refs, 8);
+        let mut got: Vec<Vec<u64>> = (0..8).flat_map(|b| parts.join_bucket(b)).collect();
+        got.sort();
+        assert_eq!(got, expected);
+        assert_eq!(got.len(), 200 * 200);
+        // Exactly one bucket is non-empty: z = 7 hashes to a single bucket.
+        let busy = (0..8).filter(|&b| !parts.join_bucket(b).is_empty()).count();
+        assert_eq!(busy, 1);
     }
 
     #[test]

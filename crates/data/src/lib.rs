@@ -21,7 +21,10 @@ pub mod rng;
 pub mod zipf;
 
 pub use catalog::{CatalogError, Database};
-pub use join::{join, join_count, join_database, join_database_count, join_foreach};
+pub use join::{
+    join, join_count, join_database, join_database_count, join_foreach, partition_join,
+    PartitionedJoin,
+};
 pub use relation::{domain_bits, Relation};
 pub use rng::{mix64, splitmix64, Rng};
 pub use zipf::Zipf;

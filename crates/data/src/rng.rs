@@ -48,10 +48,7 @@ impl Rng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -113,7 +110,10 @@ impl Rng {
     /// Sample `k` distinct values uniformly from `[0, n)` (Floyd's
     /// algorithm); order is unspecified but deterministic.
     pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
-        assert!(k as u64 <= n, "cannot sample {k} distinct values from [0,{n})");
+        assert!(
+            k as u64 <= n,
+            "cannot sample {k} distinct values from [0,{n})"
+        );
         let mut chosen = std::collections::HashSet::with_capacity(k);
         let mut out = Vec::with_capacity(k);
         for j in (n - k as u64)..n {
@@ -199,7 +199,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]
@@ -214,9 +218,7 @@ mod tests {
     #[test]
     fn mix64_keys_give_distinct_functions() {
         // Same input, different keys -> different outputs (w.h.p.).
-        let collisions = (0..1000u64)
-            .filter(|&x| mix64(x, 1) == mix64(x, 2))
-            .count();
+        let collisions = (0..1000u64).filter(|&x| mix64(x, 1) == mix64(x, 2)).count();
         assert_eq!(collisions, 0);
     }
 }

@@ -174,8 +174,7 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     }
 
     let has_artificials = art_col.iter().any(Option::is_some);
-    let is_artificial =
-        |j: usize| -> bool { art_col.contains(&Some(j)) };
+    let is_artificial = |j: usize| -> bool { art_col.contains(&Some(j)) };
 
     // ---- Phase 1: minimize sum of artificials. ----
     if has_artificials {
@@ -201,7 +200,8 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         // its row as redundant by leaving it with zero rhs.
         for r in 0..t.rows.len() {
             if is_artificial(t.basis[r]) {
-                if let Some(col) = (0..n_total).find(|&j| !is_artificial(j) && t.rows[r][j].abs() > EPS)
+                if let Some(col) =
+                    (0..n_total).find(|&j| !is_artificial(j) && t.rows[r][j].abs() > EPS)
                 {
                     t.pivot(r, col);
                 }
@@ -329,8 +329,16 @@ mod tests {
         let x2 = lp.add_var("x2", -57.0);
         let x3 = lp.add_var("x3", -9.0);
         let x4 = lp.add_var("x4", -24.0);
-        lp.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)], Cmp::Le, 0.0);
-        lp.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(
+            &[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Cmp::Le,
+            0.0,
+        );
         lp.add_constraint(&[(x1, 1.0)], Cmp::Le, 1.0);
         let s = lp.solve().unwrap();
         assert_close(s.objective, 1.0);

@@ -99,8 +99,7 @@ pub fn non_dominated_max(points: &[Vec<Rat>]) -> Vec<Vec<Rat>> {
         .iter()
         .filter(|u| {
             !points.iter().any(|v| {
-                v.as_slice() != u.as_slice()
-                    && v.iter().zip(u.iter()).all(|(a, b)| a >= b)
+                v.as_slice() != u.as_slice() && v.iter().zip(u.iter()).all(|(a, b)| a >= b)
             })
         })
         .cloned()

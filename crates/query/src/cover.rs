@@ -51,12 +51,7 @@ pub fn vertex_cover_number(q: &Query) -> Result<f64, LpError> {
         .map(|i| lp.add_var(format!("v{i}"), 1.0))
         .collect();
     for j in 0..q.num_atoms() {
-        let terms: Vec<(usize, f64)> = q
-            .atom(j)
-            .var_set()
-            .iter()
-            .map(|i| (vars[i], 1.0))
-            .collect();
+        let terms: Vec<(usize, f64)> = q.atom(j).var_set().iter().map(|i| (vars[i], 1.0)).collect();
         lp.add_constraint(&terms, Cmp::Ge, 1.0);
     }
     lp.solve().map(|s| s.objective)

@@ -74,9 +74,7 @@ pub fn connected_components(q: &Query) -> Vec<(VarSet, Vec<usize>)> {
             comp_atoms.push(j);
             comp_vars = comp_vars.union(q.atom(j).var_set());
             for j2 in 0..l {
-                if !assigned[j2]
-                    && !q.atom(j2).var_set().intersect(comp_vars).is_empty()
-                {
+                if !assigned[j2] && !q.atom(j2).var_set().intersect(comp_vars).is_empty() {
                     assigned[j2] = true;
                     frontier.push(j2);
                 }

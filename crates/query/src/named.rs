@@ -25,7 +25,12 @@ pub fn chain(w: usize) -> Query {
     let names: Vec<String> = (1..=w).map(|i| format!("S{i}")).collect();
     let vars: Vec<String> = (1..=w + 1).map(|i| format!("x{i}")).collect();
     let atoms: Vec<(&str, Vec<&str>)> = (0..w)
-        .map(|i| (names[i].as_str(), vec![vars[i].as_str(), vars[i + 1].as_str()]))
+        .map(|i| {
+            (
+                names[i].as_str(),
+                vec![vars[i].as_str(), vars[i + 1].as_str()],
+            )
+        })
         .collect();
     let borrowed: Vec<(&str, &[&str])> = atoms.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     Query::build(format!("L{w}"), &borrowed).expect("chain query is well-formed")
@@ -123,7 +128,10 @@ mod tests {
     #[test]
     fn triangle_matches_eq_4() {
         let q = cycle(3);
-        assert_eq!(q.to_string(), "C3(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1)");
+        assert_eq!(
+            q.to_string(),
+            "C3(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1)"
+        );
     }
 
     #[test]

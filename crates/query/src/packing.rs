@@ -103,7 +103,10 @@ pub fn is_tight_packing(q: &Query, u: &Packing) -> bool {
 /// the origin).
 pub fn packing_vertices(q: &Query) -> Vec<Packing> {
     let (a, b) = packing_system(q);
-    let mut vs: Vec<Packing> = enumerate_vertices(&a, &b).into_iter().map(Packing).collect();
+    let mut vs: Vec<Packing> = enumerate_vertices(&a, &b)
+        .into_iter()
+        .map(Packing)
+        .collect();
     vs.sort();
     vs
 }

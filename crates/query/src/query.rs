@@ -99,10 +99,7 @@ pub struct Query {
 impl Query {
     /// Build a query from `(relation name, variable names)` pairs. Variables
     /// are interned by name in first-occurrence order.
-    pub fn build(
-        name: impl Into<String>,
-        atoms: &[(&str, &[&str])],
-    ) -> Result<Query, QueryError> {
+    pub fn build(name: impl Into<String>, atoms: &[(&str, &[&str])]) -> Result<Query, QueryError> {
         if atoms.is_empty() {
             return Err(QueryError::NoAtoms);
         }
@@ -292,7 +289,10 @@ mod tests {
     #[test]
     fn display_roundtrips_shape() {
         let q = triangle();
-        assert_eq!(q.to_string(), "C3(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1)");
+        assert_eq!(
+            q.to_string(),
+            "C3(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1)"
+        );
     }
 
     #[test]

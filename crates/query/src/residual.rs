@@ -83,7 +83,10 @@ pub fn saturated_system(q: &Query, x: VarSet) -> (RatMatrix, Vec<Rat>) {
 /// `q_x` saturates `x` (then `x` yields no Theorem 4.7 bound).
 pub fn saturating_packing_vertices(q: &Query, x: VarSet) -> Vec<Packing> {
     let (a, b) = saturated_system(q, x);
-    let mut vs: Vec<Packing> = enumerate_vertices(&a, &b).into_iter().map(Packing).collect();
+    let mut vs: Vec<Packing> = enumerate_vertices(&a, &b)
+        .into_iter()
+        .map(Packing)
+        .collect();
     vs.sort();
     vs
 }

@@ -24,8 +24,7 @@ fn arb_query() -> impl Strategy<Value = mpc_query::Query> {
                 )
             })
             .collect();
-        let borrowed: Vec<(&str, &[&str])> =
-            spec.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+        let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(n, v)| (*n, v.as_slice())).collect();
         mpc_query::Query::build("rq", &borrowed).expect("generated query is valid")
     })
 }

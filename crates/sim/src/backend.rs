@@ -5,7 +5,7 @@
 //! [`crate::cluster::Cluster::run_round_on`] and the per-server local joins
 //! in [`crate::cluster::Cluster::all_answers`] — are executed.
 //!
-//! Both backends are **bit-identical**: work is split into contiguous index
+//! All backends are **bit-identical**: work is split into contiguous index
 //! chunks, each worker produces its partial result independently, and
 //! partials are merged in worker-index order. Fragment tuple order, answer
 //! sets, and [`crate::load::LoadReport`]s therefore never depend on the
@@ -14,51 +14,82 @@
 //!
 //! Selection precedence: explicit [`Backend`] argument > the
 //! `MPCSKEW_THREADS` environment variable (`1` = sequential, `0`/unset =
-//! all available cores, `n` = n threads) > available parallelism.
+//! all available cores, `n` = n scoped threads, `pool:n` = the persistent
+//! `n`-worker pool) > available parallelism.
 
-use std::sync::OnceLock;
+use crate::pool;
 
 /// How simulator loops over independent work items are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
     /// Everything on the calling thread.
     Sequential,
-    /// Up to `n` std::thread workers per parallel loop (scoped threads, no
-    /// pool; `Threaded(1)` behaves exactly like [`Backend::Sequential`]).
+    /// Up to `n` std::thread workers per parallel loop (scoped threads
+    /// spawned and joined per loop; `Threaded(1)` behaves exactly like
+    /// [`Backend::Sequential`]).
     Threaded(usize),
+    /// Up to `n` workers from the persistent process-wide pool of that size
+    /// ([`crate::pool::global`]): threads are spawned once and reused across
+    /// every loop, round, query, and batch, amortizing spawn cost for
+    /// many-round / many-query workloads. Results are bit-identical to the
+    /// other backends.
+    Pooled(usize),
 }
 
 impl Backend {
     /// `Threaded(available_parallelism)`.
     pub fn available() -> Backend {
-        Backend::Threaded(
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        )
+        Backend::Threaded(available_threads())
     }
 
-    /// Backend selected by the `MPCSKEW_THREADS` environment variable
-    /// (read once per process): `1` → [`Backend::Sequential`], `n > 1` →
-    /// `Threaded(n)`, `0`/unset → [`Backend::available`].
+    /// `Pooled(available_parallelism)`.
+    pub fn available_pooled() -> Backend {
+        Backend::Pooled(available_threads())
+    }
+
+    /// Backend selected by the `MPCSKEW_THREADS` environment variable:
+    /// `1` → [`Backend::Sequential`], `n > 1` → `Threaded(n)`, `pool:n` →
+    /// `Pooled(n)` (`pool:0` = pool over all cores), `0`/unset →
+    /// [`Backend::available`].
+    ///
+    /// The variable is re-read on every call (no process-wide cache), so a
+    /// test or embedder that changes `MPCSKEW_THREADS` mid-process gets the
+    /// new backend on the next round — `from_env_tracks_environment_changes`
+    /// pins this.
     ///
     /// # Panics
-    /// Panics when the variable is set but not an integer — a typo must
+    /// Panics when the variable is set but not a valid spec — a typo must
     /// not silently downgrade a pinned-backend CI run to the default.
     pub fn from_env() -> Backend {
-        static ENV: OnceLock<Option<usize>> = OnceLock::new();
-        let parsed = *ENV.get_or_init(|| {
-            std::env::var("MPCSKEW_THREADS").ok().map(|v| {
-                v.trim().parse::<usize>().unwrap_or_else(|_| {
-                    panic!("MPCSKEW_THREADS must be an integer, got `{v}`")
-                })
-            })
-        });
-        Backend::from_thread_count(parsed)
+        match std::env::var("MPCSKEW_THREADS") {
+            Err(_) => Backend::available(),
+            Ok(v) => Backend::parse(&v)
+                .unwrap_or_else(|e| panic!("MPCSKEW_THREADS must be an integer or `pool:N`: {e}")),
+        }
     }
 
-    /// The [`Backend::from_env`] mapping, exposed for flag parsing (the CLI
-    /// `--threads` flag uses the same convention).
+    /// Parse a backend spec: an integer (the [`Backend::from_thread_count`]
+    /// convention) or `pool:N` for the persistent pool (`pool:0` = all
+    /// available cores). The CLI `--threads` flag and `MPCSKEW_THREADS` both
+    /// use this grammar.
+    pub fn parse(spec: &str) -> Result<Backend, String> {
+        let s = spec.trim();
+        if let Some(rest) = s.strip_prefix("pool:") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad pool worker count in `{spec}`"))?;
+            Ok(match n {
+                0 => Backend::available_pooled(),
+                n => Backend::Pooled(n),
+            })
+        } else {
+            let n: usize = s.parse().map_err(|_| format!("got `{spec}`"))?;
+            Ok(Backend::from_thread_count(Some(n)))
+        }
+    }
+
+    /// The numeric [`Backend::from_env`] mapping, exposed for flag parsing.
     pub fn from_thread_count(threads: Option<usize>) -> Backend {
         match threads {
             None | Some(0) => Backend::available(),
@@ -71,7 +102,7 @@ impl Backend {
     pub fn threads(&self) -> usize {
         match *self {
             Backend::Sequential => 1,
-            Backend::Threaded(n) => n.max(1),
+            Backend::Threaded(n) | Backend::Pooled(n) => n.max(1),
         }
     }
 
@@ -84,12 +115,27 @@ impl Backend {
         self.threads().min(len.div_ceil(min_chunk.max(1))).max(1)
     }
 
+    /// The contiguous chunk ranges a loop over `len` items splits into.
+    fn chunk_ranges(&self, len: usize, workers: usize) -> Vec<(usize, usize)> {
+        let chunk = len.div_ceil(workers);
+        (0..workers)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(len)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect()
+    }
+
     /// Split `0..len` into contiguous chunks of at least `min_chunk` items,
-    /// evaluate `work(lo, hi)` for each (in parallel on the threaded
-    /// backend), and return the per-chunk results **in chunk order** — the
-    /// deterministic-merge primitive every parallel loop in the simulator
-    /// is built on. Worker panics are re-raised on the caller with their
-    /// original payload.
+    /// evaluate `work(lo, hi)` for each (in parallel on the threaded and
+    /// pooled backends), and return the per-chunk results **in chunk
+    /// order** — the deterministic-merge primitive every parallel loop in
+    /// the simulator is built on. Worker panics are re-raised on the caller
+    /// with their original payload (the first panicking chunk in chunk
+    /// order).
+    ///
+    /// Called from inside a pool worker (a nested parallel loop), the work
+    /// runs inline on that worker: submitting sub-jobs to the same pool the
+    /// caller occupies could deadlock, and batch submissions parallelize
+    /// across items, not inside them.
     pub fn run_chunks<T, F>(&self, len: usize, min_chunk: usize, work: F) -> Vec<T>
     where
         T: Send,
@@ -99,23 +145,134 @@ impl Backend {
         if workers == 0 {
             return Vec::new();
         }
-        if workers == 1 {
+        if workers == 1 || pool::in_worker() {
             return vec![work(0, len)];
         }
-        let chunk = len.div_ceil(workers);
-        let work = &work;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|t| (t * chunk, ((t + 1) * chunk).min(len)))
-                .filter(|&(lo, hi)| lo < hi)
-                .map(|(lo, hi)| scope.spawn(move || work(lo, hi)))
-                .collect();
-            handles
+        let ranges = self.chunk_ranges(len, workers);
+        match *self {
+            Backend::Sequential => unreachable!("workers_for caps Sequential at 1"),
+            Backend::Threaded(_) => {
+                let work = &work;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = ranges
+                        .iter()
+                        .map(|&(lo, hi)| scope.spawn(move || work(lo, hi)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                        .collect()
+                })
+            }
+            Backend::Pooled(n) => pool::global(n)
+                .run_jobs(ranges.len(), |i| {
+                    let (lo, hi) = ranges[i];
+                    work(lo, hi)
+                })
                 .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        })
+                .map(|r| r.unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect(),
+        }
     }
+
+    /// Run `count` independent work items and return their results **in
+    /// item order**. Unlike [`Backend::run_chunks`], items are not
+    /// statically grouped into contiguous per-worker chunks on the pooled
+    /// backend: each item is its own pool job pulled from the shared queue,
+    /// so a slow item (a heavy oracle bucket, a big batch round) occupies
+    /// one worker while the others keep draining the rest — dynamic load
+    /// balancing for heterogeneous items. On the scoped-thread backend the
+    /// items fall back to contiguous chunking. Worker panics are re-raised
+    /// verbatim (first panicking item in item order).
+    pub fn run_items<T, F>(&self, count: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        if self.threads() <= 1 || pool::in_worker() {
+            return (0..count).map(work).collect();
+        }
+        match *self {
+            Backend::Pooled(n) => pool::global(n)
+                .run_jobs(count, &work)
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect(),
+            _ => self
+                .run_chunks(count, 1, |lo, hi| (lo..hi).map(&work).collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Pipelined [`Backend::run_chunks`]: chunk results are handed to
+    /// `consume` on the **calling thread, in chunk order, while later chunks
+    /// are still being computed** — producers and the (order-sensitive)
+    /// merge overlap through a bounded channel instead of a full barrier.
+    /// Because `consume` still sees every chunk in chunk order, anything
+    /// merged through it is bit-identical to the unpipelined path. Worker
+    /// panics are re-raised verbatim (first panicking chunk in chunk order)
+    /// after the in-flight chunks have drained.
+    pub fn run_chunks_pipelined<T, F, C>(
+        &self,
+        len: usize,
+        min_chunk: usize,
+        work: F,
+        mut consume: C,
+    ) where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+        C: FnMut(T),
+    {
+        let workers = self.workers_for(len, min_chunk);
+        if workers == 0 {
+            return;
+        }
+        if workers == 1 || pool::in_worker() {
+            consume(work(0, len));
+            return;
+        }
+        let ranges = self.chunk_ranges(len, workers);
+        match *self {
+            Backend::Sequential => unreachable!("workers_for caps Sequential at 1"),
+            Backend::Threaded(_) => {
+                use std::panic::{catch_unwind, AssertUnwindSafe};
+                let work = &work;
+                // Capacity covers every chunk, so producers never block on
+                // the channel even if the consumer unwinds early.
+                let (tx, rx) = std::sync::mpsc::sync_channel(ranges.len());
+                std::thread::scope(|scope| {
+                    for (i, &(lo, hi)) in ranges.iter().enumerate() {
+                        let tx = tx.clone();
+                        scope.spawn(move || {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| work(lo, hi)));
+                            let _ = tx.send((i, outcome));
+                        });
+                    }
+                    drop(tx);
+                    pool::consume_in_order(&rx, ranges.len(), &mut consume);
+                });
+            }
+            Backend::Pooled(n) => pool::global(n).run_jobs_pipelined(
+                ranges.len(),
+                |i| {
+                    let (lo, hi) = ranges[i];
+                    work(lo, hi)
+                },
+                consume,
+            ),
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for Backend {
@@ -129,6 +286,7 @@ impl std::fmt::Display for Backend {
         match self {
             Backend::Sequential => write!(f, "sequential"),
             Backend::Threaded(n) => write!(f, "threaded({n})"),
+            Backend::Pooled(n) => write!(f, "pooled({n})"),
         }
     }
 }
@@ -136,6 +294,9 @@ impl std::fmt::Display for Backend {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every parallel flavour the primitive-level tests sweep.
+    const PARALLEL: [Backend; 2] = [Backend::Threaded(4), Backend::Pooled(4)];
 
     #[test]
     fn thread_count_mapping() {
@@ -149,14 +310,52 @@ mod tests {
     }
 
     #[test]
+    fn spec_parsing() {
+        assert_eq!(Backend::parse("1"), Ok(Backend::Sequential));
+        assert_eq!(Backend::parse(" 6 "), Ok(Backend::Threaded(6)));
+        assert_eq!(Backend::parse("0"), Ok(Backend::available()));
+        assert_eq!(Backend::parse("pool:4"), Ok(Backend::Pooled(4)));
+        assert_eq!(Backend::parse("pool: 2"), Ok(Backend::Pooled(2)));
+        assert_eq!(Backend::parse("pool:0"), Ok(Backend::available_pooled()));
+        assert!(Backend::parse("many").is_err());
+        assert!(Backend::parse("pool:x").is_err());
+        assert!(Backend::parse("pool:").is_err());
+    }
+
+    #[test]
+    fn from_env_tracks_environment_changes() {
+        // Regression test for the stale-OnceLock bug: from_env used to cache
+        // the first read for the process lifetime, so a test that set
+        // MPCSKEW_THREADS after any earlier read silently kept the old
+        // backend. The variable must now be re-read on every call. (Only
+        // valid specs are written here: other tests of this binary may read
+        // the variable concurrently, and every valid backend is
+        // bit-identical, so the worst cross-talk is a different but correct
+        // executor for one round.)
+        let saved = std::env::var("MPCSKEW_THREADS").ok();
+        std::env::set_var("MPCSKEW_THREADS", "3");
+        assert_eq!(Backend::from_env(), Backend::Threaded(3));
+        std::env::set_var("MPCSKEW_THREADS", "pool:5");
+        assert_eq!(Backend::from_env(), Backend::Pooled(5));
+        std::env::set_var("MPCSKEW_THREADS", "1");
+        assert_eq!(Backend::from_env(), Backend::Sequential);
+        match saved {
+            Some(v) => std::env::set_var("MPCSKEW_THREADS", v),
+            None => std::env::remove_var("MPCSKEW_THREADS"),
+        }
+    }
+
+    #[test]
     fn worker_budgeting_respects_min_chunk() {
-        let b = Backend::Threaded(8);
-        assert_eq!(b.workers_for(0, 16), 0);
-        assert_eq!(b.workers_for(10, 16), 1);
-        assert_eq!(b.workers_for(32, 16), 2);
-        assert_eq!(b.workers_for(1 << 20, 16), 8);
+        for b in [Backend::Threaded(8), Backend::Pooled(8)] {
+            assert_eq!(b.workers_for(0, 16), 0, "{b}");
+            assert_eq!(b.workers_for(10, 16), 1, "{b}");
+            assert_eq!(b.workers_for(32, 16), 2, "{b}");
+            assert_eq!(b.workers_for(1 << 20, 16), 8, "{b}");
+        }
         assert_eq!(Backend::Sequential.workers_for(1 << 20, 1), 1);
         assert_eq!(Backend::Threaded(0).threads(), 1);
+        assert_eq!(Backend::Pooled(0).threads(), 1);
     }
 
     #[test]
@@ -166,6 +365,9 @@ mod tests {
             Backend::Threaded(1),
             Backend::Threaded(3),
             Backend::Threaded(64),
+            Backend::Pooled(1),
+            Backend::Pooled(3),
+            Backend::Pooled(16),
         ] {
             let parts = backend.run_chunks(1000, 1, |lo, hi| (lo..hi).collect::<Vec<_>>());
             let flat: Vec<usize> = parts.into_iter().flatten().collect();
@@ -176,17 +378,36 @@ mod tests {
     #[test]
     fn run_chunks_result_is_thread_count_invariant() {
         let sum = |lo: usize, hi: usize| (lo..hi).map(|i| i as u64 * i as u64).sum::<u64>();
-        let seq: u64 = Backend::Sequential.run_chunks(4096, 1, sum).into_iter().sum();
+        let seq: u64 = Backend::Sequential
+            .run_chunks(4096, 1, sum)
+            .into_iter()
+            .sum();
         for n in [2usize, 3, 8, 17] {
-            let par: u64 = Backend::Threaded(n).run_chunks(4096, 1, sum).into_iter().sum();
-            assert_eq!(par, seq, "Threaded({n})");
+            let thr: u64 = Backend::Threaded(n)
+                .run_chunks(4096, 1, sum)
+                .into_iter()
+                .sum();
+            assert_eq!(thr, seq, "Threaded({n})");
+            let pooled: u64 = Backend::Pooled(n)
+                .run_chunks(4096, 1, sum)
+                .into_iter()
+                .sum();
+            assert_eq!(pooled, seq, "Pooled({n})");
         }
     }
 
     #[test]
     fn empty_range_runs_no_work() {
-        let parts = Backend::Threaded(4).run_chunks(0, 1, |_, _| panic!("no work expected"));
-        assert!(parts.is_empty());
+        for backend in PARALLEL {
+            let parts = backend.run_chunks(0, 1, |_, _| panic!("no work expected"));
+            assert!(parts.is_empty(), "{backend}");
+            backend.run_chunks_pipelined(
+                0,
+                1,
+                |_, _| panic!("no work"),
+                |_: ()| panic!("no consume"),
+            );
+        }
     }
 
     #[test]
@@ -200,8 +421,146 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "pool worker exploded at 7")]
+    fn pooled_worker_panics_propagate_with_payload() {
+        Backend::Pooled(4).run_chunks(16, 1, |lo, hi| {
+            for i in lo..hi {
+                assert!(i != 7, "pool worker exploded at {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn pooled_backend_survives_a_panicking_loop() {
+        // A panic poisons only its own submission: the shared pool keeps
+        // serving later loops, on the same threads it spawned originally.
+        let backend = Backend::Pooled(4);
+        let pool = pool::global(4);
+        let spawned_before = pool.spawn_count();
+        let result = std::panic::catch_unwind(|| {
+            backend.run_chunks(16, 1, |lo, _| {
+                assert!(lo == 0, "poisoned chunk at {lo}");
+            })
+        });
+        assert!(result.is_err());
+        let parts = backend.run_chunks(100, 1, |lo, hi| hi - lo);
+        assert_eq!(parts.iter().sum::<usize>(), 100);
+        assert_eq!(
+            pool.spawn_count(),
+            spawned_before,
+            "panic must not respawn workers"
+        );
+    }
+
+    #[test]
+    fn pipelined_consume_is_chunk_ordered_and_complete() {
+        for backend in [
+            Backend::Sequential,
+            Backend::Threaded(3),
+            Backend::Threaded(8),
+            Backend::Pooled(3),
+            Backend::Pooled(8),
+        ] {
+            let mut flat: Vec<usize> = Vec::new();
+            backend.run_chunks_pipelined(
+                1000,
+                1,
+                |lo, hi| (lo..hi).collect::<Vec<_>>(),
+                |part| flat.extend(part),
+            );
+            assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "{backend}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pipelined worker exploded at 9")]
+    fn pipelined_threaded_panics_propagate_with_payload() {
+        Backend::Threaded(4).run_chunks_pipelined(
+            16,
+            1,
+            |lo, hi| {
+                for i in lo..hi {
+                    assert!(i != 9, "pipelined worker exploded at {i}");
+                }
+            },
+            |_: ()| {},
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pipelined worker exploded at 9")]
+    fn pipelined_pooled_panics_propagate_with_payload() {
+        Backend::Pooled(4).run_chunks_pipelined(
+            16,
+            1,
+            |lo, hi| {
+                for i in lo..hi {
+                    assert!(i != 9, "pipelined worker exploded at {i}");
+                }
+            },
+            |_: ()| {},
+        );
+    }
+
+    #[test]
+    fn run_items_is_item_ordered_on_every_backend() {
+        for backend in [
+            Backend::Sequential,
+            Backend::Threaded(1),
+            Backend::Threaded(3),
+            Backend::Pooled(1),
+            Backend::Pooled(4),
+        ] {
+            let items = backend.run_items(100, |i| i * 3);
+            assert_eq!(
+                items,
+                (0..100).map(|i| i * 3).collect::<Vec<_>>(),
+                "{backend}"
+            );
+            assert!(backend.run_items(0, |_| 0).is_empty(), "{backend}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "item exploded at 11")]
+    fn run_items_panics_propagate_from_the_pool() {
+        Backend::Pooled(4).run_items(32, |i| {
+            assert!(i != 11, "item exploded at {i}");
+        });
+    }
+
+    #[test]
+    fn pipelined_consumer_panic_propagates_and_pool_survives() {
+        let backend = Backend::Pooled(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.run_chunks_pipelined(
+                1000,
+                1,
+                |lo, hi| (lo..hi).sum::<usize>(),
+                |_| panic!("merge bailed"),
+            );
+        }));
+        assert!(result.is_err());
+        let parts = backend.run_chunks(100, 1, |lo, hi| hi - lo);
+        assert_eq!(parts.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn nested_pooled_loops_run_inline() {
+        // A parallel loop launched from inside a pool worker degrades to
+        // inline execution instead of deadlocking on the shared queue.
+        let backend = Backend::Pooled(2);
+        let parts = backend.run_chunks(4, 1, |lo, hi| {
+            let inner: usize = backend.run_chunks(64, 1, |a, b| b - a).into_iter().sum();
+            (hi - lo) * inner
+        });
+        assert_eq!(parts.iter().sum::<usize>(), 4 * 64);
+    }
+
+    #[test]
     fn display_names() {
         assert_eq!(Backend::Sequential.to_string(), "sequential");
         assert_eq!(Backend::Threaded(4).to_string(), "threaded(4)");
+        assert_eq!(Backend::Pooled(8).to_string(), "pooled(8)");
     }
 }

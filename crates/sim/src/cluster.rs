@@ -36,6 +36,27 @@ impl<F: Fn(usize, &[u64], &mut Vec<usize>)> Router for F {
     }
 }
 
+/// One independent round in a [`Cluster::run_batch`] submission.
+pub struct BatchJob<'a> {
+    /// The input database (query + relations).
+    pub db: &'a Database,
+    /// Number of servers for this round.
+    pub p: usize,
+    /// The routing policy (type-erased so one batch can mix algorithms).
+    pub router: &'a (dyn Router + Sync),
+}
+
+/// Adapter giving a `&dyn Router` the `impl Router` shape `run_round_on`
+/// expects (a blanket `impl Router for &R` would collide with the closure
+/// impl above).
+struct DynRouter<'a>(&'a (dyn Router + Sync));
+
+impl Router for DynRouter<'_> {
+    fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>) {
+        self.0.route(atom, tuple, out)
+    }
+}
+
 /// The post-shuffle state: per-atom, per-server relation fragments.
 #[derive(Clone, Debug)]
 pub struct Cluster {
@@ -93,11 +114,16 @@ impl Cluster {
 
     /// [`Cluster::run_round`] on an explicit [`Backend`].
     ///
-    /// On the threaded backend each relation's rows are sharded into
+    /// On the parallel backends each relation's rows are sharded into
     /// contiguous chunks, every worker routes its chunk into private
     /// per-server buffers, and buffers are merged in worker-index order —
     /// so fragment tuple order (hence answers and [`LoadReport`]s) is
-    /// independent of the thread count.
+    /// independent of the thread count. The shuffle is **pipelined**: the
+    /// per-server fragment merge runs on the calling thread, through
+    /// [`Backend::run_chunks_pipelined`]'s bounded channel, overlapping
+    /// with the routing of later chunks instead of waiting for the whole
+    /// relation — the merge still consumes chunks strictly in worker-index
+    /// order, so the pipelining is invisible in the output.
     pub fn run_round_on(
         db: &Database,
         p: usize,
@@ -119,14 +145,16 @@ impl Cluster {
                 // Route straight into the fragments, no intermediate buffers.
                 *frag = route_rows(rel, j, name, arity, 0, rel.len(), p, router);
             } else {
-                let parts = backend.run_chunks(rel.len(), SHUFFLE_MIN_CHUNK, |lo, hi| {
-                    route_rows(rel, j, name, arity, lo, hi, p, router)
-                });
-                for bufs in parts {
-                    for (s, buf) in bufs.into_iter().enumerate() {
-                        frag[s].append(buf);
-                    }
-                }
+                backend.run_chunks_pipelined(
+                    rel.len(),
+                    SHUFFLE_MIN_CHUNK,
+                    |lo, hi| route_rows(rel, j, name, arity, lo, hi, p, router),
+                    |bufs| {
+                        for (s, buf) in bufs.into_iter().enumerate() {
+                            frag[s].append(buf);
+                        }
+                    },
+                );
             }
         }
         Cluster {
@@ -136,6 +164,25 @@ impl Cluster {
             fragments,
             backend,
         }
+    }
+
+    /// Execute a whole batch of independent rounds — many small queries or
+    /// repeated rounds — parallelizing **across** jobs on one backend
+    /// instead of inside each round: the multi-query-throughput shape,
+    /// where a persistent pool ([`Backend::Pooled`]) amortizes its spawn
+    /// cost over the entire batch and schedules jobs dynamically (a slow
+    /// round does not hold up the queue behind it). Each job runs its own
+    /// round sequentially (so results are bit-identical to
+    /// `run_round_on(.., Sequential)`) and the `(Cluster, LoadReport)`
+    /// pairs come back in job order.
+    pub fn run_batch(jobs: &[BatchJob<'_>], backend: Backend) -> Vec<(Cluster, LoadReport)> {
+        backend.run_items(jobs.len(), |i| {
+            let job = &jobs[i];
+            let cluster =
+                Cluster::run_round_on(job.db, job.p, &DynRouter(job.router), Backend::Sequential);
+            let report = cluster.report();
+            (cluster, report)
+        })
     }
 
     /// Number of servers.
@@ -429,6 +476,107 @@ mod tests {
         assert_eq!(rs, rt);
         assert_eq!(rs.num_servers(), p);
         assert_eq!(rs.total_tuples(), 2000 * 2 + 2000);
+    }
+
+    #[test]
+    fn pooled_cluster_is_identical_and_reuses_threads() {
+        // The pooled backend must produce bit-identical fragments, reports,
+        // and answers — and ≥3 consecutive rounds on the same pool must not
+        // spawn a single new thread (the whole point of the pool).
+        let db = join_db(3000, 7);
+        let p = 8;
+        let router = BroadcastRouter { p };
+        let seq = Cluster::run_round_on(&db, p, &router, Backend::Sequential);
+        let pool = crate::pool::global(4);
+        let spawned_before = pool.spawn_count();
+        for round in 0..3 {
+            let pooled = Cluster::run_round_on(&db, p, &router, Backend::Pooled(4));
+            assert_eq!(pooled.backend(), Backend::Pooled(4));
+            for atom in 0..2 {
+                for s in 0..p {
+                    assert_eq!(
+                        seq.fragment(atom, s),
+                        pooled.fragment(atom, s),
+                        "fragment[{atom}][{s}] differs on the pooled backend"
+                    );
+                }
+            }
+            assert_eq!(seq.report(), pooled.report(), "round {round}");
+            assert_eq!(
+                seq.all_answers(db.query()),
+                pooled.all_answers(db.query()),
+                "round {round}"
+            );
+            assert_eq!(
+                pool.spawn_count(),
+                spawned_before,
+                "round {round} spawned new threads"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "router sent a tuple of atom 0 (S1) to server 99 >= p=4")]
+    fn out_of_range_panic_propagates_from_pool_workers() {
+        let db = join_db(4096, 6);
+        let router = |atom: usize, _: &[u64], out: &mut Vec<usize>| {
+            out.push(if atom == 0 { 99 } else { 0 });
+        };
+        let _ = Cluster::run_round_on(&db, 4, &router, Backend::Pooled(4));
+    }
+
+    #[test]
+    fn run_batch_matches_individual_rounds_in_job_order() {
+        let dbs: Vec<Database> = (0..6).map(|seed| join_db(700, 100 + seed)).collect();
+        let p = 8usize;
+        let broadcast = BroadcastRouter { p };
+        let key = 0x5EED_F00Du64;
+        let hash = move |_atom: usize, tuple: &[u64], out: &mut Vec<usize>| {
+            out.push((mpc_data::mix64(tuple[1], key) % p as u64) as usize);
+        };
+        let jobs: Vec<BatchJob> = dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| BatchJob {
+                db,
+                p,
+                router: if i % 2 == 0 {
+                    &broadcast as &(dyn Router + Sync)
+                } else {
+                    &hash as &(dyn Router + Sync)
+                },
+            })
+            .collect();
+        let expected: Vec<(Vec<Vec<u64>>, LoadReport)> = jobs
+            .iter()
+            .map(|job| {
+                let c = Cluster::run_round_on(
+                    job.db,
+                    job.p,
+                    &DynRouter(job.router),
+                    Backend::Sequential,
+                );
+                (c.all_answers(job.db.query()), c.report())
+            })
+            .collect();
+        for backend in [
+            Backend::Sequential,
+            Backend::Threaded(3),
+            Backend::Pooled(4),
+        ] {
+            let results = Cluster::run_batch(&jobs, backend);
+            assert_eq!(results.len(), jobs.len(), "{backend}");
+            for (i, ((cluster, report), (exp_answers, exp_report))) in
+                results.iter().zip(&expected).enumerate()
+            {
+                assert_eq!(report, exp_report, "job {i} report [{backend}]");
+                assert_eq!(
+                    &cluster.all_answers(dbs[i].query()),
+                    exp_answers,
+                    "job {i} answers [{backend}]"
+                );
+            }
+        }
     }
 
     #[test]

@@ -99,7 +99,9 @@ mod tests {
         for v in 0..100u64 {
             assert_eq!(f1.hash(0, v, 16), f2.hash(0, v, 16));
         }
-        let diff = (0..100u64).filter(|&v| f1.hash(0, v, 16) != f3.hash(0, v, 16)).count();
+        let diff = (0..100u64)
+            .filter(|&v| f1.hash(0, v, 16) != f3.hash(0, v, 16))
+            .count();
         assert!(diff > 50);
     }
 

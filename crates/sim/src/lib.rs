@@ -7,9 +7,15 @@
 //! * [`cluster::Cluster`] — executes a [`cluster::Router`] (a pure
 //!   tuple-at-a-time routing policy, the paper's one-round algorithm model)
 //!   and materializes per-server fragments;
-//! * [`backend::Backend`] — the execution backend (`Sequential` or
-//!   `Threaded(n)`) driving the shuffle and the per-server local joins,
-//!   with bit-identical results whatever the thread count;
+//! * [`backend::Backend`] — the execution backend (`Sequential`,
+//!   `Threaded(n)`, or the persistent-pool `Pooled(n)`) driving the
+//!   pipelined shuffle and the per-server local joins, with bit-identical
+//!   results whatever the thread count;
+//! * [`pool::WorkerPool`] — the persistent worker pool behind
+//!   `Backend::Pooled`, reused across rounds, queries, and batches;
+//! * [`oracle`] — the parallel ground-truth join (hash-partitioned
+//!   sub-joins on the backend chunking) that verification measures
+//!   distributed answers against;
 //! * [`load::LoadReport`] — exact per-server bit/tuple accounting, maximum
 //!   load `L`, and the replication rate `r` of Section 5;
 //! * [`topology::Grid`] — the hypercube server grid with subcube
@@ -21,10 +27,13 @@ pub mod backend;
 pub mod cluster;
 pub mod hashing;
 pub mod load;
+pub mod oracle;
+pub mod pool;
 pub mod topology;
 
 pub use backend::Backend;
-pub use cluster::{BroadcastRouter, Cluster, Router};
+pub use cluster::{BatchJob, BroadcastRouter, Cluster, Router};
 pub use hashing::{bucket_loads, summarize, HashFamily, LoadSummary};
 pub use load::LoadReport;
+pub use pool::WorkerPool;
 pub use topology::{round_shares, Grid};

@@ -18,7 +18,10 @@ impl Grid {
     /// Build a grid; every dimension must be non-empty.
     pub fn new(dims: Vec<usize>) -> Grid {
         assert!(!dims.is_empty(), "grid needs at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "grid dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "grid dimensions must be positive"
+        );
         Grid { dims }
     }
 

@@ -76,10 +76,8 @@ fn concentration_needs_m_much_bigger_than_p() {
     let mut sparse_ratio = 0.0;
     let trials = 50;
     for seed in 0..trials {
-        dense_ratio +=
-            max_bin_weight(&dense, p, seed) as f64 / (dense.len() as f64 / p as f64);
-        sparse_ratio +=
-            max_bin_weight(&sparse, p, seed) as f64 / (sparse.len() as f64 / p as f64);
+        dense_ratio += max_bin_weight(&dense, p, seed) as f64 / (dense.len() as f64 / p as f64);
+        sparse_ratio += max_bin_weight(&sparse, p, seed) as f64 / (sparse.len() as f64 / p as f64);
     }
     dense_ratio /= trials as f64;
     sparse_ratio /= trials as f64;

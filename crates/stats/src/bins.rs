@@ -170,8 +170,7 @@ mod tests {
             (vec![3], 100),
             (vec![4], 24),
         ];
-        let s1 =
-            generators::from_degree_sequence("S1", 2, &[1], &degrees, 1 << 10, &mut rng);
+        let s1 = generators::from_degree_sequence("S1", 2, &[1], &degrees, 1 << 10, &mut rng);
         assert_eq!(s1.len(), m);
         let s2 = generators::uniform("S2", 2, 64, 1 << 10, &mut rng);
         let db = Database::new(q, vec![s1, s2], 1 << 10).unwrap();

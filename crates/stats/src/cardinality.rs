@@ -33,7 +33,11 @@ impl SimpleStatistics {
 
     /// Construct synthetic statistics without a materialized database
     /// (bounds can be evaluated without generating data).
-    pub fn synthetic(arities: &[usize], cardinalities: Vec<usize>, domain: u64) -> SimpleStatistics {
+    pub fn synthetic(
+        arities: &[usize],
+        cardinalities: Vec<usize>,
+        domain: u64,
+    ) -> SimpleStatistics {
         assert_eq!(arities.len(), cardinalities.len());
         let value_bits = mpc_data::domain_bits(domain);
         let bit_sizes = arities

@@ -110,9 +110,7 @@ pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
         if x.is_empty() {
             continue;
         }
-        let xj: Vec<VarSet> = (0..l)
-            .map(|j| x.intersect(q.atom(j).var_set()))
-            .collect();
+        let xj: Vec<VarSet> = (0..l).map(|j| x.intersect(q.atom(j).var_set())).collect();
         let participants: Vec<usize> = (0..l).filter(|&j| !xj[j].is_empty()).collect();
         if participants.is_empty() {
             continue;
@@ -131,11 +129,7 @@ pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
         // Cartesian product over participant choices (odometer).
         let mut odo = vec![0usize; participants.len()];
         'combos: loop {
-            let chosen: Vec<&BinChoice> = odo
-                .iter()
-                .zip(&choices)
-                .map(|(&i, cs)| &cs[i])
-                .collect();
+            let chosen: Vec<&BinChoice> = odo.iter().zip(&choices).map(|(&i, cs)| &cs[i]).collect();
             // Coverage check: heavy atoms must pin all of x.
             let covered = participants
                 .iter()
@@ -143,8 +137,7 @@ pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
                 .filter(|(_, c)| matches!(c, BinChoice::Heavy(_)))
                 .fold(VarSet::EMPTY, |s, (&j, _)| s.union(xj[j]));
             if covered == x {
-                if let Some(combo) =
-                    realize_combination(db, p, x, &participants, &chosen, &binned)
+                if let Some(combo) = realize_combination(db, p, x, &participants, &chosen, &binned)
                 {
                     out.push(combo);
                 }
@@ -242,8 +235,7 @@ fn realize_combination(
             match (choice, freq) {
                 (BinChoice::Heavy(b), Some(f)) => {
                     // Must sit in exactly the chosen bin.
-                    let actual =
-                        crate::bins::bin_of_frequency(f, bh.source.cardinality, p);
+                    let actual = crate::bins::bin_of_frequency(f, bh.source.cardinality, p);
                     if actual != Some(*b) {
                         continue 'cand;
                     }
@@ -273,8 +265,18 @@ fn realize_combination(
     // product (Lemma 4.2's bound, realized greedily).
     if assignments.len() > p {
         assignments.sort_by(|a, b| {
-            let fa: f64 = a.freqs.iter().flatten().map(|&f| (f.max(1) as f64).ln()).sum();
-            let fb: f64 = b.freqs.iter().flatten().map(|&f| (f.max(1) as f64).ln()).sum();
+            let fa: f64 = a
+                .freqs
+                .iter()
+                .flatten()
+                .map(|&f| (f.max(1) as f64).ln())
+                .sum();
+            let fb: f64 = b
+                .freqs
+                .iter()
+                .flatten()
+                .map(|&f| (f.max(1) as f64).ln())
+                .sum();
             fb.partial_cmp(&fa).expect("finite")
         });
         assignments.truncate(p);
@@ -361,8 +363,8 @@ mod tests {
         let m = 1 << 12;
         let hh_count = 30usize;
         let per = m / hh_count; // ~136 > m/p = 512? No: 4096/8 = 512 > 136.
-        // Make them genuinely heavy: use fewer, bigger plants with p = 8:
-        // threshold 512; plant 30 values of ~600 needs m = 18000.
+                                // Make them genuinely heavy: use fewer, bigger plants with p = 8:
+                                // threshold 512; plant 30 values of ~600 needs m = 18000.
         let m = 18_000usize;
         let degrees: Vec<(Vec<u64>, usize)> =
             (0..hh_count as u64).map(|i| (vec![i], 600)).collect();

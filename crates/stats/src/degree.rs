@@ -267,10 +267,7 @@ mod tests {
         let mut ja = joint_assignments(&st, &[0, 1]);
         ja.sort();
         // Shared z values: 5 (4 & 3) and 7 (1 & 5). 6 and 8 are one-sided.
-        assert_eq!(
-            ja,
-            vec![(vec![5u64], vec![4, 3]), (vec![7u64], vec![1, 5])]
-        );
+        assert_eq!(ja, vec![(vec![5u64], vec![4, 3]), (vec![7u64], vec![1, 5])]);
     }
 
     #[test]

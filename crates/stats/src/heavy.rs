@@ -62,9 +62,7 @@ impl HeavyHitters {
 /// order. Variables not present in the atom are skipped.
 pub fn columns_for(q: &Query, atom: usize, vars: VarSet) -> Vec<usize> {
     let a = q.atom(atom);
-    vars.iter()
-        .filter_map(|v| a.position_of_var(v))
-        .collect()
+    vars.iter().filter_map(|v| a.position_of_var(v)).collect()
 }
 
 /// Detect the heavy hitters of atom `j` at variable subset `vars`

@@ -27,4 +27,6 @@ pub use cardinality::SimpleStatistics;
 pub use combination::{enumerate_combinations, BinChoice, BinCombination, CombinationAssignment};
 pub use degree::{degree_statistics, joint_assignments, sum_over_assignments, DegreeStatistics};
 pub use heavy::{all_heavy_hitters, heavy_hitters, split_heavy_light, HeavyHitters};
-pub use sampling::{recommended_rate, sample_heavy_hitters, sampled_frequencies, SampledFrequencies};
+pub use sampling::{
+    recommended_rate, sample_heavy_hitters, sampled_frequencies, SampledFrequencies,
+};

@@ -101,10 +101,8 @@ mod tests {
 
     fn planted(m: usize, heavies: &[(u64, usize)], rng: &mut Rng) -> Relation {
         let planted: usize = heavies.iter().map(|(_, c)| c).sum();
-        let mut degrees: Vec<(Vec<u64>, usize)> = heavies
-            .iter()
-            .map(|&(v, c)| (vec![v], c))
-            .collect();
+        let mut degrees: Vec<(Vec<u64>, usize)> =
+            heavies.iter().map(|&(v, c)| (vec![v], c)).collect();
         degrees.extend((0..(m - planted) as u64).map(|i| (vec![10_000 + i], 1)));
         generators::from_degree_sequence("S", 2, &[1], &degrees, 1 << 20, rng)
     }

@@ -5,6 +5,16 @@
 //! [`Criterion::sample_time_ms`], then `sample_size` samples are measured
 //! and the median, minimum and maximum per-iteration times are printed,
 //! plus throughput when the group declares one.
+//!
+//! CI hooks (all optional, read per benchmark):
+//!
+//! * `MPC_TESTKIT_SAMPLES=<n>` / `MPC_TESTKIT_SAMPLE_MS=<ms>` override the
+//!   configured sample count / per-sample time budget — `ci.sh --bench`
+//!   uses them to run every group on a reduced budget;
+//! * `MPC_TESTKIT_BENCH_JSON=<path>` appends one JSON object per benchmark
+//!   (`{"group","bench","median_ns","min_ns","max_ns","samples",
+//!   "iters_per_sample"}`) to `<path>`, which `ci.sh --bench` assembles
+//!   into the repo-root `BENCH_*.json` trajectory file.
 
 pub use crate::{criterion_group, criterion_main};
 use std::fmt::Display;
@@ -56,13 +66,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_benchmark(
-            &id.0,
-            self.sample_size,
-            self.sample_time_ms,
-            None,
-            f,
-        );
+        run_benchmark(&id.0, self.sample_size, self.sample_time_ms, None, f);
         self
     }
 }
@@ -171,6 +175,13 @@ fn run_benchmark<F>(
 ) where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = env_usize("MPC_TESTKIT_SAMPLES")
+        .unwrap_or(sample_size)
+        .max(2);
+    let sample_time_ms = env_usize("MPC_TESTKIT_SAMPLE_MS")
+        .map(|ms| ms as u64)
+        .unwrap_or(sample_time_ms)
+        .max(1);
     // Calibration: run single iterations until we know roughly how long
     // one takes, then size samples to the target sample time.
     let mut bencher = Bencher {
@@ -207,6 +218,47 @@ fn run_benchmark<F>(
         fmt_ns(hi),
         rate.unwrap_or_default()
     );
+
+    if let Ok(path) = std::env::var("MPC_TESTKIT_BENCH_JSON") {
+        let (group, bench) = match label.split_once('/') {
+            Some((g, b)) => (g, b),
+            None => ("", label),
+        };
+        let line = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+            json_escape(group),
+            json_escape(bench),
+            median,
+            lo,
+            hi,
+            sample_size,
+            iters,
+        );
+        use std::io::Write;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("warning: cannot append bench record to {path}: {e}");
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt_ns(ns: f64) -> String {

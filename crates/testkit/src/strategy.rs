@@ -200,7 +200,12 @@ float_range_strategies!(f32, f64);
 
 fn shrink_float<T>(value: T, lo: T) -> Vec<T>
 where
-    T: Copy + PartialEq + PartialOrd + std::ops::Add<Output = T> + std::ops::Sub<Output = T> + Halvable,
+    T: Copy
+        + PartialEq
+        + PartialOrd
+        + std::ops::Add<Output = T>
+        + std::ops::Sub<Output = T>
+        + Halvable,
 {
     if value == lo {
         return Vec::new();

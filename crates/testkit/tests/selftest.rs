@@ -51,7 +51,10 @@ fn collections_respect_size_bounds() {
         assert!(s.iter().all(|&e| e < 50));
     }
     // The whole size range is actually exercised.
-    assert_eq!(seen_lens.into_iter().collect::<Vec<_>>(), vec![2, 3, 4, 5, 6]);
+    assert_eq!(
+        seen_lens.into_iter().collect::<Vec<_>>(),
+        vec![2, 3, 4, 5, 6]
+    );
 }
 
 #[test]
@@ -104,7 +107,10 @@ fn failing_property_shrinks_to_minimal_counterexample() {
         message.contains("17"),
         "did not shrink to the boundary counterexample: {message}"
     );
-    assert!(message.contains("17 is too big"), "lost the failure detail: {message}");
+    assert!(
+        message.contains("17 is too big"),
+        "lost the failure detail: {message}"
+    );
 }
 
 #[test]

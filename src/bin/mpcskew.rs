@@ -80,8 +80,9 @@ fn usage() -> &'static str {
      [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N]\n\n\
      queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
      algos: hc | hc-equal | hash | skew-join | general;\n\
-     --threads: simulator worker threads (1 = sequential backend; default:\n\
-     MPCSKEW_THREADS or all available cores; results are identical either way)"
+     --threads: simulator worker threads (1 = sequential backend, N = scoped\n\
+     threads, pool:N = the persistent N-worker pool; default: MPCSKEW_THREADS\n\
+     or all available cores; results are identical whichever backend runs)"
 }
 
 fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
@@ -91,7 +92,11 @@ fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
         .get("cards")
         .ok_or("--cards m1,m2,... is required")?
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad cardinality `{s}`")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad cardinality `{s}`"))
+        })
         .collect::<Result<_, _>>()?;
     if cards.len() != q.num_atoms() {
         return Err(format!(
@@ -122,16 +127,17 @@ fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
         "E[|q(I)|]       : {:.3e} tuples (Lemma A.1)",
         bounds::expected_answers(q, &cards, domain)
     );
-    println!(
-        "space exponent  : {:.4}",
-        bounds::space_exponent(q, &st, p)
-    );
+    println!("space exponent  : {:.4}", bounds::space_exponent(q, &st, p));
     println!("\npk(q) load table (Example 3.7 style):");
     for (u, l) in bounds::packing_load_table(q, &st, p) {
         println!("  u = {:?}  ->  L = {:.0} bits", u.to_f64(), l);
     }
     let (lower, best) = bounds::l_lower(q, &st, p);
-    println!("\nL_lower = L_upper = {:.0} bits  (packing {:?})", lower, best.to_f64());
+    println!(
+        "\nL_lower = L_upper = {:.0} bits  (packing {:?})",
+        lower,
+        best.to_f64()
+    );
     let alloc = ShareAllocation::optimize(q, &st, p).map_err(|e| e.to_string())?;
     println!(
         "optimal shares  : {:?}  (exponents {:?})",
@@ -155,12 +161,8 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     let algo = args.get("algo").unwrap_or("hc");
     let backend = match args.get("threads") {
         None => Backend::from_env(),
-        Some(v) => {
-            let n: usize = v
-                .parse()
-                .map_err(|_| format!("--threads expects an integer, got `{v}`"))?;
-            Backend::from_thread_count(Some(n))
-        }
+        Some(v) => Backend::parse(v)
+            .map_err(|_| format!("--threads expects an integer or pool:N, got `{v}`"))?,
     };
 
     // Workload: every relation Zipf(theta) on `skew_col` (uniform if 0.0).
@@ -180,7 +182,10 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     let st = SimpleStatistics::of(&db);
 
     println!("query  : {q}");
-    println!("data   : {} atoms x {m} tuples over [{domain}], theta = {theta}", q.num_atoms());
+    println!(
+        "data   : {} atoms x {m} tuples over [{domain}], theta = {theta}",
+        q.num_atoms()
+    );
     println!("algo   : {algo}, p = {p}, seed = {seed}, backend = {backend}\n");
 
     let cluster: Cluster = match algo {
@@ -189,7 +194,11 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
             println!("shares : {:?}", hc.grid().dims());
             hc.run_on(&db, backend).0
         }
-        "hc-equal" => HyperCube::with_equal_shares(q, p, seed).run_on(&db, backend).0,
+        "hc-equal" => {
+            HyperCube::with_equal_shares(q, p, seed)
+                .run_on(&db, backend)
+                .0
+        }
         "hash" => {
             // Partition on the highest-degree variable (the usual join key).
             let key = (0..q.num_vars())
@@ -207,7 +216,10 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         "general" => {
             let alg = GeneralSkewAlgorithm::plan(&db, p, seed);
             println!("combos : {}", alg.combination_summary().len());
-            println!("predict: {:.0} bits (max_B p^lambda)", alg.predicted_load_bits());
+            println!(
+                "predict: {:.0} bits (max_B p^lambda)",
+                alg.predicted_load_bits()
+            );
             alg.run_on(&db, backend).0
         }
         other => return Err(format!("unknown algorithm `{other}`\n{}", usage())),
@@ -216,12 +228,19 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     let report = cluster.report();
     let v = verify::verify(&db, &cluster);
     let (lower, _) = bounds::l_lower(q, &st, p);
-    println!("\nmax load      : {} bits ({} tuples)", report.max_load_bits(), report.max_load_tuples());
+    println!(
+        "\nmax load      : {} bits ({} tuples)",
+        report.max_load_bits(),
+        report.max_load_tuples()
+    );
     println!("mean load     : {:.0} bits", report.mean_load_bits());
     println!("imbalance     : {:.2}x", report.imbalance());
     println!("replication   : {:.2}x", report.replication_rate());
     println!("L_lower       : {:.0} bits", lower);
-    println!("load/bound    : {:.2}x", report.max_load_bits() as f64 / lower);
+    println!(
+        "load/bound    : {:.2}x",
+        report.max_load_bits() as f64 / lower
+    );
     println!(
         "answers       : {} distinct, verification {}",
         v.found,

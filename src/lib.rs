@@ -33,9 +33,9 @@ pub use mpc_stats as stats;
 pub mod prelude {
     pub use mpc_core::bounds;
     pub use mpc_core::hypercube::HyperCube;
-    pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::mapreduce::{servers_for_reducer_cap, ReducerSchedule};
-    pub use mpc_core::multi_round::{run_multi_round, MultiRoundResult};
+    pub use mpc_core::multi_round::{run_multi_round, run_multi_round_batch, MultiRoundResult};
+    pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::skew_general::GeneralSkewAlgorithm;
     pub use mpc_core::skew_join::{SkewJoin, SkewJoinConfig};
     pub use mpc_core::verify::{assert_complete, verify};
@@ -45,6 +45,7 @@ pub mod prelude {
     pub use mpc_query::query::Query;
     pub use mpc_query::varset::VarSet;
     pub use mpc_sim::backend::Backend;
-    pub use mpc_sim::cluster::Cluster;
+    pub use mpc_sim::cluster::{BatchJob, Cluster};
+    pub use mpc_sim::pool::WorkerPool;
     pub use mpc_stats::cardinality::SimpleStatistics;
 }

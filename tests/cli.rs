@@ -19,7 +19,11 @@ fn bounds_command_prints_triangle_table() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("tau* (max pack) : 3/2"), "{text}");
     assert!(text.contains("[0.5, 0.5, 0.5]"));
@@ -44,7 +48,11 @@ fn run_command_executes_and_verifies() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("verification PASSED"), "{text}");
     assert!(text.contains("max load"));
@@ -69,7 +77,11 @@ fn run_skew_join_on_skewed_data() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("heavy z"), "{text}");
     assert!(text.contains("verification PASSED"));
@@ -97,7 +109,11 @@ fn threads_flag_selects_backend_and_output_is_invariant() {
             ])
             .output()
             .expect("binary runs");
-        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
     let seq = run("1");
@@ -105,6 +121,8 @@ fn threads_flag_selects_backend_and_output_is_invariant() {
     assert!(seq.contains("verification PASSED"), "{seq}");
     let thr = run("4");
     assert!(thr.contains("backend = threaded(4)"), "{thr}");
+    let pooled = run("pool:4");
+    assert!(pooled.contains("backend = pooled(4)"), "{pooled}");
     // Identical measurements, modulo the backend banner line.
     let strip = |s: &str| {
         s.lines()
@@ -113,6 +131,11 @@ fn threads_flag_selects_backend_and_output_is_invariant() {
             .join("\n")
     };
     assert_eq!(strip(&seq), strip(&thr), "output drifted across backends");
+    assert_eq!(
+        strip(&seq),
+        strip(&pooled),
+        "output drifted on the pooled backend"
+    );
 }
 
 #[test]

@@ -8,10 +8,10 @@
 //!
 //! 1. **oracle equality** — the distributed answer set equals the
 //!    sequential `mpc_data::join` of the input;
-//! 2. **backend determinism** — `Sequential`, `Threaded(2)` and
-//!    `Threaded(8)` produce identical answer sets *and* identical
-//!    [`LoadReport`]s (exact per-server equality), i.e. the threaded
-//!    executor is bit-identical to the sequential one.
+//! 2. **backend determinism** — `Sequential`, `Threaded(2)`, `Threaded(8)`,
+//!    and the persistent-pool `Pooled(4)` produce identical answer sets
+//!    *and* identical [`LoadReport`]s (exact per-server equality), i.e.
+//!    every parallel executor is bit-identical to the sequential one.
 
 use mpc_skew::core::baselines::{FragmentReplicateRouter, HashJoinRouter};
 use mpc_skew::core::hypercube::HyperCube;
@@ -24,12 +24,15 @@ use mpc_skew::sim::backend::Backend;
 use mpc_skew::sim::cluster::{BroadcastRouter, Cluster, Router};
 use mpc_skew::sim::load::LoadReport;
 
-/// The three backends the acceptance matrix requires (`Threaded(1)` is
-/// covered separately by `threaded_one_matches_sequential`).
-const BACKENDS: [Backend; 3] = [
+/// The backends the acceptance matrix requires (`Threaded(1)` is covered
+/// separately by `threaded_one_matches_sequential`). `Pooled(4)` runs on
+/// the shared persistent pool, so the whole matrix doubles as a pool-reuse
+/// soak: one worker set serves every (scenario, algorithm) cell.
+const BACKENDS: [Backend; 4] = [
     Backend::Sequential,
     Backend::Threaded(2),
     Backend::Threaded(8),
+    Backend::Pooled(4),
 ];
 
 /// The scenario matrix over the two-way join `S1(x,z) ⋈ S2(y,z)`. Sizes
@@ -45,7 +48,10 @@ fn scenarios() -> Vec<(&'static str, Database)> {
         let mut rng = Rng::seed_from_u64(0xD1FF_0001);
         let s1 = generators::uniform("S1", 2, 2000, n, &mut rng);
         let s2 = generators::uniform("S2", 2, 2000, n, &mut rng);
-        out.push(("uniform", Database::new(q.clone(), vec![s1, s2], n).unwrap()));
+        out.push((
+            "uniform",
+            Database::new(q.clone(), vec![s1, s2], n).unwrap(),
+        ));
     }
 
     // Zipf(1.2) on z on both sides.
@@ -134,8 +140,14 @@ fn check_router(
         match &baseline {
             None => baseline = Some((answers, report)),
             Some((a0, r0)) => {
-                assert_eq!(&answers, a0, "{tag} [{backend}]: answers differ from Sequential");
-                assert_eq!(&report, r0, "{tag} [{backend}]: LoadReport differs from Sequential");
+                assert_eq!(
+                    &answers, a0,
+                    "{tag} [{backend}]: answers differ from Sequential"
+                );
+                assert_eq!(
+                    &report, r0,
+                    "{tag} [{backend}]: LoadReport differs from Sequential"
+                );
             }
         }
     }
@@ -166,9 +178,21 @@ fn scenario_matrix_times_algorithms_is_deterministic_and_complete() {
         check_router(&format!("{name}/hash_join"), &db, &expected, p, &hj);
 
         let fr = FragmentReplicateRouter::new(p, 1, 11);
-        check_router(&format!("{name}/fragment_replicate"), &db, &expected, p, &fr);
+        check_router(
+            &format!("{name}/fragment_replicate"),
+            &db,
+            &expected,
+            p,
+            &fr,
+        );
 
-        check_router(&format!("{name}/broadcast"), &db, &expected, p, &BroadcastRouter { p });
+        check_router(
+            &format!("{name}/broadcast"),
+            &db,
+            &expected,
+            p,
+            &BroadcastRouter { p },
+        );
     }
 }
 
@@ -179,14 +203,106 @@ fn multi_round_is_backend_invariant_on_the_matrix() {
         let expected = oracle(&db);
         let seq = run_multi_round_on(&db, p, 5, Backend::Sequential);
         assert_eq!(seq.answers, expected, "{name}: multi-round lost answers");
-        for backend in [Backend::Threaded(2), Backend::Threaded(8)] {
+        for backend in [
+            Backend::Threaded(2),
+            Backend::Threaded(8),
+            Backend::Pooled(4),
+        ] {
             let thr = run_multi_round_on(&db, p, 5, backend);
             assert_eq!(thr.answers, seq.answers, "{name} [{backend}]");
             assert_eq!(thr.num_rounds(), seq.num_rounds(), "{name} [{backend}]");
             for (a, b) in seq.rounds.iter().zip(&thr.rounds) {
                 assert_eq!(a.max_load_bits, b.max_load_bits, "{name} [{backend}]");
-                assert_eq!(a.intermediate_tuples, b.intermediate_tuples, "{name} [{backend}]");
+                assert_eq!(
+                    a.intermediate_tuples, b.intermediate_tuples,
+                    "{name} [{backend}]"
+                );
             }
+        }
+    }
+}
+
+#[test]
+fn pooled_matrix_reuses_one_worker_set() {
+    // Every Pooled(4) cell above runs on the process-wide pool; this pins
+    // the lifecycle claim directly: ≥3 consecutive rounds (different
+    // scenarios and algorithms) spawn no new threads.
+    let pool = mpc_skew::sim::pool::global(4);
+    let spawned = pool.spawn_count();
+    assert_eq!(spawned, 4, "the shared pool has exactly its worker set");
+    let p = 16usize;
+    for (round, (name, db)) in scenarios().into_iter().enumerate().take(3) {
+        let sj = SkewJoin::plan(&db, p, 11);
+        let (c_seq, r_seq) = sj.run_on(&db, Backend::Sequential);
+        let (c_pool, r_pool) = sj.run_on(&db, Backend::Pooled(4));
+        assert_eq!(r_seq, r_pool, "{name}");
+        assert_eq!(
+            c_seq.all_answers(db.query()),
+            c_pool.all_answers(db.query()),
+            "{name}"
+        );
+        assert_eq!(
+            pool.spawn_count(),
+            spawned,
+            "round {round} ({name}) spawned threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_oracle_matches_sequential_on_the_matrix() {
+    // The hash-partitioned parallel ground-truth join must agree with the
+    // sequential oracle on every scenario, for every backend that might
+    // compute it during verification.
+    for (name, db) in scenarios() {
+        let expected = oracle(&db);
+        for backend in BACKENDS {
+            assert_eq!(
+                mpc_skew::sim::oracle::join_database_on(&db, backend),
+                expected,
+                "{name} [{backend}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_submission_matches_per_round_execution() {
+    // Cluster::run_batch parallelizes across rounds; its per-job results
+    // must equal running each round alone, whatever executor the batch is
+    // on.
+    let dbs: Vec<(&'static str, mpc_skew::data::Database)> = scenarios();
+    let p = 16usize;
+    let routers: Vec<SkewJoin> = dbs
+        .iter()
+        .map(|(_, db)| SkewJoin::plan(db, p, 11))
+        .collect();
+    let jobs: Vec<mpc_skew::sim::BatchJob> = dbs
+        .iter()
+        .zip(&routers)
+        .map(|((_, db), router)| mpc_skew::sim::BatchJob { db, p, router })
+        .collect();
+    let expected: Vec<(Vec<Vec<u64>>, LoadReport)> = dbs
+        .iter()
+        .zip(&routers)
+        .map(|((_, db), router)| {
+            let c = Cluster::run_round_on(db, p, router, Backend::Sequential);
+            (c.all_answers(db.query()), c.report())
+        })
+        .collect();
+    for backend in BACKENDS {
+        let results = Cluster::run_batch(&jobs, backend);
+        assert_eq!(results.len(), dbs.len(), "{backend}");
+        for (i, ((cluster, report), (exp_answers, exp_report))) in
+            results.iter().zip(&expected).enumerate()
+        {
+            let (name, db) = &dbs[i];
+            assert_eq!(report, exp_report, "{name} report [{backend}]");
+            assert_eq!(
+                &cluster.all_answers(db.query()),
+                exp_answers,
+                "{name} [{backend}]"
+            );
         }
     }
 }
@@ -212,7 +328,14 @@ fn triangle_differential_beyond_two_atoms() {
     let n = 1u64 << 7;
     let mut rng = Rng::seed_from_u64(0xD1FF_0005);
     let d = generators::zipf_degrees(1500, n, 1.0);
-    let mut rels = vec![generators::from_degree_sequence("S1", 2, &[1], &d, n, &mut rng)];
+    let mut rels = vec![generators::from_degree_sequence(
+        "S1",
+        2,
+        &[1],
+        &d,
+        n,
+        &mut rng,
+    )];
     for a in ["S2", "S3"] {
         rels.push(generators::uniform(a, 2, 1500, n, &mut rng));
     }

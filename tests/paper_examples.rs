@@ -4,6 +4,7 @@
 //! (PODS 2014) end-to-end: construct the instance, run the algorithm the
 //! example discusses, and check the loads/bounds the example derives.
 
+use mpc_lp::Rat;
 use mpc_skew::core::bounds;
 use mpc_skew::core::hypercube::HyperCube;
 use mpc_skew::core::shares::ShareAllocation;
@@ -13,7 +14,6 @@ use mpc_skew::query::packing::pk;
 use mpc_skew::query::{named, residual_query, saturating_pk, Packing, VarSet};
 use mpc_skew::stats::degree_statistics;
 use mpc_skew::stats::SimpleStatistics;
-use mpc_lp::Rat;
 
 /// Section 1's warm-up: the cartesian product `S1(x) × S2(y)` with
 /// cardinalities m1, m2 has optimal load `~2·sqrt(m1 m2 / p)`, achieved by a

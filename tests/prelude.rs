@@ -30,7 +30,8 @@ fn prelude_covers_skew_and_multi_round() {
     let degrees: Vec<(Vec<u64>, usize)> = std::iter::once((vec![3u64], 256))
         .chain((0..256u64).map(|i| (vec![100 + i], 1)))
         .collect();
-    let s1 = mpc_skew::data::generators::from_degree_sequence("S1", 2, &[1], &degrees, 1024, &mut rng);
+    let s1 =
+        mpc_skew::data::generators::from_degree_sequence("S1", 2, &[1], &degrees, 1024, &mut rng);
     let s2 = mpc_skew::data::generators::matching("S2", 2, 512, 1024, &mut rng);
     let db = Database::new(query.clone(), vec![s1, s2], 1024).unwrap();
 

@@ -103,9 +103,9 @@ proptest! {
 
     /// Determinism regression guard: for random queries and databases,
     /// answer sets and per-server loads (the whole `LoadReport`) are
-    /// invariant under the executor's thread count — `Threaded(t)` is
-    /// bit-identical to `Sequential` for both the §4.2 general algorithm
-    /// and equal-share HyperCube.
+    /// invariant under the executor's thread count — `Threaded(t)` *and*
+    /// the persistent-pool `Pooled(t)` are bit-identical to `Sequential`
+    /// for both the §4.2 general algorithm and equal-share HyperCube.
     #[test]
     fn thread_count_invariance_fuzz(
         qi in 0usize..4,
@@ -141,6 +141,11 @@ proptest! {
             "{} seed={seed} p={p} threads={threads}: general LoadReport drifted", q.name());
         prop_assert_eq!(c_seq.all_answers(q), c_thr.all_answers(q),
             "{} seed={seed} p={p} threads={threads}: general answers drifted", q.name());
+        let (c_pool, r_pool) = alg.run_on(&db, Backend::Pooled(threads));
+        prop_assert_eq!(&r_seq, &r_pool,
+            "{} seed={seed} p={p} pool:{threads}: general LoadReport drifted", q.name());
+        prop_assert_eq!(c_seq.all_answers(q), c_pool.all_answers(q),
+            "{} seed={seed} p={p} pool:{threads}: general answers drifted", q.name());
 
         let hc = HyperCube::with_equal_shares(q, p, seed ^ 0x2222);
         let (h_seq, hr_seq) = hc.run_on(&db, Backend::Sequential);
@@ -149,6 +154,11 @@ proptest! {
             "{} seed={seed} p={p} threads={threads}: HC LoadReport drifted", q.name());
         prop_assert_eq!(h_seq.all_answers(q), h_thr.all_answers(q),
             "{} seed={seed} p={p} threads={threads}: HC answers drifted", q.name());
+        let (h_pool, hr_pool) = hc.run_on(&db, Backend::Pooled(threads));
+        prop_assert_eq!(&hr_seq, &hr_pool,
+            "{} seed={seed} p={p} pool:{threads}: HC LoadReport drifted", q.name());
+        prop_assert_eq!(h_seq.all_answers(q), h_pool.all_answers(q),
+            "{} seed={seed} p={p} pool:{threads}: HC answers drifted", q.name());
     }
 
     /// The multi-round baseline never loses answers either (it is a
