@@ -3,10 +3,13 @@
 # registry dependencies (the only external surface, proptest/criterion, is
 # replaced in-tree by crates/testkit).
 #
-#   ./ci.sh            # build + triple-backend tests + fmt + lint + bench-compile
-#   ./ci.sh --quick    # tier-1 gate only (what the driver enforces)
-#   ./ci.sh --bench    # bench smoke only (reduced budget) -> BENCH_pr3.json;
-#                      # run --quick or the full gate separately for tests
+#   ./ci.sh              # build + triple-backend tests + fmt + lint + docs
+#                        # + bench-compile
+#   ./ci.sh --quick      # tier-1 gate only (what the driver enforces);
+#                        # `cargo test` includes the rustdoc doctests
+#   ./ci.sh --bench prN  # bench smoke only (reduced budget) -> BENCH_prN.json;
+#                        # the label is required so medians stay comparable
+#                        # PR over PR; run --quick or the full gate separately
 #
 # The test suite runs three times — pinned to the sequential backend
 # (MPCSKEW_THREADS=1), to the persistent worker pool (pool:4), and on the
@@ -45,11 +48,18 @@ summary() {
 
 if [ "${1:-}" = "--bench" ]; then
     # Bench smoke: every criterion-lite group on a reduced sample budget,
-    # recorded to BENCH_pr3.json at the repo root so the perf trajectory
-    # accumulates PR over PR. The schema is documented in the file's
-    # "_schema" field; per-benchmark records come from the harness's
-    # MPC_TESTKIT_BENCH_JSON hook (crates/testkit/src/criterion.rs).
-    stage "cargo bench (reduced budget) -> BENCH_pr3.json"
+    # recorded to BENCH_<label>.json at the repo root so the perf
+    # trajectory accumulates PR over PR. The schema is documented in the
+    # file's "_schema" field; per-benchmark records come from the
+    # harness's MPC_TESTKIT_BENCH_JSON hook (crates/testkit/src/criterion.rs).
+    LABEL="${2:-}"
+    if [ -z "$LABEL" ]; then
+        echo "error: --bench needs a label naming the output file, e.g.:" >&2
+        echo "  ./ci.sh --bench pr4    # -> BENCH_pr4.json" >&2
+        exit 2
+    fi
+    BENCH_OUT="BENCH_${LABEL}.json"
+    stage "cargo bench (reduced budget) -> ${BENCH_OUT}"
     # Absolute path: cargo runs bench binaries with cwd at their package
     # root, not the workspace root.
     BENCH_JSONL="$(pwd)/target/bench_results.jsonl"
@@ -62,16 +72,16 @@ if [ "${1:-}" = "--bench" ]; then
     {
         printf '{\n'
         printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations. backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host.",\n'
-        printf '  "pr": "pr3",\n'
-        printf '  "generated_by": "ci.sh --bench",\n'
+        printf '  "pr": "%s",\n' "$LABEL"
+        printf '  "generated_by": "ci.sh --bench %s",\n' "$LABEL"
         printf '  "nproc": %s,\n' "$NPROC"
         printf '  "backend": "%s",\n' "${MPCSKEW_THREADS:-default(all cores)}"
         printf '  "sample_budget": {"samples": 5, "sample_ms": 20},\n'
         printf '  "results": [\n'
         sed 's/^/    /; $!s/$/,/' "$BENCH_JSONL"
         printf '  ]\n}\n'
-    } > BENCH_pr3.json
-    echo "wrote BENCH_pr3.json ($(grep -c . "$BENCH_JSONL") benchmarks)"
+    } > "$BENCH_OUT"
+    echo "wrote $BENCH_OUT ($(grep -c . "$BENCH_JSONL") benchmarks)"
     summary
     exit 0
 fi
@@ -104,6 +114,11 @@ cargo fmt --all -- --check
 
 stage "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+stage "cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+# The public API (Engine/Plan/RunOutcome and everything else) must ship
+# documented: broken intra-doc links and missing docs fail the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 stage "cargo bench --no-run"
 cargo bench --workspace --offline --no-run

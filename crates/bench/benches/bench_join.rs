@@ -3,6 +3,7 @@
 //! on every execution backend, including the pool-reuse and batch cases.
 
 use mpc_bench::workloads::{skewed_join_db, uniform_db};
+use mpc_core::engine::{Algorithm, Engine};
 use mpc_core::skew_join::SkewJoin;
 use mpc_data::join::join_count;
 use mpc_data::Relation;
@@ -55,6 +56,23 @@ fn bench_cluster_zipf(c: &mut Criterion) {
         });
     }
 
+    // The same round dispatched through the unified engine plan: `auto`
+    // resolves to the identical skew join, so the median vs `sequential`
+    // above isolates the engine's dispatch overhead (expected: none — one
+    // vtable hop per routed tuple batch and a metadata-carrying wrapper).
+    let plan = Engine::new(&q).p(p).seed(2).plan(&db);
+    assert_eq!(plan.algorithm(), Algorithm::SkewJoin);
+    g.bench_function(
+        BenchmarkId::new("skew_join_e2e", "engine_sequential"),
+        |b| {
+            b.iter(|| {
+                let outcome = plan.execute(black_box(&db), Backend::Sequential);
+                let cluster = outcome.cluster().expect("one-round outcome");
+                black_box((cluster.answer_count(&q), outcome.max_load_bits()))
+            })
+        },
+    );
+
     // Pool-reuse case: 16 small rounds per iteration. Each round's shuffle
     // shards into 4 chunks per relation, so Threaded(4) pays thread spawn +
     // join on every parallel loop of every round while Pooled(4) reuses one
@@ -83,14 +101,11 @@ fn bench_cluster_zipf(c: &mut Criterion) {
 
     // The same 16 rounds submitted as one batch: parallelism across rounds
     // (each round sequential inside) on the persistent pool — the
-    // multi-query-throughput shape.
-    let jobs: Vec<mpc_sim::BatchJob> = (0..rounds)
-        .map(|_| mpc_sim::BatchJob {
-            db: &small,
-            p: 16,
-            router: &sj_small,
-        })
-        .collect();
+    // multi-query-throughput shape. Jobs are built from an engine plan
+    // (`Plan` is a `Router`), the post-PR-4 batch idiom.
+    let plan_small = Engine::new(&q).p(16).seed(2).plan(&small);
+    assert_eq!(plan_small.algorithm(), Algorithm::SkewJoin);
+    let jobs: Vec<mpc_sim::BatchJob> = (0..rounds).map(|_| plan_small.batch_job(&small)).collect();
     g.bench_function(BenchmarkId::new("small_rounds_x16", "batch_pooled4"), |b| {
         b.iter(|| {
             let results = mpc_sim::Cluster::run_batch(black_box(&jobs), Backend::Pooled(4));

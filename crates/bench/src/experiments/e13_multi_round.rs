@@ -11,11 +11,8 @@
 
 use crate::table::{fmt, Table};
 use crate::workloads::uniform_db;
-use mpc_core::hypercube::HyperCube;
-use mpc_core::multi_round::{run_multi_round, verify_multi_round};
-use mpc_core::verify;
+use mpc_core::engine::{Algorithm, Engine};
 use mpc_query::named;
-use mpc_stats::SimpleStatistics;
 
 /// Run E13.
 pub fn run() {
@@ -46,27 +43,27 @@ pub fn run() {
     ];
     for (label, q, m, n) in cases {
         let db = uniform_db(&q, m, n, 131);
-        let st = SimpleStatistics::of(&db);
+        let engine = Engine::new(&q).p(p).seed(5);
 
-        let hc = HyperCube::with_optimal_shares(&q, &st, p, 5);
-        let (c_hc, rep_hc) = hc.run(&db);
+        let hc = engine.clone().algorithm(Algorithm::HyperCube).run(&db);
         // Skip full verification on the dense triangle (the output is
         // enormous); completeness is covered at sparse scales.
         if n > 1 << 8 {
-            verify::assert_complete(&db, &c_hc);
+            assert!(hc.verify(&db).is_complete(), "{label}: HC lost answers");
         }
 
-        let mr = run_multi_round(&db, p, 5);
+        let mr_outcome = engine.clone().algorithm(Algorithm::MultiRound).run(&db);
         if n > 1 << 8 {
             assert!(
-                verify_multi_round(&db, &mr),
+                mr_outcome.verify(&db).is_complete(),
                 "{label}: multi-round lost answers"
             );
         }
+        let mr = mr_outcome.multi_round().expect("multi-round outcome");
 
         t.row(&[
             label.to_string(),
-            fmt(rep_hc.max_load_bits() as f64),
+            fmt(hc.max_load_bits() as f64),
             fmt(mr.max_round_load_bits() as f64),
             mr.num_rounds().to_string(),
             fmt(mr.max_intermediate_tuples() as f64),

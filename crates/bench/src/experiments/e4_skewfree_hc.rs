@@ -5,10 +5,8 @@
 
 use crate::table::{fmt, fmt_ratio, Table};
 use crate::workloads::matching_db;
-use mpc_core::hypercube::HyperCube;
-use mpc_core::{bounds, verify};
+use mpc_core::engine::{Algorithm, Engine};
 use mpc_query::named;
-use mpc_stats::SimpleStatistics;
 
 /// Run E4.
 pub fn run() {
@@ -36,13 +34,16 @@ pub fn run() {
         let m = 1usize << 13;
         let n = 1u64 << 16;
         let db = matching_db(&q, m, n, 41);
-        let st = SimpleStatistics::of(&db);
         for p in [16usize, 64, 256] {
-            let hc = HyperCube::with_optimal_shares(&q, &st, p, 17);
-            let (cluster, report) = hc.run(&db);
-            let complete = verify::verify(&db, &cluster).is_complete();
-            let (lupper, _) = bounds::l_lower(&q, &st, p);
-            let measured = report.max_load_bits() as f64;
+            let outcome = Engine::new(&q)
+                .p(p)
+                .seed(17)
+                .algorithm(Algorithm::HyperCube)
+                .run(&db);
+            let complete = outcome.verify(&db).is_complete();
+            // By Theorem 3.6 the LP prediction p^λ *is* L_lower = L_upper.
+            let lupper = outcome.lower_bound_bits();
+            let measured = outcome.max_load_bits() as f64;
             t.row(&[
                 q.name().to_string(),
                 p.to_string(),

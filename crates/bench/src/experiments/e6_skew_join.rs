@@ -7,13 +7,9 @@
 
 use crate::table::{fmt, Table};
 use crate::workloads::skewed_join_db;
-use mpc_core::baselines::HashJoinRouter;
 use mpc_core::bounds::skew_join_bound;
-use mpc_core::hypercube::HyperCube;
-use mpc_core::skew_join::SkewJoin;
-use mpc_core::verify;
-use mpc_query::{named, VarSet};
-use mpc_sim::cluster::Cluster;
+use mpc_core::engine::{Algorithm, Engine};
+use mpc_query::named;
 
 /// Run E6.
 pub fn run() {
@@ -21,7 +17,6 @@ pub fn run() {
     let p = 64usize;
     let m = 60_000usize;
     let n = 1u64 << 16;
-    let z = q.var_index("z").unwrap();
 
     let t = Table::new(
         "E6: Section 4.1 skew join vs baselines, m = 60000, p = 64 (max tuples/server)",
@@ -35,37 +30,49 @@ pub fn run() {
             "#heavy",
         ],
     );
+    // One engine per column; the engine's default hash variable is the
+    // most-shared one, i.e. z — exactly the classical join key.
+    let engine = Engine::new(&q).p(p);
     for theta in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
         let db = skewed_join_db(&q, m, n, theta, 800, 61 + theta as u64);
 
-        let hj = HashJoinRouter::new(&q, VarSet::singleton(z), p, 1);
-        let hash_load = Cluster::run_round(&db, p, &hj).report().max_load_tuples();
-
-        let hc = HyperCube::with_equal_shares(&q, p, 2);
-        let (_, hc_rep) = hc.run(&db);
-
-        let sj = SkewJoin::plan(&db, p, 3);
-        let (c_sj, sj_rep) = sj.run(&db);
+        let hash = engine
+            .clone()
+            .seed(1)
+            .algorithm(Algorithm::HashJoin)
+            .run(&db);
+        let hc = engine
+            .clone()
+            .seed(2)
+            .algorithm(Algorithm::HyperCubeEqual)
+            .run(&db);
+        let plan = engine
+            .clone()
+            .seed(3)
+            .algorithm(Algorithm::SkewJoin)
+            .plan(&db);
+        let sj = plan.execute(&db, mpc_sim::backend::Backend::from_env());
         if theta == 1.0 {
             // Full correctness audit at one representative skew level (the
             // others are covered by the integration tests at smaller m).
-            verify::assert_complete(&db, &c_sj);
+            assert!(sj.verify(&db).is_complete(), "skew join lost answers");
         }
+        let sj_rep = sj.report().expect("one-round outcome");
 
         let f1 = db.relation(0).frequencies(&[1]);
         let f2 = db.relation(1).frequencies(&[1]);
         let bound = skew_join_bound(m, m, &f1, &f2, p);
         t.row(&[
             theta.to_string(),
-            fmt(hash_load as f64),
-            fmt(hc_rep.max_load_tuples() as f64),
+            fmt(hash.report().expect("one-round").max_load_tuples() as f64),
+            fmt(hc.report().expect("one-round").max_load_tuples() as f64),
             fmt(sj_rep.max_load_tuples() as f64),
             fmt(bound.max_tuples()),
             format!(
                 "{:.1}x",
                 sj_rep.max_load_tuples() as f64 / bound.max_tuples()
             ),
-            sj.num_heavy().to_string(),
+            plan.num_heavy().expect("skew-join plan").to_string(),
         ]);
     }
     println!(

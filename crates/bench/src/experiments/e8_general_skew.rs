@@ -3,12 +3,10 @@
 //! prediction `max_B p^{λ(B)}`.
 
 use crate::table::{fmt, fmt_ratio, Table};
-use mpc_core::hypercube::HyperCube;
-use mpc_core::skew_general::GeneralSkewAlgorithm;
-use mpc_core::verify;
+use mpc_core::engine::{Algorithm, Engine};
 use mpc_data::{generators, Database, Relation, Rng};
 use mpc_query::named;
-use mpc_stats::SimpleStatistics;
+use mpc_sim::backend::Backend;
 
 /// Joint heavy pair inside S1 of the triangle + hot z on the star.
 fn workloads() -> Vec<(&'static str, Database)> {
@@ -78,23 +76,29 @@ pub fn run() {
     );
     for (name, db) in workloads() {
         let q = db.query().clone();
-        let st = SimpleStatistics::of(&db);
-        let hc = HyperCube::with_optimal_shares(&q, &st, p, 7);
-        let (c_hc, rep_hc) = hc.run(&db);
-        verify::assert_complete(&db, &c_hc);
+        let engine = Engine::new(&q).p(p).seed(7);
+        let hc = engine.clone().algorithm(Algorithm::HyperCube).run(&db);
+        assert!(hc.verify(&db).is_complete(), "{name}: HC lost answers");
 
-        let alg = GeneralSkewAlgorithm::plan(&db, p, 7);
-        let (c_gen, rep_gen) = alg.run(&db);
-        verify::assert_complete(&db, &c_gen);
+        let plan = engine.clone().algorithm(Algorithm::GeneralSkew).plan(&db);
+        let gen = plan.execute(&db, Backend::from_env());
+        assert!(
+            gen.verify(&db).is_complete(),
+            "{name}: general lost answers"
+        );
 
         t.row(&[
             name.to_string(),
-            fmt(rep_hc.max_load_bits() as f64),
-            fmt(rep_gen.max_load_bits() as f64),
-            fmt_ratio(rep_gen.max_load_bits() as f64 / rep_hc.max_load_bits() as f64),
-            fmt(alg.predicted_load_bits()),
-            alg.combination_summary().len().to_string(),
-            alg.dropped_assignments().to_string(),
+            fmt(hc.max_load_bits() as f64),
+            fmt(gen.max_load_bits() as f64),
+            fmt_ratio(gen.max_load_bits() as f64 / hc.max_load_bits() as f64),
+            fmt(plan.predicted_load_bits()),
+            plan.num_bin_combinations()
+                .expect("general plan")
+                .to_string(),
+            plan.dropped_assignments()
+                .expect("general plan")
+                .to_string(),
         ]);
     }
     println!(

@@ -1,0 +1,1086 @@
+//! The unified engine: one stats-driven plan/execute surface over every
+//! algorithm in this crate.
+//!
+//! The paper's central argument is that the *right* algorithm depends on
+//! the data: skew-free databases want HyperCube at the LP-optimal shares
+//! (Section 3), skewed ones want the §4.1/§4.2 heavy-hitter
+//! decompositions, and the `L(u, M, p)` bounds say what load is
+//! achievable. [`Engine`] encodes that choice once, instead of every call
+//! site hand-rolling its own dispatch:
+//!
+//! * [`Engine`] — a builder (`query`, `p`, `seed`, `backend`, `stats`,
+//!   `algorithm`) that plans and executes;
+//! * [`Algorithm`] — the algorithm menu, including [`Algorithm::Auto`],
+//!   which picks from heavy-hitter statistics;
+//! * [`Stats`] — the statistics the planner consumes ([`ExactStats`] reads
+//!   the data exactly, [`SyntheticStats`] carries cardinalities only);
+//! * [`Plan`] — a planned algorithm carrying its predicted `L(u, M, p)`
+//!   load and plan metadata (shares, heavy hitters, bin combinations,
+//!   rounds); it implements [`Router`], so it drops straight into
+//!   [`BatchJob`] / [`Cluster::run_batch`];
+//! * [`RunOutcome`] — the unified result: answers, measured
+//!   [`LoadReport`], predicted-vs-measured load, per-round statistics for
+//!   the multi-round baseline.
+//!
+//! ```
+//! use mpc_core::engine::{Algorithm, Engine};
+//! use mpc_data::{generators, Database, Rng};
+//! use mpc_query::named;
+//!
+//! // A Zipf(1.2) two-way join: skewed, so `auto` must pick the skew join.
+//! let q = named::two_way_join();
+//! let n = 1u64 << 12;
+//! let mut rng = Rng::seed_from_u64(1);
+//! let d1 = generators::zipf_degrees(3000, n, 1.2);
+//! let d2 = generators::zipf_degrees(3000, n, 1.2);
+//! let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+//! let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+//! let db = Database::new(q.clone(), vec![s1, s2], n).unwrap();
+//!
+//! let engine = Engine::new(&q).p(16).seed(42);
+//! let plan = engine.plan(&db);
+//! assert_eq!(plan.algorithm(), Algorithm::SkewJoin);
+//! assert!(plan.predicted_load_bits() > 0.0);
+//!
+//! let outcome = engine.run(&db);
+//! assert!(outcome.verify(&db).is_complete());
+//! assert!(outcome.max_load_bits() > 0);
+//! ```
+
+use crate::baselines::{FragmentReplicateRouter, HashJoinRouter};
+use crate::bounds;
+use crate::hypercube::HyperCube;
+use crate::multi_round::{run_multi_round_on, MultiRoundResult};
+use crate::shares::ShareAllocation;
+use crate::skew_general::GeneralSkewAlgorithm;
+use crate::skew_join::{SkewJoin, SkewJoinConfig};
+use crate::verify::{self, Verification};
+use mpc_data::catalog::Database;
+use mpc_query::{Query, VarSet};
+use mpc_sim::backend::Backend;
+use mpc_sim::cluster::{BatchJob, Cluster, Router};
+use mpc_sim::load::LoadReport;
+use mpc_stats::cardinality::SimpleStatistics;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The algorithm menu. [`Algorithm::Auto`] resolves to a concrete choice
+/// at plan time from the statistics (see [`choose`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Pick from the statistics: HyperCube on skew-free data, the §4.1
+    /// skew join on skewed two-relation joins, the §4.2 general algorithm
+    /// on any other skewed query.
+    Auto,
+    /// HyperCube at the LP (5)-optimal shares (Section 3.1).
+    HyperCube,
+    /// HyperCube at equal shares `p^{1/k}` (Corollary 3.2(ii)).
+    HyperCubeEqual,
+    /// The standard parallel hash join baseline.
+    HashJoin,
+    /// Footnote 1's broadcast join baseline.
+    FragmentReplicate,
+    /// The §4.1 two-relation skew join.
+    SkewJoin,
+    /// The §4.2 general bin-combination algorithm.
+    GeneralSkew,
+    /// The traditional one-join-per-round baseline.
+    MultiRound,
+}
+
+impl Algorithm {
+    /// Stable CLI/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::HyperCube => "hc",
+            Algorithm::HyperCubeEqual => "hc-equal",
+            Algorithm::HashJoin => "hash",
+            Algorithm::FragmentReplicate => "fragment-replicate",
+            Algorithm::SkewJoin => "skew-join",
+            Algorithm::GeneralSkew => "general",
+            Algorithm::MultiRound => "multi-round",
+        }
+    }
+
+    /// Parse a CLI algorithm name (the inverse of [`Algorithm::name`],
+    /// plus a few ergonomic aliases).
+    pub fn parse(s: &str) -> Result<Algorithm, String> {
+        Ok(match s {
+            "auto" => Algorithm::Auto,
+            "hc" | "hypercube" => Algorithm::HyperCube,
+            "hc-equal" => Algorithm::HyperCubeEqual,
+            "hash" | "hash-join" => Algorithm::HashJoin,
+            "fragment-replicate" | "fr" => Algorithm::FragmentReplicate,
+            "skew-join" => Algorithm::SkewJoin,
+            "general" => Algorithm::GeneralSkew,
+            "multi-round" | "mr" => Algorithm::MultiRound,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        })
+    }
+
+    /// Every concrete (non-auto) algorithm, in menu order.
+    pub fn all() -> [Algorithm; 7] {
+        [
+            Algorithm::HyperCube,
+            Algorithm::HyperCubeEqual,
+            Algorithm::HashJoin,
+            Algorithm::FragmentReplicate,
+            Algorithm::SkewJoin,
+            Algorithm::GeneralSkew,
+            Algorithm::MultiRound,
+        ]
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The statistics the planner consumes — the paper's two information
+/// regimes behind one interface. [`ExactStats`] realizes both exactly from
+/// the data (the assumption "every input server knows all heavy hitters");
+/// [`SyntheticStats`] carries only the simple regime (cardinalities), so
+/// the planner sees no skew — useful for what-if planning without data,
+/// and the hook where sampled estimates plug in.
+pub trait Stats {
+    /// Simple database statistics (Section 3): cardinalities, bit sizes.
+    fn simple(&self) -> SimpleStatistics;
+
+    /// Frequency map of atom `atom`'s projection onto attribute positions
+    /// `cols` (the complex regime of Section 4). Implementations may
+    /// return estimates, or only the entries above the `m_j/p` heavy
+    /// threshold: any map yields a *correct* plan — error only shifts
+    /// load, exactly the robustness the paper's approximate-frequency
+    /// assumption relies on.
+    fn frequencies(&self, atom: usize, cols: &[usize]) -> HashMap<Vec<u64>, usize>;
+}
+
+/// Exact statistics read from the database (the default). Frequency maps
+/// are memoized per `(atom, cols)`, so the auto planner's skew detection
+/// and the subsequent skew-join planning share one relation scan.
+pub struct ExactStats<'a> {
+    db: &'a Database,
+    #[allow(clippy::type_complexity)]
+    cache: std::cell::RefCell<HashMap<(usize, Vec<usize>), HashMap<Vec<u64>, usize>>>,
+}
+
+impl<'a> ExactStats<'a> {
+    /// Wrap a database.
+    pub fn of(db: &'a Database) -> ExactStats<'a> {
+        ExactStats {
+            db,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+impl Stats for ExactStats<'_> {
+    fn simple(&self) -> SimpleStatistics {
+        SimpleStatistics::of(self.db)
+    }
+
+    fn frequencies(&self, atom: usize, cols: &[usize]) -> HashMap<Vec<u64>, usize> {
+        if let Some(map) = self.cache.borrow().get(&(atom, cols.to_vec())) {
+            return map.clone();
+        }
+        let map = self.db.relation(atom).frequencies(cols);
+        self.cache
+            .borrow_mut()
+            .insert((atom, cols.to_vec()), map.clone());
+        map
+    }
+}
+
+/// Cardinalities-only statistics: the planner sees no heavy hitters, so
+/// `auto` resolves to HyperCube whatever the data looks like.
+pub struct SyntheticStats(pub SimpleStatistics);
+
+impl Stats for SyntheticStats {
+    fn simple(&self) -> SimpleStatistics {
+        self.0.clone()
+    }
+
+    fn frequencies(&self, _atom: usize, _cols: &[usize]) -> HashMap<Vec<u64>, usize> {
+        HashMap::new()
+    }
+}
+
+/// True when some atom has a heavy hitter (frequency `> m_j/p`) on a
+/// variable it shares with another atom — the condition under which the
+/// §4 algorithms beat plain HyperCube.
+///
+/// Checking single shared variables suffices: any jointly-heavy
+/// assignment of a larger subset projects to an at-least-as-frequent
+/// assignment of each member variable at the same `m_j/p` threshold.
+pub fn detects_join_skew(q: &Query, stats: &dyn Stats, p: usize) -> bool {
+    detects_join_skew_with(q, stats, &stats.simple(), p)
+}
+
+/// [`detects_join_skew`] with the simple statistics already in hand (the
+/// planner computes them once and threads them through).
+fn detects_join_skew_with(
+    q: &Query,
+    stats: &dyn Stats,
+    simple: &SimpleStatistics,
+    p: usize,
+) -> bool {
+    for j in 0..q.num_atoms() {
+        let own = q.atom(j).var_set();
+        let shared = (0..q.num_atoms())
+            .filter(|&k| k != j)
+            .fold(VarSet::EMPTY, |s, k| {
+                s.union(own.intersect(q.atom(k).var_set()))
+            });
+        let threshold = simple.cardinalities[j] as f64 / p as f64;
+        for v in shared.iter() {
+            let cols = mpc_stats::heavy::columns_for(q, j, VarSet::singleton(v));
+            if stats
+                .frequencies(j, &cols)
+                .values()
+                .any(|&c| c as f64 > threshold)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Resolve [`Algorithm::Auto`]: HyperCube at the LP-optimal shares when
+/// the join variables are skew-free; on skewed data, the §4.1 skew join
+/// for two-relation joins and the §4.2 general algorithm otherwise.
+pub fn choose(q: &Query, stats: &dyn Stats, p: usize) -> Algorithm {
+    choose_with(q, stats, &stats.simple(), p)
+}
+
+/// [`choose`] with the simple statistics already in hand.
+fn choose_with(q: &Query, stats: &dyn Stats, simple: &SimpleStatistics, p: usize) -> Algorithm {
+    if !detects_join_skew_with(q, stats, simple, p) {
+        Algorithm::HyperCube
+    } else if q.num_atoms() == 2
+        && !q
+            .atom(0)
+            .var_set()
+            .intersect(q.atom(1).var_set())
+            .is_empty()
+    {
+        Algorithm::SkewJoin
+    } else {
+        Algorithm::GeneralSkew
+    }
+}
+
+/// The hash-join partition variable the engine defaults to: the variable
+/// occurring in the most atoms (ties: highest index, matching the
+/// historical CLI behaviour).
+pub fn default_hash_vars(q: &Query) -> VarSet {
+    let key = (0..q.num_vars())
+        .max_by_key(|&i| q.atoms_with_var(i).count())
+        .expect("query has variables");
+    VarSet::singleton(key)
+}
+
+/// A planned algorithm instance: the configured router (or multi-round
+/// schedule) plus the plan's predicted load and metadata. Built by
+/// [`Engine::plan`]; executed by [`Plan::execute`]. One-round plans
+/// implement [`Router`], so `&plan` drops straight into a [`BatchJob`].
+///
+/// ```
+/// use mpc_core::engine::{Algorithm, Engine};
+/// use mpc_data::{generators, Database, Rng};
+/// use mpc_query::named;
+/// use mpc_sim::backend::Backend;
+/// use mpc_sim::cluster::Cluster;
+///
+/// let q = named::two_way_join();
+/// let mut rng = Rng::seed_from_u64(5);
+/// let s1 = generators::uniform("S1", 2, 1000, 1 << 12, &mut rng);
+/// let s2 = generators::uniform("S2", 2, 1000, 1 << 12, &mut rng);
+/// let db = Database::new(q.clone(), vec![s1, s2], 1 << 12).unwrap();
+///
+/// // Uniform data: `auto` resolves to LP-optimal HyperCube.
+/// let plan = Engine::new(&q).p(16).seed(7).plan(&db);
+/// assert_eq!(plan.algorithm(), Algorithm::HyperCube);
+/// assert!(plan.shares().is_some());
+///
+/// // A plan is a Router: batch it like any other.
+/// let results = Cluster::run_batch(&[plan.batch_job(&db)], Backend::Sequential);
+/// let outcome = plan.execute(&db, Backend::Sequential);
+/// assert_eq!(results[0].1, *outcome.report().unwrap());
+/// ```
+pub struct Plan {
+    query: Query,
+    algorithm: Algorithm,
+    p: usize,
+    seed: u64,
+    predicted_load_bits: f64,
+    lower_bound_bits: f64,
+    kind: PlanKind,
+}
+
+enum PlanKind {
+    HyperCube(HyperCube),
+    HashJoin(HashJoinRouter),
+    FragmentReplicate(FragmentReplicateRouter),
+    SkewJoin(SkewJoin),
+    GeneralSkew(Box<GeneralSkewAlgorithm>),
+    MultiRound,
+}
+
+impl Plan {
+    /// The resolved (never `Auto`) algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The query this plan evaluates.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Number of physical servers.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The seed keying the plan's hash functions.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's predicted per-server load in bits — the algorithm's own
+    /// `L(u, M, p)`-style prediction (LP (5) `p^λ` for HyperCube, Eq. (10)
+    /// for the skew join, Theorem 4.6's `max_B p^{λ(B)}` for the general
+    /// algorithm, scan/broadcast arithmetic for the baselines), valid up
+    /// to the paper's constant and polylog factors.
+    pub fn predicted_load_bits(&self) -> f64 {
+        self.predicted_load_bits
+    }
+
+    /// `L_lower = max_{u ∈ pk(q)} L(u, M, p)` in bits (Theorems 3.5/3.6)
+    /// for the statistics the plan was built from — what *any* one-round
+    /// algorithm must pay.
+    pub fn lower_bound_bits(&self) -> f64 {
+        self.lower_bound_bits
+    }
+
+    /// HyperCube share vector (one dimension per variable), when the plan
+    /// is a HyperCube.
+    pub fn shares(&self) -> Option<Vec<usize>> {
+        match &self.kind {
+            PlanKind::HyperCube(hc) => Some(hc.grid().dims().to_vec()),
+            _ => None,
+        }
+    }
+
+    /// Number of heavy shared-variable values handled specially (§4.1
+    /// skew join only).
+    pub fn num_heavy(&self) -> Option<usize> {
+        match &self.kind {
+            PlanKind::SkewJoin(sj) => Some(sj.num_heavy()),
+            _ => None,
+        }
+    }
+
+    /// Number of bin combinations packed into the round (§4.2 general
+    /// algorithm only).
+    pub fn num_bin_combinations(&self) -> Option<usize> {
+        match &self.kind {
+            PlanKind::GeneralSkew(alg) => Some(alg.combination_summary().len()),
+            _ => None,
+        }
+    }
+
+    /// Heavy projections dropped by the `|C'(B)| <= p` cap, whose tuples
+    /// fall back to `B_∅` (§4.2 general algorithm only).
+    pub fn dropped_assignments(&self) -> Option<usize> {
+        match &self.kind {
+            PlanKind::GeneralSkew(alg) => Some(alg.dropped_assignments()),
+            _ => None,
+        }
+    }
+
+    /// Communication rounds the plan will take: 1 for every one-round
+    /// algorithm, `ℓ - 1` for the multi-round baseline.
+    pub fn planned_rounds(&self) -> usize {
+        match &self.kind {
+            PlanKind::MultiRound => self.query.num_atoms().saturating_sub(1).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The one-round router behind this plan (`None` for the multi-round
+    /// baseline).
+    pub fn router(&self) -> Option<&(dyn Router + Sync)> {
+        match &self.kind {
+            PlanKind::HyperCube(r) => Some(r),
+            PlanKind::HashJoin(r) => Some(r),
+            PlanKind::FragmentReplicate(r) => Some(r),
+            PlanKind::SkewJoin(r) => Some(r),
+            PlanKind::GeneralSkew(r) => Some(r.as_ref()),
+            PlanKind::MultiRound => None,
+        }
+    }
+
+    /// A [`BatchJob`] for [`Cluster::run_batch`], routing through this
+    /// plan (one-round plans only).
+    ///
+    /// # Panics
+    /// Panics on a multi-round plan (use
+    /// [`crate::multi_round::run_multi_round_batch`] or [`execute_batch`]).
+    pub fn batch_job<'a>(&'a self, db: &'a Database) -> BatchJob<'a> {
+        assert!(
+            !matches!(self.kind, PlanKind::MultiRound),
+            "multi-round plans cannot be batched as one-round jobs"
+        );
+        assert_eq!(
+            db.query(),
+            &self.query,
+            "plan was built for a different query"
+        );
+        BatchJob {
+            db,
+            p: self.p,
+            router: self,
+        }
+    }
+
+    /// Execute the plan on `db` with an explicit backend. Results are
+    /// bit-identical to invoking the planned algorithm directly
+    /// (`Sequential`, `Threaded(n)`, and `Pooled(n)` all agree).
+    pub fn execute(&self, db: &Database, backend: Backend) -> RunOutcome {
+        assert_eq!(
+            db.query(),
+            &self.query,
+            "plan was built for a different query"
+        );
+        let detail = match &self.kind {
+            PlanKind::MultiRound => {
+                OutcomeDetail::MultiRound(run_multi_round_on(db, self.p, self.seed, backend))
+            }
+            _ => {
+                let cluster = Cluster::run_round_on(db, self.p, self, backend);
+                let report = cluster.report();
+                OutcomeDetail::OneRound { cluster, report }
+            }
+        };
+        RunOutcome {
+            algorithm: self.algorithm,
+            p: self.p,
+            predicted_load_bits: self.predicted_load_bits,
+            lower_bound_bits: self.lower_bound_bits,
+            query: self.query.clone(),
+            detail,
+        }
+    }
+}
+
+impl Router for Plan {
+    fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>) {
+        self.router()
+            .expect("multi-round plans have no one-round router")
+            .route(atom, tuple, out)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (p={}, predicted L={:.0} bits, L_lower={:.0} bits",
+            self.algorithm, self.p, self.predicted_load_bits, self.lower_bound_bits
+        )?;
+        if let Some(shares) = self.shares() {
+            write!(f, ", shares={shares:?}")?;
+        }
+        if let Some(h) = self.num_heavy() {
+            write!(f, ", heavy={h}")?;
+        }
+        if let Some(c) = self.num_bin_combinations() {
+            write!(f, ", combos={c}")?;
+        }
+        if self.planned_rounds() > 1 {
+            write!(f, ", rounds={}", self.planned_rounds())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The unified execution result: what every algorithm returns through the
+/// engine, whether it ran one round (`Cluster` + [`LoadReport`]) or the
+/// multi-round baseline ([`MultiRoundResult`]).
+pub struct RunOutcome {
+    algorithm: Algorithm,
+    p: usize,
+    predicted_load_bits: f64,
+    lower_bound_bits: f64,
+    query: Query,
+    detail: OutcomeDetail,
+}
+
+enum OutcomeDetail {
+    OneRound {
+        cluster: Cluster,
+        report: LoadReport,
+    },
+    MultiRound(MultiRoundResult),
+}
+
+impl RunOutcome {
+    /// The algorithm that ran.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of physical servers.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The plan's predicted per-server load in bits (see
+    /// [`Plan::predicted_load_bits`]).
+    pub fn predicted_load_bits(&self) -> f64 {
+        self.predicted_load_bits
+    }
+
+    /// `L_lower` in bits for the planning statistics (see
+    /// [`Plan::lower_bound_bits`]).
+    pub fn lower_bound_bits(&self) -> f64 {
+        self.lower_bound_bits
+    }
+
+    /// The post-shuffle cluster (one-round algorithms only).
+    pub fn cluster(&self) -> Option<&Cluster> {
+        match &self.detail {
+            OutcomeDetail::OneRound { cluster, .. } => Some(cluster),
+            OutcomeDetail::MultiRound(_) => None,
+        }
+    }
+
+    /// The measured one-round [`LoadReport`] (one-round algorithms only).
+    pub fn report(&self) -> Option<&LoadReport> {
+        match &self.detail {
+            OutcomeDetail::OneRound { report, .. } => Some(report),
+            OutcomeDetail::MultiRound(_) => None,
+        }
+    }
+
+    /// The multi-round result (multi-round baseline only).
+    pub fn multi_round(&self) -> Option<&MultiRoundResult> {
+        match &self.detail {
+            OutcomeDetail::OneRound { .. } => None,
+            OutcomeDetail::MultiRound(mr) => Some(mr),
+        }
+    }
+
+    /// Maximum bits received by any server in any round — the MPC cost
+    /// both kinds of result are measured by.
+    pub fn max_load_bits(&self) -> u64 {
+        match &self.detail {
+            OutcomeDetail::OneRound { report, .. } => report.max_load_bits(),
+            OutcomeDetail::MultiRound(mr) => mr.max_round_load_bits(),
+        }
+    }
+
+    /// Communication rounds actually executed.
+    pub fn num_rounds(&self) -> usize {
+        match &self.detail {
+            OutcomeDetail::OneRound { .. } => 1,
+            OutcomeDetail::MultiRound(mr) => mr.num_rounds(),
+        }
+    }
+
+    /// The distinct answers, sorted, in query-variable order.
+    pub fn answers(&self) -> Vec<Vec<u64>> {
+        match &self.detail {
+            OutcomeDetail::OneRound { cluster, .. } => cluster.all_answers(&self.query),
+            OutcomeDetail::MultiRound(mr) => mr.answers.clone(),
+        }
+    }
+
+    /// Verify the answers against the sequential ground truth of `db`.
+    pub fn verify(&self, db: &Database) -> Verification {
+        match &self.detail {
+            OutcomeDetail::OneRound { cluster, .. } => verify::verify(db, cluster),
+            OutcomeDetail::MultiRound(mr) => {
+                let expected = mpc_sim::oracle::join_database_on(db, Backend::from_env());
+                verify::diff(&expected, &mr.answers)
+            }
+        }
+    }
+}
+
+/// Execute a batch of `(plan, db)` jobs, parallel **across** jobs on one
+/// backend (each job sequential inside, results in job order) — the same
+/// shape as [`Cluster::run_batch`], but returning [`RunOutcome`]s and
+/// accepting multi-round plans too. Every outcome is bit-identical to
+/// `plan.execute(db, Backend::Sequential)`.
+pub fn execute_batch(jobs: &[(&Plan, &Database)], backend: Backend) -> Vec<RunOutcome> {
+    backend.run_items(jobs.len(), |i| {
+        let (plan, db) = jobs[i];
+        plan.execute(db, Backend::Sequential)
+    })
+}
+
+/// The engine builder: configure once, then [`Engine::plan`] /
+/// [`Engine::run`] any database for the query.
+///
+/// ```
+/// use mpc_core::engine::{Algorithm, Engine};
+/// use mpc_data::{generators, Database, Rng};
+/// use mpc_query::named;
+/// use mpc_sim::backend::Backend;
+///
+/// let q = named::cycle(3);
+/// let mut rng = Rng::seed_from_u64(3);
+/// let rels = q.atoms().iter()
+///     .map(|a| generators::uniform(a.name(), a.arity(), 800, 128, &mut rng))
+///     .collect();
+/// let db = Database::new(q.clone(), rels, 128).unwrap();
+///
+/// let outcome = Engine::new(&q)
+///     .p(16)
+///     .seed(9)
+///     .backend(Backend::Sequential)
+///     .algorithm(Algorithm::Auto)
+///     .run(&db);
+/// assert_eq!(outcome.algorithm(), Algorithm::HyperCube); // uniform data
+/// assert!(outcome.verify(&db).is_complete());
+/// ```
+#[derive(Clone)]
+pub struct Engine<'s> {
+    query: Query,
+    p: usize,
+    seed: u64,
+    backend: Backend,
+    algorithm: Algorithm,
+    hash_vars: Option<VarSet>,
+    broadcast_atom: Option<usize>,
+    skew_config: SkewJoinConfig,
+    stats: Option<&'s dyn Stats>,
+}
+
+impl Engine<'static> {
+    /// A new engine for `query` with the defaults: `p = 64`, `seed = 1`,
+    /// [`Backend::from_env`], [`Algorithm::Auto`], exact statistics read
+    /// from the database at plan time.
+    pub fn new(query: &Query) -> Engine<'static> {
+        Engine {
+            query: query.clone(),
+            p: 64,
+            seed: 1,
+            backend: Backend::from_env(),
+            algorithm: Algorithm::Auto,
+            hash_vars: None,
+            broadcast_atom: None,
+            skew_config: SkewJoinConfig::default(),
+            stats: None,
+        }
+    }
+}
+
+impl<'s> Engine<'s> {
+    /// Set the number of servers.
+    pub fn p(mut self, p: usize) -> Self {
+        assert!(p >= 1, "engine needs at least one server");
+        self.p = p;
+        self
+    }
+
+    /// Set the seed keying every hash function drawn by the plan.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the execution backend used by [`Engine::run`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Pin the algorithm (default: [`Algorithm::Auto`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Partition variables for [`Algorithm::HashJoin`] (default:
+    /// [`default_hash_vars`]).
+    pub fn hash_vars(mut self, vars: VarSet) -> Self {
+        assert!(!vars.is_empty(), "hash join needs at least one variable");
+        self.hash_vars = Some(vars);
+        self
+    }
+
+    /// Atom to broadcast for [`Algorithm::FragmentReplicate`] (default:
+    /// the smallest relation).
+    pub fn broadcast_atom(mut self, atom: usize) -> Self {
+        self.broadcast_atom = Some(atom);
+        self
+    }
+
+    /// Ablation knobs for [`Algorithm::SkewJoin`].
+    pub fn skew_config(mut self, config: SkewJoinConfig) -> Self {
+        self.skew_config = config;
+        self
+    }
+
+    /// Plan (and pick, in auto mode) from these statistics instead of
+    /// exact statistics read from the database. Estimated or synthetic
+    /// statistics yield correct plans — error only shifts load.
+    pub fn stats<'t>(self, stats: &'t dyn Stats) -> Engine<'t> {
+        Engine {
+            query: self.query,
+            p: self.p,
+            seed: self.seed,
+            backend: self.backend,
+            algorithm: self.algorithm,
+            hash_vars: self.hash_vars,
+            broadcast_atom: self.broadcast_atom,
+            skew_config: self.skew_config,
+            stats: Some(stats),
+        }
+    }
+
+    /// Build the plan for `db`: resolve [`Algorithm::Auto`] from the
+    /// statistics, configure the algorithm, and attach the predicted
+    /// `L(u, M, p)` load.
+    ///
+    /// The §4.2 general algorithm additionally reads `db` directly while
+    /// preparing its bin combinations (its documented deviation: it
+    /// selects assignments from exact statistics); every other algorithm
+    /// plans purely from the [`Stats`] source.
+    pub fn plan(&self, db: &Database) -> Plan {
+        assert_eq!(
+            db.query(),
+            &self.query,
+            "engine was built for a different query"
+        );
+        match self.stats {
+            Some(stats) => self.plan_with(db, stats),
+            None => self.plan_with(db, &ExactStats::of(db)),
+        }
+    }
+
+    /// Plan and execute on the engine's backend.
+    pub fn run(&self, db: &Database) -> RunOutcome {
+        self.plan(db).execute(db, self.backend)
+    }
+
+    fn plan_with(&self, db: &Database, stats: &dyn Stats) -> Plan {
+        let q = &self.query;
+        let p = self.p;
+        let simple = stats.simple();
+        let resolved = match self.algorithm {
+            Algorithm::Auto => choose_with(q, stats, &simple, p),
+            other => other,
+        };
+        let (lower_bound_bits, _) = bounds::l_lower(q, &simple, p);
+        let (kind, predicted) = match resolved {
+            Algorithm::Auto => unreachable!("auto resolved above"),
+            Algorithm::HyperCube => {
+                let alloc =
+                    ShareAllocation::optimize(q, &simple, p).expect("share LP is always feasible");
+                let predicted = alloc.predicted_load_bits();
+                (
+                    PlanKind::HyperCube(HyperCube::new(q, &alloc, self.seed)),
+                    predicted,
+                )
+            }
+            Algorithm::HyperCubeEqual => {
+                let hc = HyperCube::with_equal_shares(q, p, self.seed);
+                // Corollary 3.2(ii): the unconditional skew-resilient cap.
+                let predicted = hc.worst_case_load_bits(&simple);
+                (PlanKind::HyperCube(hc), predicted)
+            }
+            Algorithm::HashJoin => {
+                let vars = self.hash_vars.unwrap_or_else(|| default_hash_vars(q));
+                let m = simple.bit_sizes_f64();
+                // Partitioned atoms pay M_j/p, broadcast atoms pay M_j.
+                let predicted: f64 = (0..q.num_atoms())
+                    .map(|j| {
+                        if vars.is_subset(q.atom(j).var_set()) {
+                            m[j] / p as f64
+                        } else {
+                            m[j]
+                        }
+                    })
+                    .sum();
+                (
+                    PlanKind::HashJoin(HashJoinRouter::new(q, vars, p, self.seed)),
+                    predicted,
+                )
+            }
+            Algorithm::FragmentReplicate => {
+                let b = self.broadcast_atom.unwrap_or_else(|| {
+                    (0..q.num_atoms())
+                        .min_by_key(|&j| simple.bit_sizes[j])
+                        .expect("query has atoms")
+                });
+                let m = simple.bit_sizes_f64();
+                let predicted: f64 = (0..q.num_atoms())
+                    .map(|j| if j == b { m[j] } else { m[j] / p as f64 })
+                    .sum();
+                (
+                    PlanKind::FragmentReplicate(FragmentReplicateRouter::new(p, b, self.seed)),
+                    predicted,
+                )
+            }
+            Algorithm::SkewJoin => {
+                assert_eq!(q.num_atoms(), 2, "skew join handles exactly two relations");
+                let shared = q.atom(0).var_set().intersect(q.atom(1).var_set());
+                let cols = [
+                    mpc_stats::heavy::columns_for(q, 0, shared),
+                    mpc_stats::heavy::columns_for(q, 1, shared),
+                ];
+                let f1 = stats.frequencies(0, &cols[0]);
+                let f2 = stats.frequencies(1, &cols[1]);
+                let (m1, m2) = (simple.cardinalities[0], simple.cardinalities[1]);
+                let bound = bounds::skew_join_bound(m1, m2, &f1, &f2, p);
+                // Eq. (10) is stated in tuples; convert with the widest
+                // tuple so the prediction stays an upper shape.
+                let width = q.max_arity() as f64 * simple.value_bits as f64;
+                let sj =
+                    SkewJoin::plan_from_parts(q, m1, m2, p, self.seed, self.skew_config, &f1, &f2);
+                (PlanKind::SkewJoin(sj), bound.max_tuples() * width)
+            }
+            Algorithm::GeneralSkew => {
+                let alg = GeneralSkewAlgorithm::plan(db, p, self.seed);
+                let predicted = alg.predicted_load_bits();
+                (PlanKind::GeneralSkew(Box::new(alg)), predicted)
+            }
+            Algorithm::MultiRound => {
+                // Best case: every round a perfectly balanced scan of the
+                // inputs (intermediates can only add to this).
+                let predicted = simple.total_bits() as f64 / p as f64;
+                (PlanKind::MultiRound, predicted)
+            }
+        };
+        Plan {
+            query: q.clone(),
+            algorithm: resolved,
+            p,
+            seed: self.seed,
+            predicted_load_bits: predicted,
+            lower_bound_bits,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::{generators, Rng};
+    use mpc_query::named;
+
+    fn uniform_join(m: usize, seed: u64) -> Database {
+        let q = named::two_way_join();
+        let n = 1u64 << 12;
+        let mut rng = Rng::seed_from_u64(seed);
+        let s1 = generators::uniform("S1", 2, m, n, &mut rng);
+        let s2 = generators::uniform("S2", 2, m, n, &mut rng);
+        Database::new(q, vec![s1, s2], n).unwrap()
+    }
+
+    fn zipf_join(m: usize, theta: f64, seed: u64) -> Database {
+        let q = named::two_way_join();
+        let n = 1u64 << 12;
+        let mut rng = Rng::seed_from_u64(seed);
+        let d1 = generators::zipf_degrees(m, n, theta);
+        let d2 = generators::zipf_degrees(m, n, theta);
+        let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+        let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+        Database::new(q, vec![s1, s2], n).unwrap()
+    }
+
+    #[test]
+    fn auto_picks_hypercube_on_uniform_data() {
+        let db = uniform_join(2000, 1);
+        let plan = Engine::new(db.query()).p(16).seed(3).plan(&db);
+        assert_eq!(plan.algorithm(), Algorithm::HyperCube);
+        assert!(plan.shares().is_some());
+        assert!(plan.predicted_load_bits() > 0.0);
+        assert!(plan.lower_bound_bits() > 0.0);
+    }
+
+    #[test]
+    fn auto_picks_skew_join_on_zipf_join() {
+        let db = zipf_join(3000, 1.2, 2);
+        let plan = Engine::new(db.query()).p(16).seed(3).plan(&db);
+        assert_eq!(plan.algorithm(), Algorithm::SkewJoin);
+        assert!(plan.num_heavy().unwrap() > 0);
+    }
+
+    #[test]
+    fn auto_picks_general_skew_beyond_two_atoms() {
+        // Triangle with a planted heavy x1.
+        let q = named::cycle(3);
+        let n = 1u64 << 10;
+        let m = 1200usize;
+        let mut rng = Rng::seed_from_u64(4);
+        let degrees: Vec<(Vec<u64>, usize)> = std::iter::once((vec![5u64], m / 2))
+            .chain((0..(m / 2) as u64).map(|i| (vec![20 + (i % 900)], 1)))
+            .collect();
+        let s1 = generators::from_degree_sequence("S1", 2, &[0], &degrees, n, &mut rng);
+        let s2 = generators::uniform("S2", 2, m, n, &mut rng);
+        let s3 = generators::uniform("S3", 2, m, n, &mut rng);
+        let db = Database::new(q.clone(), vec![s1, s2, s3], n).unwrap();
+        let plan = Engine::new(&q).p(16).seed(5).plan(&db);
+        assert_eq!(plan.algorithm(), Algorithm::GeneralSkew);
+        assert!(plan.num_bin_combinations().unwrap() > 1);
+        let outcome = plan.execute(&db, Backend::Sequential);
+        assert!(outcome.verify(&db).is_complete());
+    }
+
+    #[test]
+    fn synthetic_stats_hide_skew_from_the_planner() {
+        // Same skewed data, but cardinalities-only statistics: auto must
+        // fall back to HyperCube (and still be correct).
+        let db = zipf_join(2000, 1.2, 6);
+        let st = SyntheticStats(SimpleStatistics::of(&db));
+        let engine = Engine::new(db.query()).p(16).seed(7).stats(&st);
+        let plan = engine.plan(&db);
+        assert_eq!(plan.algorithm(), Algorithm::HyperCube);
+        let outcome = plan.execute(&db, Backend::Sequential);
+        assert!(outcome.verify(&db).is_complete());
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_verifies_through_the_engine() {
+        let db = zipf_join(1500, 1.0, 8);
+        for algo in Algorithm::all() {
+            let outcome = Engine::new(db.query())
+                .p(8)
+                .seed(9)
+                .backend(Backend::Sequential)
+                .algorithm(algo)
+                .run(&db);
+            assert_eq!(outcome.algorithm(), algo);
+            assert!(outcome.verify(&db).is_complete(), "{algo} lost answers");
+            assert!(outcome.max_load_bits() > 0, "{algo} reported zero load");
+            assert!(outcome.num_rounds() >= 1);
+            assert!(
+                outcome.predicted_load_bits() > 0.0,
+                "{algo} predicted zero load"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_plan_matches_explicit_skew_join_bit_for_bit() {
+        let db = zipf_join(2500, 1.2, 10);
+        let p = 16usize;
+        let seed = 11u64;
+        let plan = Engine::new(db.query()).p(p).seed(seed).plan(&db);
+        assert_eq!(plan.algorithm(), Algorithm::SkewJoin);
+        let explicit = SkewJoin::plan(&db, p, seed);
+        let (c_exp, r_exp) = explicit.run_on(&db, Backend::Sequential);
+        let outcome = plan.execute(&db, Backend::Sequential);
+        assert_eq!(outcome.report(), Some(&r_exp));
+        assert_eq!(outcome.answers(), c_exp.all_answers(db.query()));
+    }
+
+    #[test]
+    fn multi_round_outcome_carries_round_stats() {
+        let q = named::cycle(3);
+        let n = 128u64;
+        let mut rng = Rng::seed_from_u64(12);
+        let rels = q
+            .atoms()
+            .iter()
+            .map(|a| generators::uniform(a.name(), a.arity(), 600, n, &mut rng))
+            .collect();
+        let db = Database::new(q.clone(), rels, n).unwrap();
+        let outcome = Engine::new(&q)
+            .p(8)
+            .seed(13)
+            .backend(Backend::Sequential)
+            .algorithm(Algorithm::MultiRound)
+            .run(&db);
+        assert_eq!(outcome.num_rounds(), 2);
+        assert!(outcome.report().is_none());
+        assert!(outcome.multi_round().is_some());
+        assert!(outcome.verify(&db).is_complete());
+    }
+
+    #[test]
+    fn execute_batch_matches_individual_execution() {
+        let dbs: Vec<Database> = (0..4).map(|s| zipf_join(1200, 1.0, 20 + s)).collect();
+        let engine = Engine::new(dbs[0].query()).p(8).seed(21);
+        let plans: Vec<Plan> = dbs.iter().map(|db| engine.plan(db)).collect();
+        let jobs: Vec<(&Plan, &Database)> = plans.iter().zip(&dbs).collect();
+        let expected: Vec<RunOutcome> = jobs
+            .iter()
+            .map(|(plan, db)| plan.execute(db, Backend::Sequential))
+            .collect();
+        for backend in [
+            Backend::Sequential,
+            Backend::Threaded(3),
+            Backend::Pooled(4),
+        ] {
+            let results = execute_batch(&jobs, backend);
+            assert_eq!(results.len(), jobs.len());
+            for (i, (r, e)) in results.iter().zip(&expected).enumerate() {
+                assert_eq!(r.report(), e.report(), "job {i} [{backend}]");
+                assert_eq!(r.answers(), e.answers(), "job {i} [{backend}]");
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for algo in Algorithm::all() {
+            assert_eq!(Algorithm::parse(algo.name()), Ok(algo));
+        }
+        assert_eq!(Algorithm::parse("auto"), Ok(Algorithm::Auto));
+        assert!(Algorithm::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn plan_display_names_the_choice() {
+        let db = zipf_join(2000, 1.2, 30);
+        let plan = Engine::new(db.query()).p(16).seed(31).plan(&db);
+        let text = plan.to_string();
+        assert!(text.contains("skew-join"), "{text}");
+        assert!(text.contains("heavy="), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different query")]
+    fn plan_rejects_foreign_database() {
+        let db = uniform_join(100, 40);
+        let other = named::cycle(3);
+        let _ = Engine::new(&other).p(4).plan(&db);
+    }
+
+    #[test]
+    #[should_panic(expected = "different query")]
+    fn batch_job_rejects_foreign_database() {
+        let db = uniform_join(100, 41);
+        let plan = Engine::new(db.query()).p(4).plan(&db);
+        let mut rng = Rng::seed_from_u64(1);
+        let q2 = named::cycle(3);
+        let rels = q2
+            .atoms()
+            .iter()
+            .map(|a| generators::uniform(a.name(), a.arity(), 50, 64, &mut rng))
+            .collect();
+        let other = Database::new(q2, rels, 64).unwrap();
+        let _ = plan.batch_job(&other);
+    }
+
+    #[test]
+    fn exact_stats_memoize_frequency_maps() {
+        let db = zipf_join(1500, 1.0, 50);
+        let stats = ExactStats::of(&db);
+        let a = stats.frequencies(0, &[1]);
+        let b = stats.frequencies(0, &[1]);
+        assert_eq!(a, b);
+        assert_eq!(stats.cache.borrow().len(), 1, "second call hit the cache");
+    }
+}

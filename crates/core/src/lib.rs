@@ -20,10 +20,15 @@
 //!   `L_lower` (Theorems 3.5/3.6), residual bounds `L_x(u, M, p)`
 //!   (Theorem 4.7), Eq. (10), the replication-rate bound (Theorem 5.1) and
 //!   the space exponent;
-//! * [`verify`](mod@crate::verify) — exact distributed-vs-sequential answer verification.
+//! * [`verify`](mod@crate::verify) — exact distributed-vs-sequential answer verification;
+//! * [`engine`] — the unified plan/execute surface over all of the above:
+//!   [`Engine`] builds a stats-driven [`engine::Plan`] (auto mode picks the
+//!   algorithm from heavy-hitter statistics and the load bounds) and every
+//!   run returns one [`engine::RunOutcome`] shape.
 
 pub mod baselines;
 pub mod bounds;
+pub mod engine;
 pub mod hypercube;
 pub mod mapreduce;
 pub mod multi_round;
@@ -33,6 +38,7 @@ pub mod skew_join;
 pub mod verify;
 
 pub use baselines::{FragmentReplicateRouter, HashJoinRouter};
+pub use engine::{Algorithm, Engine, ExactStats, Plan, RunOutcome, Stats};
 pub use hypercube::HyperCube;
 pub use shares::ShareAllocation;
 pub use skew_general::GeneralSkewAlgorithm;

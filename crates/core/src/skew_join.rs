@@ -129,7 +129,33 @@ impl SkewJoin {
         f1: &HashMap<Vec<u64>, usize>,
         f2: &HashMap<Vec<u64>, usize>,
     ) -> SkewJoin {
-        let q = db.query();
+        SkewJoin::plan_from_parts(
+            db.query(),
+            db.relation(0).len(),
+            db.relation(1).len(),
+            p,
+            seed,
+            config,
+            f1,
+            f2,
+        )
+    }
+
+    /// Plan without touching any data at all: query shape, cardinalities,
+    /// and shared-variable frequency maps are everything the §4.1
+    /// algorithm needs — the statistics surface `mpc_core::engine`'s
+    /// planner feeds it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_from_parts(
+        q: &mpc_query::Query,
+        m1: usize,
+        m2: usize,
+        p: usize,
+        seed: u64,
+        config: SkewJoinConfig,
+        f1: &HashMap<Vec<u64>, usize>,
+        f2: &HashMap<Vec<u64>, usize>,
+    ) -> SkewJoin {
         assert_eq!(q.num_atoms(), 2, "skew join handles exactly two relations");
         let shared: VarSet = q.atom(0).var_set().intersect(q.atom(1).var_set());
         assert!(!shared.is_empty(), "the two atoms must share variables");
@@ -147,8 +173,6 @@ impl SkewJoin {
                 .collect::<Vec<_>>(),
         ];
 
-        let m1 = db.relation(0).len();
-        let m2 = db.relation(1).len();
         let t1 = m1 as f64 / p as f64;
         let t2 = m2 as f64 / p as f64;
 

@@ -39,6 +39,12 @@ pub fn verify(db: &Database, cluster: &Cluster) -> Verification {
     let expected = oracle::join_database_on(db, cluster.backend());
     // The per-server local joins run on the cluster's own backend.
     let got = cluster.all_answers(db.query());
+    diff(&expected, &got)
+}
+
+/// Compare two sorted, deduplicated answer sets (the engine uses this to
+/// verify multi-round results, which carry answers without a cluster).
+pub fn diff(expected: &[Vec<u64>], got: &[Vec<u64>]) -> Verification {
     let mut missing = Vec::new();
     let mut unexpected = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);

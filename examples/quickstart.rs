@@ -1,18 +1,15 @@
-//! Quickstart: evaluate a triangle query on a simulated MPC cluster with the
-//! HyperCube algorithm and compare the measured load against the paper's
-//! lower bound.
+//! Quickstart: let the engine plan and evaluate queries on a simulated MPC
+//! cluster, compare predicted vs measured load, and watch the auto planner
+//! switch algorithms when the data turns skewed.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use mpc_skew::core::bounds;
-use mpc_skew::core::hypercube::HyperCube;
-use mpc_skew::core::shares::ShareAllocation;
-use mpc_skew::core::verify;
+use mpc_skew::core::engine::{Algorithm, Engine};
 use mpc_skew::data::{generators, Database, Rng};
 use mpc_skew::query::named;
-use mpc_skew::stats::SimpleStatistics;
+use mpc_skew::sim::backend::Backend;
 
 fn main() {
     // --- 1. A query: the triangle C3(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1).
@@ -34,48 +31,64 @@ fn main() {
         db.total_bits()
     );
 
-    // --- 3. Optimize shares for p = 64 servers (LP (5) of the paper).
+    // --- 3. One engine, p = 64 servers. `auto` (the default) reads the
+    //        statistics: uniform data has no heavy hitters, so the plan is
+    //        HyperCube at the LP (5)-optimal shares.
     let p = 64usize;
-    let stats = SimpleStatistics::of(&db);
-    let alloc = ShareAllocation::optimize(&query, &stats, p).expect("share LP");
-    println!(
-        "shares         : {:?}  (exponents {:?})",
-        alloc.shares,
-        alloc
-            .exponents
-            .iter()
-            .map(|e| (e * 1000.0).round() / 1000.0)
-            .collect::<Vec<_>>()
-    );
+    let engine = Engine::new(&query).p(p).seed(42);
+    let plan = engine.plan(&db);
+    println!("plan           : {plan}");
+    assert_eq!(plan.algorithm(), Algorithm::HyperCube);
 
-    // --- 4. Run one communication round of HyperCube.
-    let hc = HyperCube::new(&query, &alloc, 42);
-    let (cluster, report) = hc.run(&db);
+    // --- 4. Execute the plan (any backend gives bit-identical results).
+    let outcome = plan.execute(&db, Backend::from_env());
 
     // --- 5. Verify: the union of per-server answers equals the sequential join.
-    let v = verify::verify(&db, &cluster);
-    assert!(v.is_complete(), "HyperCube must find every answer");
+    let v = outcome.verify(&db);
+    assert!(v.is_complete(), "the engine must find every answer");
     println!("answers        : {} triangles, all found ✓", v.found);
 
-    // --- 6. Compare the measured load with the paper's bounds.
-    let (lower, packing) = bounds::l_lower(&query, &stats, p);
+    // --- 6. Predicted vs measured vs the paper's lower bound.
+    let report = outcome.report().expect("one-round plan");
     println!(
         "measured load  : {} bits/server (max), {:.1} avg",
-        report.max_load_bits(),
+        outcome.max_load_bits(),
         report.mean_load_bits()
     );
     println!(
-        "lower bound    : {:.0} bits/server  (packing u = {:?}, Theorem 3.5)",
-        lower,
-        packing.to_f64()
+        "predicted L    : {:.0} bits/server  (LP (5): p^λ, Theorem 3.4)",
+        outcome.predicted_load_bits()
+    );
+    println!(
+        "lower bound    : {:.0} bits/server  (max_u L(u, M, p), Theorem 3.5)",
+        outcome.lower_bound_bits()
     );
     println!(
         "ratio          : {:.2}x the bound (Theorem 3.4 allows polylog p)",
-        report.max_load_bits() as f64 / lower
+        outcome.max_load_bits() as f64 / outcome.lower_bound_bits()
     );
     println!(
         "replication    : {:.2}x the input (ideal 1.0, HC pays p^(1/3) ≈ {:.1})",
         report.replication_rate(),
         (p as f64).powf(1.0 / 3.0)
+    );
+
+    // --- 7. Skewed data flips the plan: a Zipf(1.2) two-way join routes
+    //        to the §4.1 skew join instead, through the same surface.
+    let join = named::two_way_join();
+    let mut rng = Rng::seed_from_u64(0xBEEF);
+    let d1 = generators::zipf_degrees(m, n, 1.2);
+    let d2 = generators::zipf_degrees(m, n, 1.2);
+    let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+    let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+    let skewed = Database::new(join.clone(), vec![s1, s2], n).expect("valid database");
+    let outcome = Engine::new(&join).p(p).seed(42).run(&skewed);
+    assert_eq!(outcome.algorithm(), Algorithm::SkewJoin);
+    assert!(outcome.verify(&skewed).is_complete());
+    println!(
+        "\nskewed join    : auto picked `{}`; measured {} bits vs predicted {:.0}",
+        outcome.algorithm(),
+        outcome.max_load_bits(),
+        outcome.predicted_load_bits()
     );
 }

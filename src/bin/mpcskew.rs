@@ -4,42 +4,59 @@
 //! # Analyze a query's bounds for given statistics:
 //! mpcskew bounds "S1(x,y), S2(y,z), S3(z,x)" --cards 65536,65536,65536 --p 64
 //!
-//! # Generate a workload, run an algorithm, measure & verify:
-//! mpcskew run "S1(x,z), S2(y,z)" --m 20000 --p 64 --algo skew-join --theta 1.2
+//! # Generate a workload and let the engine pick the algorithm:
+//! mpcskew run "S1(x,z), S2(y,z)" --m 20000 --p 64 --theta 1.2
+//!
+//! # Or pin one explicitly (--flag=value works everywhere):
+//! mpcskew run "S1(x,z), S2(y,z)" --algo=skew-join --theta=1.2
 //! ```
 //!
-//! Algorithms: `hc` (LP-optimal HyperCube), `hc-equal` (p^{1/k} shares),
-//! `hash` (partition on the first shared variable), `skew-join` (§4.1, two
-//! atoms only), `general` (§4.2 bin combinations).
+//! Every `run` goes through `mpc_core::engine::Engine`: `--algo auto`
+//! (the default) picks the algorithm from heavy-hitter statistics, and the
+//! output reports the plan's predicted `L(u, M, p)` next to the measured
+//! load.
 
-use mpc_skew::core::baselines::HashJoinRouter;
 use mpc_skew::core::bounds;
-use mpc_skew::core::hypercube::HyperCube;
+use mpc_skew::core::engine::{Algorithm, Engine};
 use mpc_skew::core::shares::ShareAllocation;
-use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
-use mpc_skew::core::skew_join::SkewJoin;
-use mpc_skew::core::verify;
 use mpc_skew::data::{generators, Database, Rng};
-use mpc_skew::query::{parse_query, Query, VarSet};
+use mpc_skew::query::{parse_query, Query};
 use mpc_skew::sim::backend::Backend;
-use mpc_skew::sim::cluster::Cluster;
 use mpc_skew::stats::SimpleStatistics;
 use std::process::ExitCode;
 
+/// Parsed flags: `--flag value`, `--flag=value`, or bare boolean `--flag`.
 struct Args {
-    flags: Vec<(String, String)>,
+    flags: Vec<(String, Option<String>)>,
 }
 
 impl Args {
+    /// The value of `--name` (`None` when absent or valueless).
     fn get(&self, name: &str) -> Option<&str> {
         self.flags
             .iter()
+            .rev()
             .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// True when `--name` appears at all (boolean flags).
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+
+    /// The value of `--name`, erroring when the flag is present without
+    /// one (`--p` alone is a mistake, not a boolean).
+    fn value(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.get(name) {
+            Some(v) => Ok(Some(v)),
+            None if self.has(name) => Err(format!("--{name} is missing a value")),
+            None => Ok(None),
+        }
     }
 
     fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
-        match self.get(name) {
+        match self.value(name)? {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -48,7 +65,7 @@ impl Args {
     }
 
     fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
-        match self.get(name) {
+        match self.value(name)? {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -63,12 +80,21 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     while i < raw.len() {
         let k = raw[i]
             .strip_prefix("--")
+            .filter(|k| !k.is_empty())
             .ok_or_else(|| format!("expected --flag, got `{}`", raw[i]))?;
-        let v = raw
-            .get(i + 1)
-            .ok_or_else(|| format!("--{k} is missing a value"))?;
-        flags.push((k.to_string(), v.clone()));
-        i += 2;
+        if let Some((name, value)) = k.split_once('=') {
+            // --flag=value
+            flags.push((name.to_string(), Some(value.to_string())));
+            i += 1;
+        } else if let Some(v) = raw.get(i + 1).filter(|v| !v.starts_with("--")) {
+            // --flag value
+            flags.push((k.to_string(), Some(v.clone())));
+            i += 2;
+        } else {
+            // bare boolean --flag
+            flags.push((k.to_string(), None));
+            i += 1;
+        }
     }
     Ok(Args { flags })
 }
@@ -76,10 +102,16 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
 fn usage() -> &'static str {
     "usage:\n  \
      mpcskew bounds <query> --cards m1,m2,... [--p 64] [--domain 1048576]\n  \
-     mpcskew run <query> [--m 10000] [--p 64] [--domain 65536] [--algo hc]\n          \
-     [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N]\n\n\
+     mpcskew run <query> [--m 10000] [--p 64] [--domain 65536] [--algo auto]\n          \
+     [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N] [--no-verify]\n  \
+     mpcskew --help\n\n\
      queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
-     algos: hc | hc-equal | hash | skew-join | general;\n\
+     flags accept both `--flag value` and `--flag=value`;\n\
+     algos: auto | hc | hc-equal | hash | fragment-replicate | skew-join |\n\
+     general | multi-round — `auto` (the default) picks from heavy-hitter\n\
+     statistics: HyperCube when the join variables are skew-free, the \u{a7}4.1\n\
+     skew join on skewed two-relation joins, the \u{a7}4.2 general algorithm\n\
+     otherwise;\n\
      --threads: simulator worker threads (1 = sequential backend, N = scoped\n\
      threads, pool:N = the persistent N-worker pool; default: MPCSKEW_THREADS\n\
      or all available cores; results are identical whichever backend runs)"
@@ -89,7 +121,7 @@ fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
     let p = args.usize_or("p", 64)?;
     let domain = args.usize_or("domain", 1 << 20)? as u64;
     let cards: Vec<usize> = args
-        .get("cards")
+        .value("cards")?
         .ok_or("--cards m1,m2,... is required")?
         .split(',')
         .map(|s| {
@@ -158,14 +190,17 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     let theta = args.f64_or("theta", 0.0)?;
     let seed = args.usize_or("seed", 1)? as u64;
     let skew_col = args.usize_or("skew-col", 1)?;
-    let algo = args.get("algo").unwrap_or("hc");
-    let backend = match args.get("threads") {
+    let algo = match args.value("algo")? {
+        None => Algorithm::Auto,
+        Some(v) => Algorithm::parse(v).map_err(|e| format!("{e}\n{}", usage()))?,
+    };
+    let backend = match args.value("threads")? {
         None => Backend::from_env(),
         Some(v) => Backend::parse(v)
             .map_err(|_| format!("--threads expects an integer or pool:N, got `{v}`"))?,
     };
 
-    // Workload: every relation Zipf(theta) on `skew_col` (uniform if 0.0).
+    // Workload: every relation Zipf(theta) on `skew-col` (uniform if 0.0).
     let mut rng = Rng::seed_from_u64(seed);
     let rels: Vec<mpc_skew::data::Relation> = q
         .atoms()
@@ -179,7 +214,6 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         })
         .collect();
     let db = Database::new(q.clone(), rels, domain).map_err(|e| e.to_string())?;
-    let st = SimpleStatistics::of(&db);
 
     println!("query  : {q}");
     println!(
@@ -188,59 +222,70 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     );
     println!("algo   : {algo}, p = {p}, seed = {seed}, backend = {backend}\n");
 
-    let cluster: Cluster = match algo {
-        "hc" => {
-            let hc = HyperCube::with_optimal_shares(q, &st, p, seed);
-            println!("shares : {:?}", hc.grid().dims());
-            hc.run_on(&db, backend).0
+    let engine = Engine::new(q)
+        .p(p)
+        .seed(seed)
+        .backend(backend)
+        .algorithm(algo);
+    let plan = engine.plan(&db);
+    println!("plan   : {plan}");
+    match plan.algorithm() {
+        Algorithm::HyperCube | Algorithm::HyperCubeEqual => {
+            println!("shares : {:?}", plan.shares().expect("hypercube plan"));
         }
-        "hc-equal" => {
-            HyperCube::with_equal_shares(q, p, seed)
-                .run_on(&db, backend)
-                .0
+        Algorithm::SkewJoin => {
+            println!("heavy z: {}", plan.num_heavy().expect("skew-join plan"));
         }
-        "hash" => {
-            // Partition on the highest-degree variable (the usual join key).
-            let key = (0..q.num_vars())
-                .max_by_key(|&i| q.atoms_with_var(i).count())
-                .expect("query has variables");
-            println!("hash on: {}", q.var_name(key));
-            let router = HashJoinRouter::new(q, VarSet::singleton(key), p, seed);
-            router.run_on(&db, backend).0
-        }
-        "skew-join" => {
-            let sj = SkewJoin::plan(&db, p, seed);
-            println!("heavy z: {}", sj.num_heavy());
-            sj.run_on(&db, backend).0
-        }
-        "general" => {
-            let alg = GeneralSkewAlgorithm::plan(&db, p, seed);
-            println!("combos : {}", alg.combination_summary().len());
+        Algorithm::GeneralSkew => {
             println!(
-                "predict: {:.0} bits (max_B p^lambda)",
-                alg.predicted_load_bits()
+                "combos : {}",
+                plan.num_bin_combinations().expect("general plan")
             );
-            alg.run_on(&db, backend).0
         }
-        other => return Err(format!("unknown algorithm `{other}`\n{}", usage())),
-    };
+        Algorithm::HashJoin => {
+            let vars = mpc_skew::core::engine::default_hash_vars(q);
+            let names: Vec<&str> = vars.iter().map(|v| q.var_name(v)).collect();
+            println!("hash on: {}", names.join(","));
+        }
+        _ => {}
+    }
 
-    let report = cluster.report();
-    let v = verify::verify(&db, &cluster);
-    let (lower, _) = bounds::l_lower(q, &st, p);
-    println!(
-        "\nmax load      : {} bits ({} tuples)",
-        report.max_load_bits(),
-        report.max_load_tuples()
-    );
-    println!("mean load     : {:.0} bits", report.mean_load_bits());
-    println!("imbalance     : {:.2}x", report.imbalance());
-    println!("replication   : {:.2}x", report.replication_rate());
-    println!("L_lower       : {:.0} bits", lower);
+    let outcome = plan.execute(&db, backend);
+
+    if let Some(report) = outcome.report() {
+        println!(
+            "\nmax load      : {} bits ({} tuples)",
+            report.max_load_bits(),
+            report.max_load_tuples()
+        );
+        println!("mean load     : {:.0} bits", report.mean_load_bits());
+        println!("imbalance     : {:.2}x", report.imbalance());
+        println!("replication   : {:.2}x", report.replication_rate());
+    } else {
+        let mr = outcome.multi_round().expect("multi-round outcome");
+        println!(
+            "\nmax load      : {} bits (max over {} rounds)",
+            mr.max_round_load_bits(),
+            mr.num_rounds()
+        );
+        println!(
+            "intermediates : {} tuples max",
+            mr.max_intermediate_tuples()
+        );
+    }
+    println!("predicted L   : {:.0} bits", outcome.predicted_load_bits());
+    println!("L_lower       : {:.0} bits", outcome.lower_bound_bits());
     println!(
         "load/bound    : {:.2}x",
-        report.max_load_bits() as f64 / lower
+        outcome.max_load_bits() as f64 / outcome.lower_bound_bits()
     );
+    if args.has("no-verify") {
+        println!("answers       : {} distinct (verification skipped)", {
+            outcome.answers().len()
+        });
+        return Ok(());
+    }
+    let v = outcome.verify(&db);
     println!(
         "answers       : {} distinct, verification {}",
         v.found,
@@ -254,6 +299,10 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
     if argv.len() < 2 {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;

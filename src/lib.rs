@@ -32,6 +32,9 @@ pub use mpc_stats as stats;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use mpc_core::bounds;
+    pub use mpc_core::engine::{
+        execute_batch, Algorithm, Engine, ExactStats, Plan, RunOutcome, Stats, SyntheticStats,
+    };
     pub use mpc_core::hypercube::HyperCube;
     pub use mpc_core::mapreduce::{servers_for_reducer_cap, ReducerSchedule};
     pub use mpc_core::multi_round::{run_multi_round, run_multi_round_batch, MultiRoundResult};

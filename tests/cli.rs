@@ -139,6 +139,176 @@ fn threads_flag_selects_backend_and_output_is_invariant() {
 }
 
 #[test]
+fn auto_algo_is_default_and_picks_by_skew() {
+    // Zipf(1.2) data: auto must resolve to the §4.1 skew join.
+    let out = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m",
+            "4000",
+            "--p",
+            "16",
+            "--theta",
+            "1.2",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("algo   : auto"), "{text}");
+    assert!(text.contains("plan   : skew-join"), "{text}");
+    assert!(text.contains("heavy z"), "{text}");
+    assert!(text.contains("predicted L"), "{text}");
+    assert!(text.contains("verification PASSED"), "{text}");
+
+    // Uniform data: auto must resolve to LP-optimal HyperCube.
+    let out = mpcskew()
+        .args(["run", "S1(x,z), S2(y,z)", "--m", "2000", "--p", "16"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan   : hc"), "{text}");
+    assert!(text.contains("shares :"), "{text}");
+}
+
+#[test]
+fn equals_form_flags_are_accepted() {
+    let out = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m=2000",
+            "--p=16",
+            "--algo=hc",
+            "--seed=3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verification PASSED"), "{text}");
+}
+
+#[test]
+fn equals_and_space_forms_produce_identical_output() {
+    let spaced = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m",
+            "1500",
+            "--p",
+            "8",
+            "--seed",
+            "9",
+            "--threads",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    let equals = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m=1500",
+            "--p=8",
+            "--seed=9",
+            "--threads=1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(spaced.status.success() && equals.status.success());
+    assert_eq!(spaced.stdout, equals.stdout, "flag forms drifted");
+}
+
+#[test]
+fn no_verify_boolean_flag_skips_verification() {
+    let out = mpcskew()
+        .args([
+            "run",
+            "S1(x,z), S2(y,z)",
+            "--m",
+            "1500",
+            "--p",
+            "8",
+            "--no-verify",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verification skipped"), "{text}");
+    assert!(!text.contains("verification PASSED"), "{text}");
+}
+
+#[test]
+fn help_and_no_args_print_usage_and_exit_zero() {
+    for args in [vec![], vec!["--help"], vec!["run", "S1(x,z)", "--help"]] {
+        let out = mpcskew().args(&args).output().expect("binary runs");
+        assert!(out.status.success(), "args {args:?} should exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage:"), "args {args:?}: {text}");
+        assert!(text.contains("auto"), "args {args:?}: {text}");
+    }
+}
+
+#[test]
+fn valued_flag_without_value_is_rejected() {
+    let out = mpcskew()
+        .args(["run", "S1(x,z), S2(y,z)", "--m"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--m is missing a value"), "{err}");
+}
+
+#[test]
+fn multi_round_algo_reports_rounds() {
+    let out = mpcskew()
+        .args([
+            "run",
+            "S1(x,y), S2(y,z), S3(z,w)",
+            "--m",
+            "1000",
+            "--p",
+            "8",
+            "--algo",
+            "multi-round",
+            "--domain",
+            "4096",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan   : multi-round"), "{text}");
+    assert!(text.contains("rounds=2"), "{text}");
+    assert!(text.contains("max over 2 rounds"), "{text}");
+    assert!(text.contains("verification PASSED"), "{text}");
+}
+
+#[test]
 fn bad_threads_flag_is_rejected() {
     let out = mpcskew()
         .args(["run", "S1(x,z), S2(y,z)", "--threads", "many"])

@@ -14,6 +14,7 @@
 //!    every parallel executor is bit-identical to the sequential one.
 
 use mpc_skew::core::baselines::{FragmentReplicateRouter, HashJoinRouter};
+use mpc_skew::core::engine::{Engine, Plan};
 use mpc_skew::core::hypercube::HyperCube;
 use mpc_skew::core::multi_round::run_multi_round_on;
 use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
@@ -270,23 +271,24 @@ fn parallel_oracle_matches_sequential_on_the_matrix() {
 fn batch_submission_matches_per_round_execution() {
     // Cluster::run_batch parallelizes across rounds; its per-job results
     // must equal running each round alone, whatever executor the batch is
-    // on.
+    // on. Jobs are built from engine plans (a `Plan` is a `Router`), the
+    // post-PR-4 shape every batch call site uses.
     let dbs: Vec<(&'static str, mpc_skew::data::Database)> = scenarios();
     let p = 16usize;
-    let routers: Vec<SkewJoin> = dbs
+    let plans: Vec<Plan> = dbs
         .iter()
-        .map(|(_, db)| SkewJoin::plan(db, p, 11))
+        .map(|(_, db)| Engine::new(db.query()).p(p).seed(11).plan(db))
         .collect();
     let jobs: Vec<mpc_skew::sim::BatchJob> = dbs
         .iter()
-        .zip(&routers)
-        .map(|((_, db), router)| mpc_skew::sim::BatchJob { db, p, router })
+        .zip(&plans)
+        .map(|((_, db), plan)| plan.batch_job(db))
         .collect();
     let expected: Vec<(Vec<Vec<u64>>, LoadReport)> = dbs
         .iter()
-        .zip(&routers)
-        .map(|((_, db), router)| {
-            let c = Cluster::run_round_on(db, p, router, Backend::Sequential);
+        .zip(&plans)
+        .map(|((_, db), plan)| {
+            let c = Cluster::run_round_on(db, p, plan, Backend::Sequential);
             (c.all_answers(db.query()), c.report())
         })
         .collect();

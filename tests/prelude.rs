@@ -49,6 +49,36 @@ fn prelude_covers_skew_and_multi_round() {
 }
 
 #[test]
+fn prelude_covers_the_engine_surface() {
+    let query = mpc_skew::query::named::two_way_join();
+    let mut rng = Rng::seed_from_u64(42);
+    let s1 = mpc_skew::data::generators::uniform("S1", 2, 800, 1 << 10, &mut rng);
+    let s2 = mpc_skew::data::generators::uniform("S2", 2, 800, 1 << 10, &mut rng);
+    let db = Database::new(query.clone(), vec![s1, s2], 1 << 10).unwrap();
+
+    let engine = Engine::new(&query)
+        .p(8)
+        .seed(4)
+        .backend(Backend::Sequential)
+        .algorithm(Algorithm::Auto);
+    let plan: Plan = engine.plan(&db);
+    assert_eq!(plan.algorithm(), Algorithm::HyperCube);
+    let outcome: RunOutcome = engine.run(&db);
+    assert!(outcome.verify(&db).is_complete());
+    assert!(outcome.predicted_load_bits() > 0.0);
+
+    // A plan is a Router: it batches, and execute_batch agrees.
+    let jobs = [(&plan, &db)];
+    let batched = execute_batch(&jobs, Backend::Sequential);
+    assert_eq!(batched[0].report(), outcome.report());
+
+    // Synthetic statistics plug into the same surface.
+    let st = SyntheticStats(SimpleStatistics::of(&db));
+    let plan2 = Engine::new(&query).p(8).seed(4).stats(&st).plan(&db);
+    assert_eq!(plan2.algorithm(), Algorithm::HyperCube);
+}
+
+#[test]
 fn prelude_covers_reducer_scheduling() {
     let query = mpc_skew::query::named::cycle(3);
     let stats = SimpleStatistics::synthetic(&[2, 2, 2], vec![1 << 14; 3], 1 << 20);

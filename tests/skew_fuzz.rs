@@ -1,6 +1,7 @@
 //! Completeness fuzzing for the skew-handling algorithms: randomized
 //! multi-relation, multi-attribute skew patterns must never lose answers.
 
+use mpc_skew::core::engine::{Algorithm, Engine};
 use mpc_skew::core::hypercube::HyperCube;
 use mpc_skew::core::multi_round::{run_multi_round, verify_multi_round};
 use mpc_skew::core::skew_general::GeneralSkewAlgorithm;
@@ -159,6 +160,79 @@ proptest! {
             "{} seed={seed} p={p} pool:{threads}: HC LoadReport drifted", q.name());
         prop_assert_eq!(h_seq.all_answers(q), h_pool.all_answers(q),
             "{} seed={seed} p={p} pool:{threads}: HC answers drifted", q.name());
+    }
+
+    /// The engine's auto planner never loses answers and never decides
+    /// differently from the statistics: whatever skew pattern it sees, the
+    /// plan it picks is complete, bit-identical across executors, and
+    /// bit-identical to invoking the resolved algorithm explicitly.
+    #[test]
+    fn engine_auto_invariance_fuzz(
+        qi in 0usize..4,
+        seed in 0u64..10_000,
+        frac0 in 0.0f64..0.6,
+        frac1 in 0.0f64..0.6,
+        col in 0usize..2,
+        p_exp in 2u32..6,
+        threads in 2usize..9,
+    ) {
+        let queries: Vec<Query> = vec![
+            named::two_way_join(),
+            named::cycle(3),
+            named::star(2),
+            named::chain(3),
+        ];
+        let q = &queries[qi];
+        let n = 1u64 << 9;
+        let m = 600usize;
+        let p = 1usize << p_exp;
+        let mut rng = Rng::seed_from_u64(seed);
+        let rels: Vec<Relation> = q.atoms().iter().enumerate()
+            .map(|(j, a)| {
+                let frac = match j {
+                    0 => frac0,
+                    1 => frac1,
+                    _ => 0.0,
+                };
+                random_skewed_relation(a.name(), a.arity(), m, n, frac, col, &mut rng)
+            })
+            .collect();
+        let db = Database::new(q.clone(), rels, n).unwrap();
+        let plan = Engine::new(q).p(p).seed(seed ^ 0x5A5A).plan(&db);
+        let outcome = plan.execute(&db, Backend::Sequential);
+        let v = outcome.verify(&db);
+        prop_assert!(v.is_complete(),
+            "{} seed={seed} p={p} plan={}: {} missing",
+            q.name(), plan.algorithm(), v.missing.len());
+
+        // Bit-identical to the explicitly constructed algorithm.
+        let (c_exp, r_exp) = match plan.algorithm() {
+            Algorithm::HyperCube => {
+                let st = mpc_skew::stats::SimpleStatistics::of(&db);
+                HyperCube::with_optimal_shares(q, &st, p, seed ^ 0x5A5A)
+                    .run_on(&db, Backend::Sequential)
+            }
+            Algorithm::SkewJoin =>
+                SkewJoin::plan(&db, p, seed ^ 0x5A5A).run_on(&db, Backend::Sequential),
+            Algorithm::GeneralSkew =>
+                GeneralSkewAlgorithm::plan(&db, p, seed ^ 0x5A5A)
+                    .run_on(&db, Backend::Sequential),
+            other => panic!("auto resolved to {other}"),
+        };
+        prop_assert_eq!(outcome.report(), Some(&r_exp),
+            "{} seed={seed} p={p} plan={}: engine LoadReport drifted from explicit",
+            q.name(), plan.algorithm());
+        prop_assert_eq!(outcome.answers(), c_exp.all_answers(q),
+            "{} seed={seed} p={p}: engine answers drifted from explicit", q.name());
+
+        // Invariant under the executor.
+        for backend in [Backend::Threaded(threads), Backend::Pooled(threads)] {
+            let par = plan.execute(&db, backend);
+            prop_assert_eq!(par.report(), outcome.report(),
+                "{} seed={seed} p={p} [{}]: engine LoadReport drifted", q.name(), backend);
+            prop_assert_eq!(par.answers(), outcome.answers(),
+                "{} seed={seed} p={p} [{}]: engine answers drifted", q.name(), backend);
+        }
     }
 
     /// The multi-round baseline never loses answers either (it is a
