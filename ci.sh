@@ -10,6 +10,11 @@
 #   ./ci.sh --bench prN  # bench smoke only (reduced budget) -> BENCH_prN.json;
 #                        # the label is required so medians stay comparable
 #                        # PR over PR; run --quick or the full gate separately
+#   ./ci.sh --bench-compare OLD.json NEW.json
+#                        # per-benchmark median deltas between two recorded
+#                        # trajectory files; regressions >10% are flagged
+#                        # (the full gate runs this against the newest two
+#                        # BENCH_*.json automatically)
 #
 # The test suite runs three times — pinned to the sequential backend
 # (MPCSKEW_THREADS=1), to the persistent worker pool (pool:4), and on the
@@ -46,6 +51,20 @@ summary() {
     printf "$STAGE_SUMMARY"
 }
 
+if [ "${1:-}" = "--bench-compare" ]; then
+    OLD="${2:-}"
+    NEW="${3:-}"
+    if [ -z "$OLD" ] || [ -z "$NEW" ]; then
+        echo "error: --bench-compare needs two trajectory files, e.g.:" >&2
+        echo "  ./ci.sh --bench-compare BENCH_pr4.json BENCH_pr5.json" >&2
+        exit 2
+    fi
+    stage "bench_compare $OLD $NEW"
+    cargo run --release -q -p mpc-bench --bin bench_compare --offline -- "$OLD" "$NEW"
+    summary
+    exit 0
+fi
+
 if [ "${1:-}" = "--bench" ]; then
     # Bench smoke: every criterion-lite group on a reduced sample budget,
     # recorded to BENCH_<label>.json at the repo root so the perf
@@ -71,7 +90,7 @@ if [ "${1:-}" = "--bench" ]; then
     NPROC=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
     {
         printf '{\n'
-        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations. backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host.",\n'
+        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations; allocs_per_iter (optional) is the mean heap-allocation count per iteration from the bench binary'\''s counting global allocator (exact and host-noise-free, present since pr5). backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host. Compare two files with ./ci.sh --bench-compare OLD NEW.",\n'
         printf '  "pr": "%s",\n' "$LABEL"
         printf '  "generated_by": "ci.sh --bench %s",\n' "$LABEL"
         printf '  "nproc": %s,\n' "$NPROC"
@@ -122,6 +141,25 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
 stage "cargo bench --no-run"
 cargo bench --workspace --offline --no-run
+
+# Bench-trajectory comparison: newest recorded baseline vs its predecessor.
+# Informational — medians recorded on different commits of this noisy
+# single-core host; the tool prints deltas and flags >10% regressions, and
+# a fresh pair is recorded per PR via `./ci.sh --bench prN`. "Newest" is by
+# the numeric part of the label (pr3 < pr4 < ... < pr10), not mtime — on a
+# fresh checkout every committed file shares one mtime.
+BENCH_SORTED=$(for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n=$(printf '%s' "$f" | sed 's/[^0-9]//g')
+    printf '%012d %s\n' "${n:-0}" "$f"
+done | sort -n | awk '{print $2}')
+BENCH_NEWEST=$(printf '%s\n' "$BENCH_SORTED" | sed -n '$p')
+BENCH_PREV=$(printf '%s\n' "$BENCH_SORTED" | sed -n '$!h; ${x;p;}' | sed -n '$p')
+if [ -n "$BENCH_NEWEST" ] && [ -n "$BENCH_PREV" ]; then
+    stage "bench trajectory: $BENCH_PREV vs $BENCH_NEWEST"
+    cargo run --release -q -p mpc-bench --bin bench_compare --offline -- \
+        "$BENCH_PREV" "$BENCH_NEWEST"
+fi
 
 stage_end
 echo "==> ci.sh: all green"

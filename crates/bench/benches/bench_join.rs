@@ -12,6 +12,12 @@ use mpc_sim::backend::Backend;
 use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+/// Count every heap allocation so `allocs_per_iter` lands in the bench
+/// JSON records (see `mpc_bench::alloc_counter`).
+#[global_allocator]
+static ALLOC: mpc_bench::alloc_counter::CountingAllocator =
+    mpc_bench::alloc_counter::CountingAllocator;
+
 fn bench_local_join(c: &mut Criterion) {
     let mut g = c.benchmark_group("local_join");
     for (name, q, m, n) in [
@@ -117,7 +123,10 @@ fn bench_cluster_zipf(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = {
+        mpc_testkit::criterion::set_alloc_probe(mpc_bench::alloc_counter::alloc_count);
+        Criterion::default().sample_size(10)
+    };
     targets = bench_local_join, bench_cluster_zipf
 }
 criterion_main!(benches);

@@ -7,6 +7,12 @@ use mpc_stats::SimpleStatistics;
 use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+/// Count every heap allocation so `allocs_per_iter` lands in the bench
+/// JSON records (see `mpc_bench::alloc_counter`).
+#[global_allocator]
+static ALLOC: mpc_bench::alloc_counter::CountingAllocator =
+    mpc_bench::alloc_counter::CountingAllocator;
+
 fn bench_share_lp(c: &mut Criterion) {
     let mut g = c.benchmark_group("share_lp");
     for (name, q) in [
@@ -48,7 +54,10 @@ fn bench_vertex_enum(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = {
+        mpc_testkit::criterion::set_alloc_probe(mpc_bench::alloc_counter::alloc_count);
+        Criterion::default().sample_size(20)
+    };
     targets = bench_share_lp, bench_vertex_enum
 }
 criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! A counting global allocator for the bench binaries.
+//!
+//! Wall-clock on the single-core CI host is noisy; heap-allocation counts
+//! are exact and deterministic, so the flat-data-plane optimizations are
+//! tracked as a *counted* number in `BENCH_*.json` (`allocs_per_iter`),
+//! not just a timing delta. Each bench target installs
+//! [`CountingAllocator`] as its `#[global_allocator]` and registers
+//! [`alloc_count`] with the harness
+//! (`mpc_testkit::criterion::set_alloc_probe`, a `fn() -> u64` probe
+//! sampled around every benchmark's measured samples):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mpc_bench::alloc_counter::CountingAllocator =
+//!     mpc_bench::alloc_counter::CountingAllocator;
+//! // inside criterion_group!'s config expression:
+//! mpc_testkit::criterion::set_alloc_probe(mpc_bench::alloc_counter::alloc_count);
+//! ```
+//!
+//! Counting is a single relaxed `fetch_add` per allocator round-trip
+//! (`alloc`, `alloc_zeroed`, and every `realloc` — growing or shrinking —
+//! count once; `dealloc` is free), so the counter perturbs the timings it
+//! rides along with by well under the harness's sampling noise.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone process-wide allocation count.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Total heap allocations performed by the process so far.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// [`System`] with a relaxed allocation counter in front.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone() {
+        // The test binary does not install the allocator, so only pin the
+        // counter contract itself.
+        let a = alloc_count();
+        ALLOCS.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(alloc_count(), a + 3);
+    }
+}

@@ -1,0 +1,281 @@
+//! Compare two `BENCH_<label>.json` trajectory files.
+//!
+//! ```text
+//! bench_compare OLD.json NEW.json [--fail-on-regression]
+//! ```
+//!
+//! Prints per-benchmark median deltas (and allocs/iter deltas when both
+//! files carry them) and flags every wall-clock regression above 10%.
+//! `ci.sh --bench-compare <old> <new>` wraps this binary, and the full
+//! gate runs it against the newest two recorded baselines so trajectory
+//! regressions are visible in every CI log. Exit status is 0 unless
+//! `--fail-on-regression` is given and a flagged regression exists.
+
+use std::process::ExitCode;
+
+/// Wall-clock regressions above this fraction are flagged.
+const REGRESSION_THRESHOLD: f64 = 0.10;
+
+/// One benchmark record parsed from a trajectory file.
+#[derive(Clone, Debug, PartialEq)]
+struct Record {
+    label: String,
+    median_ns: f64,
+    allocs_per_iter: Option<u64>,
+}
+
+/// Extract the JSON string value of `field` from a one-record line.
+fn string_field(line: &str, field: &str) -> Option<String> {
+    let pat = format!("\"{field}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract the JSON numeric value of `field` from a one-record line.
+fn number_field(line: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse every benchmark record out of a `BENCH_*.json` file. The records
+/// are the one-object-per-line entries of the `"results"` array (the shape
+/// `ci.sh --bench` writes); anything without a `median_ns` is skipped.
+fn parse_records(text: &str) -> Vec<Record> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(median_ns) = number_field(line, "median_ns") else {
+            continue;
+        };
+        let group = string_field(line, "group").unwrap_or_default();
+        let Some(bench) = string_field(line, "bench") else {
+            continue;
+        };
+        let label = if group.is_empty() {
+            bench
+        } else {
+            format!("{group}/{bench}")
+        };
+        out.push(Record {
+            label,
+            median_ns,
+            allocs_per_iter: number_field(line, "allocs_per_iter").map(|v| v as u64),
+        });
+    }
+    out
+}
+
+/// `new` relative to `old` as a signed fraction (`+0.25` = 25% slower).
+fn delta(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        (new - old) / old
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Render the comparison; returns the flagged-regression labels.
+fn compare(old: &[Record], new: &[Record], out: &mut impl std::io::Write) -> Vec<String> {
+    let mut flagged = Vec::new();
+    let header = ("benchmark", "old", "new", "delta", "allocs/iter old->new");
+    writeln!(
+        out,
+        "{:<44} {:>10} {:>10} {:>8}  {}",
+        header.0, header.1, header.2, header.3, header.4
+    )
+    .unwrap();
+    for n in new {
+        let Some(o) = old.iter().find(|o| o.label == n.label) else {
+            writeln!(
+                out,
+                "{:<44} {:>10} {:>10} {:>8}",
+                n.label,
+                "-",
+                fmt_ns(n.median_ns),
+                "new"
+            )
+            .unwrap();
+            continue;
+        };
+        let d = delta(o.median_ns, n.median_ns);
+        let allocs = match (o.allocs_per_iter, n.allocs_per_iter) {
+            (Some(a), Some(b)) => {
+                let ratio = if b > 0 { a as f64 / b as f64 } else { f64::NAN };
+                if a == b {
+                    format!("{a} (unchanged)")
+                } else if ratio.is_finite() && ratio >= 1.0 {
+                    format!("{a} -> {b} ({ratio:.1}x fewer)")
+                } else {
+                    format!("{a} -> {b}")
+                }
+            }
+            (None, Some(b)) => format!("- -> {b}"),
+            _ => String::new(),
+        };
+        let flag = if d > REGRESSION_THRESHOLD {
+            flagged.push(n.label.clone());
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "{:<44} {:>10} {:>10} {:>+7.1}%  {}{}",
+            n.label,
+            fmt_ns(o.median_ns),
+            fmt_ns(n.median_ns),
+            d * 100.0,
+            allocs,
+            flag
+        )
+        .unwrap();
+    }
+    for o in old {
+        if !new.iter().any(|n| n.label == o.label) {
+            writeln!(
+                out,
+                "{:<44} {:>10} {:>10}  (dropped)",
+                o.label,
+                fmt_ns(o.median_ns),
+                "-"
+            )
+            .unwrap();
+        }
+    }
+    flagged
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.len() != 2 {
+        eprintln!("usage: bench_compare OLD.json NEW.json [--fail-on-regression]");
+        return ExitCode::FAILURE;
+    }
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(old_text), Some(new_text)) = (read(files[0]), read(files[1])) else {
+        return ExitCode::FAILURE;
+    };
+    let old = parse_records(&old_text);
+    let new = parse_records(&new_text);
+    println!("comparing {} (old) vs {} (new):", files[0], files[1]);
+    let flagged = compare(&old, &new, &mut std::io::stdout());
+    if flagged.is_empty() {
+        println!(
+            "\nno regressions above {:.0}%",
+            REGRESSION_THRESHOLD * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\n{} regression(s) above {:.0}%: {}",
+            flagged.len(),
+            REGRESSION_THRESHOLD * 100.0,
+            flagged.join(", ")
+        );
+        if fail_on_regression {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+  "pr": "prX",
+  "results": [
+    {"group":"local_join","bench":"join_16k","median_ns":1000.0,"min_ns":900.0,"max_ns":1100.0,"samples":5,"iters_per_sample":10,"allocs_per_iter":500},
+    {"group":"local_join","bench":"gone","median_ns":50.0,"min_ns":50.0,"max_ns":50.0,"samples":5,"iters_per_sample":10}
+  ]
+}"#;
+
+    const NEW: &str = r#"{
+  "pr": "prY",
+  "results": [
+    {"group":"local_join","bench":"join_16k","median_ns":800.0,"min_ns":700.0,"max_ns":900.0,"samples":5,"iters_per_sample":10,"allocs_per_iter":50},
+    {"group":"slow","bench":"case","median_ns":99.0,"min_ns":99.0,"max_ns":99.0,"samples":5,"iters_per_sample":10}
+  ]
+}"#;
+
+    #[test]
+    fn parses_records_with_and_without_allocs() {
+        let old = parse_records(OLD);
+        assert_eq!(old.len(), 2);
+        assert_eq!(old[0].label, "local_join/join_16k");
+        assert_eq!(old[0].median_ns, 1000.0);
+        assert_eq!(old[0].allocs_per_iter, Some(500));
+        assert_eq!(old[1].allocs_per_iter, None);
+    }
+
+    #[test]
+    fn improvement_is_not_flagged() {
+        let flagged = compare(&parse_records(OLD), &parse_records(NEW), &mut Vec::new());
+        assert!(flagged.is_empty());
+    }
+
+    #[test]
+    fn regression_over_threshold_is_flagged() {
+        let old = parse_records(OLD);
+        let mut new = old.clone();
+        new[0].median_ns = 1111.0; // +11.1%
+        let mut buf = Vec::new();
+        let flagged = compare(&old, &new, &mut buf);
+        assert_eq!(flagged, vec!["local_join/join_16k".to_string()]);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("REGRESSION"), "{text}");
+    }
+
+    #[test]
+    fn regression_under_threshold_passes() {
+        let old = parse_records(OLD);
+        let mut new = old.clone();
+        new[0].median_ns = 1090.0; // +9%
+        assert!(compare(&old, &new, &mut Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn new_and_dropped_benchmarks_are_reported() {
+        let mut buf = Vec::new();
+        compare(&parse_records(OLD), &parse_records(NEW), &mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("slow/case"), "{text}");
+        assert!(text.contains("(dropped)"), "{text}");
+        assert!(text.contains("10.0x fewer"), "{text}");
+    }
+
+    #[test]
+    fn delta_handles_zero_old() {
+        assert_eq!(delta(0.0, 100.0), 0.0);
+        assert!((delta(100.0, 150.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -15,7 +15,6 @@ use mpc_core::verify;
 use mpc_data::Rng;
 use mpc_query::named;
 use mpc_stats::sampling;
-use std::collections::HashMap;
 
 /// Run E12.
 pub fn run() {
@@ -56,7 +55,7 @@ pub fn run() {
         let (c_s, r_s) = sampled.run(&db);
         verify::assert_complete(&db, &c_s);
 
-        let empty: HashMap<Vec<u64>, usize> = HashMap::new();
+        let empty: mpc_data::FastMap<Vec<u64>, usize> = mpc_data::FastMap::default();
         let blind =
             SkewJoin::plan_with_frequencies(&db, p, 9, SkewJoinConfig::default(), &empty, &empty);
         let (c_b, r_b) = blind.run(&db);

@@ -6,6 +6,7 @@
 //!
 //! Run everything with `cargo run --release -p mpc-bench --bin exp_all`.
 
+pub mod alloc_counter;
 pub mod table;
 pub mod workloads;
 

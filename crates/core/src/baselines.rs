@@ -137,10 +137,9 @@ mod tests {
         Database::new(q, vec![s1, s2], n).unwrap()
     }
 
-    fn expect_answers(db: &Database) -> Vec<Vec<u64>> {
+    fn expect_answers(db: &Database) -> mpc_data::AnswerSet {
         let mut ans = mpc_data::join_database(db);
-        ans.sort();
-        ans.dedup();
+        ans.sort_dedup();
         ans
     }
 

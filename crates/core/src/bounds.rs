@@ -213,8 +213,8 @@ impl SkewJoinBound {
 pub fn skew_join_bound(
     m1: usize,
     m2: usize,
-    freqs1: &std::collections::HashMap<Vec<u64>, usize>,
-    freqs2: &std::collections::HashMap<Vec<u64>, usize>,
+    freqs1: &mpc_data::FastMap<Vec<u64>, usize>,
+    freqs2: &mpc_data::FastMap<Vec<u64>, usize>,
     p: usize,
 ) -> SkewJoinBound {
     let t1 = m1 as f64 / p as f64;
@@ -517,12 +517,12 @@ mod tests {
 
     #[test]
     fn skew_join_bound_matches_section_4_1_manual() {
-        use std::collections::HashMap;
+        use mpc_data::FastMap;
         let p = 4usize;
         let (m1, m2) = (100usize, 100usize);
         // threshold = 25. h=1: heavy both (50, 40). h=2: heavy in S1 only
         // (30, 5). h=3: heavy in S2 only (10, 55). h=4: light (10, 0).
-        let f1: HashMap<Vec<u64>, usize> = [
+        let f1: FastMap<Vec<u64>, usize> = [
             (vec![1u64], 50usize),
             (vec![2], 30),
             (vec![3], 10),
@@ -530,7 +530,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let f2: HashMap<Vec<u64>, usize> = [(vec![1u64], 40usize), (vec![2], 5), (vec![3], 55)]
+        let f2: FastMap<Vec<u64>, usize> = [(vec![1u64], 40usize), (vec![2], 5), (vec![3], 55)]
             .into_iter()
             .collect();
         let b = skew_join_bound(m1, m2, &f1, &f2, p);

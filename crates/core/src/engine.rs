@@ -55,13 +55,14 @@ use crate::shares::ShareAllocation;
 use crate::skew_general::GeneralSkewAlgorithm;
 use crate::skew_join::{SkewJoin, SkewJoinConfig};
 use crate::verify::{self, Verification};
+use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
+use mpc_data::fastmap::FastMap;
 use mpc_query::{Query, VarSet};
 use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{BatchJob, Cluster, Router};
 use mpc_sim::load::LoadReport;
 use mpc_stats::cardinality::SimpleStatistics;
-use std::collections::HashMap;
 use std::fmt;
 
 /// The algorithm menu. [`Algorithm::Auto`] resolves to a concrete choice
@@ -155,7 +156,7 @@ pub trait Stats {
     /// threshold: any map yields a *correct* plan — error only shifts
     /// load, exactly the robustness the paper's approximate-frequency
     /// assumption relies on.
-    fn frequencies(&self, atom: usize, cols: &[usize]) -> HashMap<Vec<u64>, usize>;
+    fn frequencies(&self, atom: usize, cols: &[usize]) -> FastMap<Vec<u64>, usize>;
 }
 
 /// Exact statistics read from the database (the default). Frequency maps
@@ -164,7 +165,7 @@ pub trait Stats {
 pub struct ExactStats<'a> {
     db: &'a Database,
     #[allow(clippy::type_complexity)]
-    cache: std::cell::RefCell<HashMap<(usize, Vec<usize>), HashMap<Vec<u64>, usize>>>,
+    cache: std::cell::RefCell<FastMap<(usize, Vec<usize>), FastMap<Vec<u64>, usize>>>,
 }
 
 impl<'a> ExactStats<'a> {
@@ -172,7 +173,7 @@ impl<'a> ExactStats<'a> {
     pub fn of(db: &'a Database) -> ExactStats<'a> {
         ExactStats {
             db,
-            cache: std::cell::RefCell::new(HashMap::new()),
+            cache: std::cell::RefCell::new(FastMap::default()),
         }
     }
 }
@@ -182,7 +183,7 @@ impl Stats for ExactStats<'_> {
         SimpleStatistics::of(self.db)
     }
 
-    fn frequencies(&self, atom: usize, cols: &[usize]) -> HashMap<Vec<u64>, usize> {
+    fn frequencies(&self, atom: usize, cols: &[usize]) -> FastMap<Vec<u64>, usize> {
         if let Some(map) = self.cache.borrow().get(&(atom, cols.to_vec())) {
             return map.clone();
         }
@@ -203,8 +204,8 @@ impl Stats for SyntheticStats {
         self.0.clone()
     }
 
-    fn frequencies(&self, _atom: usize, _cols: &[usize]) -> HashMap<Vec<u64>, usize> {
-        HashMap::new()
+    fn frequencies(&self, _atom: usize, _cols: &[usize]) -> FastMap<Vec<u64>, usize> {
+        FastMap::default()
     }
 }
 
@@ -593,8 +594,9 @@ impl RunOutcome {
         }
     }
 
-    /// The distinct answers, sorted, in query-variable order.
-    pub fn answers(&self) -> Vec<Vec<u64>> {
+    /// The distinct answers, sorted, in query-variable order (flat
+    /// [`AnswerSet`] storage; `.to_nested()` is the nested escape hatch).
+    pub fn answers(&self) -> AnswerSet {
         match &self.detail {
             OutcomeDetail::OneRound { cluster, .. } => cluster.all_answers(&self.query),
             OutcomeDetail::MultiRound(mr) => mr.answers.clone(),

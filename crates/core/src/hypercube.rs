@@ -16,8 +16,9 @@ use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{Cluster, Router};
 use mpc_sim::hashing::HashFamily;
 use mpc_sim::load::LoadReport;
-use mpc_sim::topology::Grid;
+use mpc_sim::topology::{Grid, SubcubeScratch};
 use mpc_stats::cardinality::SimpleStatistics;
+use std::cell::RefCell;
 
 /// A configured HyperCube run: query + grid + hash family.
 ///
@@ -162,18 +163,35 @@ impl HyperCube {
     }
 }
 
+/// Reusable per-worker routing buffers: the fixed-coordinate list plus the
+/// subcube enumeration scratch, cleared — never reallocated — per tuple.
+#[derive(Default)]
+struct RouteScratch {
+    fixed: Vec<(usize, usize)>,
+    sub: SubcubeScratch,
+}
+
+thread_local! {
+    static ROUTE_SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::default());
+}
+
 impl Router for HyperCube {
     fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>) {
-        let a = self.query.atom(atom);
-        // Fix the dimension of every variable occurring in the atom. For a
-        // repeated variable with unequal values the subcube is empty — such
-        // tuples can never satisfy the atom, and HC correctly drops them.
-        let mut fixed: Vec<(usize, usize)> = Vec::with_capacity(a.arity());
-        for (pos, &var) in a.vars().iter().enumerate() {
-            let h = self.family.hash(var, tuple[pos], self.grid.dims()[var]);
-            fixed.push((var, h));
-        }
-        self.grid.subcube(&fixed, out);
+        ROUTE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let a = self.query.atom(atom);
+            // Fix the dimension of every variable occurring in the atom.
+            // For a repeated variable with unequal values the subcube is
+            // empty — such tuples can never satisfy the atom, and HC
+            // correctly drops them.
+            scratch.fixed.clear();
+            for (pos, &var) in a.vars().iter().enumerate() {
+                let h = self.family.hash(var, tuple[pos], self.grid.dims()[var]);
+                scratch.fixed.push((var, h));
+            }
+            self.grid
+                .subcube_into(&scratch.fixed, &mut scratch.sub, out);
+        })
     }
 }
 
@@ -185,8 +203,7 @@ mod tests {
 
     fn verify_complete(db: &Database, cluster: &Cluster) {
         let mut expected = mpc_data::join_database(db);
-        expected.sort();
-        expected.dedup();
+        expected.sort_dedup();
         assert_eq!(cluster.all_answers(db.query()), expected);
     }
 

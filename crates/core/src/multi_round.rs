@@ -20,6 +20,7 @@
 //! fold in the atom sharing variables with the bound set (smallest first);
 //! disconnected atoms trigger a broadcast (fragment-replicate) round.
 
+use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
 use mpc_data::mix64;
 use mpc_query::{Query, VarSet};
@@ -46,8 +47,9 @@ pub struct RoundStats {
 pub struct MultiRoundResult {
     /// Per-round statistics, in execution order (`ℓ - 1` rounds).
     pub rounds: Vec<RoundStats>,
-    /// The final answers (sorted, deduplicated, in query-variable order).
-    pub answers: Vec<Vec<u64>>,
+    /// The final answers (sorted, deduplicated, in query-variable order,
+    /// flat [`AnswerSet`] storage).
+    pub answers: AnswerSet,
     /// The bound variables after completion (always all query variables).
     pub bound_vars: VarSet,
 }
@@ -269,18 +271,19 @@ pub fn run_multi_round_on(
         bound = new_bound;
     }
 
-    // Collect final answers in query-variable order.
+    // Collect final answers flat, in query-variable order.
     let perm: Vec<usize> = (0..q.num_vars())
         .map(|v| inter.vars.iter().position(|&w| w == v).expect("full query"))
         .collect();
-    let mut answers: Vec<Vec<u64>> = inter
-        .fragments
-        .iter()
-        .flatten()
-        .map(|row| perm.iter().map(|&i| row[i]).collect())
-        .collect();
-    answers.sort();
-    answers.dedup();
+    let mut answers = AnswerSet::with_capacity(q.num_vars(), inter.total_tuples() as usize);
+    let mut row_buf = vec![0u64; q.num_vars()];
+    for row in inter.fragments.iter().flatten() {
+        for (slot, &i) in row_buf.iter_mut().zip(&perm) {
+            *slot = row[i];
+        }
+        answers.push(&row_buf);
+    }
+    answers.sort_dedup();
 
     MultiRoundResult {
         rounds,

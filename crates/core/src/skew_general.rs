@@ -32,16 +32,17 @@
 //! [`GeneralSkewAlgorithm::dropped_assignments`] reports the count).
 
 use mpc_data::catalog::Database;
+use mpc_data::fastmap::{with_projected_key, FastMap, FastSet};
 use mpc_lp::{Cmp, LinearProgram, Sense};
 use mpc_query::{Query, VarSet};
 use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{Cluster, Router};
 use mpc_sim::hashing::HashFamily;
 use mpc_sim::load::LoadReport;
-use mpc_sim::topology::{round_shares, Grid};
+use mpc_sim::topology::{round_shares, Grid, SubcubeScratch};
 use mpc_stats::cardinality::SimpleStatistics;
 use mpc_stats::combination::{enumerate_combinations, BinChoice, BinCombination};
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
 
 /// One prepared bin combination: its LP solution, grid shape, and block
 /// layout.
@@ -55,8 +56,9 @@ struct PreparedCombo {
     /// Virtual-server offset of each assignment's block.
     offsets: Vec<usize>,
     /// Per atom: map from `x_j`-projection to the assignment indices
-    /// carrying it (`None` when `x_j = ∅`: all assignments).
-    lookups: Vec<Option<HashMap<Vec<u64>, Vec<usize>>>>,
+    /// carrying it (`None` when `x_j = ∅`: all assignments). Probed per
+    /// routed tuple, hence `mix64`-keyed.
+    lookups: Vec<Option<FastMap<Vec<u64>, Vec<usize>>>>,
     /// Per atom: attribute positions of `x_j`.
     proj_cols: Vec<Vec<usize>>,
 }
@@ -71,10 +73,10 @@ pub struct GeneralSkewAlgorithm {
     base: usize,
     /// Per atom: heavy `(cols, key)` projections covered by some kept
     /// assignment of a combination where that atom chose a heavy bin.
-    covered_heavy: Vec<HashMap<Vec<usize>, HashSet<Vec<u64>>>>,
+    covered_heavy: Vec<FastMap<Vec<usize>, FastSet<Vec<u64>>>>,
     /// Per atom: all heavy `(cols, key)` projections (for the `B_∅`
     /// exclusion test).
-    all_heavy: Vec<HashMap<Vec<usize>, HashSet<Vec<u64>>>>,
+    all_heavy: Vec<FastMap<Vec<usize>, FastSet<Vec<u64>>>>,
     virtual_servers: usize,
     dropped: usize,
 }
@@ -155,7 +157,7 @@ impl GeneralSkewAlgorithm {
             offset += block * combo.assignments.len();
 
             let xvars: Vec<usize> = x.iter().collect();
-            let mut lookups: Vec<Option<HashMap<Vec<u64>, Vec<usize>>>> = Vec::new();
+            let mut lookups: Vec<Option<FastMap<Vec<u64>, Vec<usize>>>> = Vec::new();
             let mut proj_cols: Vec<Vec<usize>> = Vec::new();
             for j in 0..q.num_atoms() {
                 let xj = x.intersect(q.atom(j).var_set());
@@ -170,7 +172,7 @@ impl GeneralSkewAlgorithm {
                     .iter()
                     .map(|v| xvars.iter().position(|&w| w == v).expect("x_j ⊆ x"))
                     .collect();
-                let mut map: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+                let mut map: FastMap<Vec<u64>, Vec<usize>> = FastMap::default();
                 for (a, assignment) in combo.assignments.iter().enumerate() {
                     let key: Vec<u64> = slots.iter().map(|&s| assignment.values[s]).collect();
                     map.entry(key).or_default().push(a);
@@ -194,8 +196,8 @@ impl GeneralSkewAlgorithm {
         assert!(base != usize::MAX, "B_∅ always enumerated");
 
         // Heavy-projection tables for the B_∅ exclusion rule.
-        let mut all_heavy: Vec<HashMap<Vec<usize>, HashSet<Vec<u64>>>> =
-            vec![HashMap::new(); q.num_atoms()];
+        let mut all_heavy: Vec<FastMap<Vec<usize>, FastSet<Vec<u64>>>> =
+            vec![FastMap::default(); q.num_atoms()];
         for hh in mpc_stats::heavy::all_heavy_hitters(db, p) {
             if hh.entries.is_empty() {
                 continue;
@@ -205,8 +207,8 @@ impl GeneralSkewAlgorithm {
                 .or_default()
                 .extend(hh.entries.keys().cloned());
         }
-        let mut covered_heavy: Vec<HashMap<Vec<usize>, HashSet<Vec<u64>>>> =
-            vec![HashMap::new(); q.num_atoms()];
+        let mut covered_heavy: Vec<FastMap<Vec<usize>, FastSet<Vec<u64>>>> =
+            vec![FastMap::default(); q.num_atoms()];
         let mut dropped = 0usize;
         for pc in &combos {
             for j in 0..q.num_atoms() {
@@ -290,16 +292,21 @@ impl GeneralSkewAlgorithm {
     fn tuple_in_base(&self, atom: usize, tuple: &[u64]) -> bool {
         let mut has_heavy = false;
         for (cols, keys) in &self.all_heavy[atom] {
-            let key: Vec<u64> = cols.iter().map(|&c| tuple[c]).collect();
-            if keys.contains(&key) {
-                has_heavy = true;
-                // Covered? If not, this tuple must stay in B_∅.
-                if self.covered_heavy[atom]
-                    .get(cols)
-                    .is_none_or(|c| !c.contains(&key))
-                {
-                    return true;
-                }
+            // `None`: not heavy at this subset; `Some(uncovered)`: heavy,
+            // with coverage by a kept assignment. Keys are projected on the
+            // stack and probed as slices.
+            let heavy_uncovered = with_projected_key(tuple, cols, |key| {
+                keys.contains(key).then(|| {
+                    self.covered_heavy[atom]
+                        .get(cols)
+                        .is_none_or(|c| !c.contains(key))
+                })
+            });
+            match heavy_uncovered {
+                None => {}
+                // Heavy but uncovered: this tuple must stay in B_∅.
+                Some(true) => return true,
+                Some(false) => has_heavy = true,
             }
         }
         !has_heavy
@@ -313,21 +320,24 @@ impl GeneralSkewAlgorithm {
         atom: usize,
         tuple: &[u64],
         out: &mut Vec<usize>,
-        scratch: &mut Vec<usize>,
+        scratch: &mut RouteScratch,
     ) {
         let a = self.query.atom(atom);
-        let mut fixed: Vec<(usize, usize)> = Vec::with_capacity(a.arity());
+        scratch.fixed.clear();
         for (pos, &var) in a.vars().iter().enumerate() {
             let dim = pc.grid.dims()[var];
             if pc.combo.x.contains(var) {
-                fixed.push((var, 0));
+                scratch.fixed.push((var, 0));
             } else {
-                fixed.push((var, self.family.hash(var, tuple[pos], dim)));
+                scratch
+                    .fixed
+                    .push((var, self.family.hash(var, tuple[pos], dim)));
             }
         }
-        pc.grid.subcube(&fixed, scratch);
+        pc.grid
+            .subcube_into(&scratch.fixed, &mut scratch.sub, &mut scratch.cells);
         let offset = pc.offsets[assignment];
-        out.extend(scratch.iter().map(|&cell| self.fold(offset + cell)));
+        out.extend(scratch.cells.iter().map(|&cell| self.fold(offset + cell)));
     }
 
     /// Execute on `db` with the [`Backend::from_env`] backend.
@@ -345,33 +355,51 @@ impl GeneralSkewAlgorithm {
     }
 }
 
+/// Reusable per-worker routing buffers for
+/// [`GeneralSkewAlgorithm::route`]: subcube cells, the fixed-coordinate
+/// list, and the grid's enumeration scratch — cleared per block, never
+/// reallocated across tuples/rounds.
+#[derive(Default)]
+struct RouteScratch {
+    cells: Vec<usize>,
+    fixed: Vec<(usize, usize)>,
+    sub: SubcubeScratch,
+}
+
+thread_local! {
+    static SUBCUBE_SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::default());
+}
+
 impl Router for GeneralSkewAlgorithm {
     fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>) {
-        let mut scratch = Vec::new();
-        for (ci, pc) in self.combos.iter().enumerate() {
-            if ci == self.base {
-                if self.tuple_in_base(atom, tuple) {
-                    self.route_block(pc, 0, atom, tuple, out, &mut scratch);
-                }
-                continue;
-            }
-            match &pc.lookups[atom] {
-                None => {
-                    // x_j = ∅: participate in every assignment.
-                    for a in 0..pc.offsets.len() {
-                        self.route_block(pc, a, atom, tuple, out, &mut scratch);
+        SUBCUBE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            for (ci, pc) in self.combos.iter().enumerate() {
+                if ci == self.base {
+                    if self.tuple_in_base(atom, tuple) {
+                        self.route_block(pc, 0, atom, tuple, out, scratch);
                     }
+                    continue;
                 }
-                Some(map) => {
-                    let key: Vec<u64> = pc.proj_cols[atom].iter().map(|&c| tuple[c]).collect();
-                    if let Some(assignments) = map.get(&key) {
-                        for &a in assignments {
-                            self.route_block(pc, a, atom, tuple, out, &mut scratch);
+                match &pc.lookups[atom] {
+                    None => {
+                        // x_j = ∅: participate in every assignment.
+                        for a in 0..pc.offsets.len() {
+                            self.route_block(pc, a, atom, tuple, out, scratch);
+                        }
+                    }
+                    Some(map) => {
+                        let assignments =
+                            with_projected_key(tuple, &pc.proj_cols[atom], |key| map.get(key));
+                        if let Some(assignments) = assignments {
+                            for &a in assignments {
+                                self.route_block(pc, a, atom, tuple, out, scratch);
+                            }
                         }
                     }
                 }
             }
-        }
+        })
     }
 }
 

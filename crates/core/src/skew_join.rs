@@ -19,12 +19,12 @@
 //! folding adds only a constant factor.
 
 use mpc_data::catalog::Database;
+use mpc_data::fastmap::{with_projected_key, FastMap};
 use mpc_data::mix64;
 use mpc_query::VarSet;
 use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{Cluster, Router};
 use mpc_sim::load::LoadReport;
-use std::collections::HashMap;
 
 /// How a heavy `z`-value is handled.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,7 +86,9 @@ pub struct SkewJoin {
     shared_cols: [Vec<usize>; 2],
     /// Private (non-shared) attribute positions per atom.
     private_cols: [Vec<usize>; 2],
-    routes: HashMap<Vec<u64>, HeavyRoute>,
+    /// Heavy-hitter route table, probed once per routed tuple with a
+    /// stack-projected key (no per-tuple allocation).
+    routes: FastMap<Vec<u64>, HeavyRoute>,
     /// Total virtual servers (diagnostics; `Θ(p)`).
     virtual_servers: usize,
     key_light: u64,
@@ -126,8 +128,8 @@ impl SkewJoin {
         p: usize,
         seed: u64,
         config: SkewJoinConfig,
-        f1: &HashMap<Vec<u64>, usize>,
-        f2: &HashMap<Vec<u64>, usize>,
+        f1: &FastMap<Vec<u64>, usize>,
+        f2: &FastMap<Vec<u64>, usize>,
     ) -> SkewJoin {
         SkewJoin::plan_from_parts(
             db.query(),
@@ -153,8 +155,8 @@ impl SkewJoin {
         p: usize,
         seed: u64,
         config: SkewJoinConfig,
-        f1: &HashMap<Vec<u64>, usize>,
-        f2: &HashMap<Vec<u64>, usize>,
+        f1: &FastMap<Vec<u64>, usize>,
+        f2: &FastMap<Vec<u64>, usize>,
     ) -> SkewJoin {
         assert_eq!(q.num_atoms(), 2, "skew join handles exactly two relations");
         let shared: VarSet = q.atom(0).var_set().intersect(q.atom(1).var_set());
@@ -212,7 +214,7 @@ impl SkewJoin {
         let k1_total: f64 = h1.iter().map(|(_, a)| a).sum();
         let k2_total: f64 = h2.iter().map(|(_, a)| a).sum();
 
-        let mut routes = HashMap::new();
+        let mut routes = FastMap::default();
         let mut offset = p; // virtual block 0 = the light hash join
         for (h, c1, c2) in h12 {
             let ph = ((p as f64 * c1 * c2 / k12_total).ceil() as usize).max(1);
@@ -285,50 +287,53 @@ impl SkewJoin {
 
 impl Router for SkewJoin {
     fn route(&self, atom: usize, tuple: &[u64], out: &mut Vec<usize>) {
-        let z: Vec<u64> = self.shared_cols[atom].iter().map(|&c| tuple[c]).collect();
-        match self.routes.get(&z) {
-            None => {
-                // Light: hash join on z over the first block.
-                let mut h = self.key_light;
-                for &v in &z {
-                    h = mix64(v, h);
-                }
-                out.push((h % self.p as u64) as usize);
-            }
-            Some(HeavyRoute::Both { offset, p1, p2 }) => {
-                if atom == 0 {
-                    let row = self.hash_private(0, tuple, *p1);
-                    for col in 0..*p2 {
-                        out.push(self.fold(offset + row * p2 + col));
+        // The shared-variable key lives on the stack; the route table is
+        // probed with the borrowed slice (`Vec<u64>: Borrow<[u64]>`).
+        with_projected_key(tuple, &self.shared_cols[atom], |z| {
+            match self.routes.get(z) {
+                None => {
+                    // Light: hash join on z over the first block.
+                    let mut h = self.key_light;
+                    for &v in z {
+                        h = mix64(v, h);
                     }
-                } else {
-                    let col = self.hash_private(1, tuple, *p2);
-                    for row in 0..*p1 {
-                        out.push(self.fold(offset + row * p2 + col));
-                    }
+                    out.push((h % self.p as u64) as usize);
                 }
-            }
-            Some(HeavyRoute::Only1 { offset, ph }) => {
-                if atom == 0 {
-                    let slot = self.hash_private(0, tuple, *ph);
-                    out.push(self.fold(offset + slot));
-                } else {
-                    for s in 0..*ph {
-                        out.push(self.fold(offset + s));
+                Some(HeavyRoute::Both { offset, p1, p2 }) => {
+                    if atom == 0 {
+                        let row = self.hash_private(0, tuple, *p1);
+                        for col in 0..*p2 {
+                            out.push(self.fold(offset + row * p2 + col));
+                        }
+                    } else {
+                        let col = self.hash_private(1, tuple, *p2);
+                        for row in 0..*p1 {
+                            out.push(self.fold(offset + row * p2 + col));
+                        }
                     }
                 }
-            }
-            Some(HeavyRoute::Only2 { offset, ph }) => {
-                if atom == 1 {
-                    let slot = self.hash_private(1, tuple, *ph);
-                    out.push(self.fold(offset + slot));
-                } else {
-                    for s in 0..*ph {
-                        out.push(self.fold(offset + s));
+                Some(HeavyRoute::Only1 { offset, ph }) => {
+                    if atom == 0 {
+                        let slot = self.hash_private(0, tuple, *ph);
+                        out.push(self.fold(offset + slot));
+                    } else {
+                        for s in 0..*ph {
+                            out.push(self.fold(offset + s));
+                        }
+                    }
+                }
+                Some(HeavyRoute::Only2 { offset, ph }) => {
+                    if atom == 1 {
+                        let slot = self.hash_private(1, tuple, *ph);
+                        out.push(self.fold(offset + slot));
+                    } else {
+                        for s in 0..*ph {
+                            out.push(self.fold(offset + s));
+                        }
                     }
                 }
             }
-        }
+        })
     }
 }
 

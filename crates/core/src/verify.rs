@@ -5,19 +5,20 @@
 //! requirement that "the servers must find all answers"). This module
 //! performs that comparison exactly and reports any discrepancy.
 
+use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
 use mpc_sim::cluster::Cluster;
 use mpc_sim::oracle;
 
 /// Outcome of verifying a cluster against the sequential ground truth.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Verification {
     /// Answers the algorithm failed to produce.
-    pub missing: Vec<Vec<u64>>,
+    pub missing: AnswerSet,
     /// Answers the algorithm produced that the ground truth lacks (cannot
     /// happen for routers over genuine input tuples; kept for debugging
     /// future algorithms).
-    pub unexpected: Vec<Vec<u64>>,
+    pub unexpected: AnswerSet,
     /// Number of correct distinct answers.
     pub found: usize,
 }
@@ -44,32 +45,34 @@ pub fn verify(db: &Database, cluster: &Cluster) -> Verification {
 
 /// Compare two sorted, deduplicated answer sets (the engine uses this to
 /// verify multi-round results, which carry answers without a cluster).
-pub fn diff(expected: &[Vec<u64>], got: &[Vec<u64>]) -> Verification {
-    let mut missing = Vec::new();
-    let mut unexpected = Vec::new();
+pub fn diff(expected: &AnswerSet, got: &AnswerSet) -> Verification {
+    let mut missing = AnswerSet::new(expected.arity());
+    let mut unexpected = AnswerSet::new(got.arity());
     let (mut i, mut j) = (0usize, 0usize);
     while i < expected.len() || j < got.len() {
-        match (expected.get(i), got.get(j)) {
+        let e = (i < expected.len()).then(|| expected.row(i));
+        let g = (j < got.len()).then(|| got.row(j));
+        match (e, g) {
             (Some(e), Some(g)) => match e.cmp(g) {
                 std::cmp::Ordering::Equal => {
                     i += 1;
                     j += 1;
                 }
                 std::cmp::Ordering::Less => {
-                    missing.push(e.clone());
+                    missing.push(e);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    unexpected.push(g.clone());
+                    unexpected.push(g);
                     j += 1;
                 }
             },
             (Some(e), None) => {
-                missing.push(e.clone());
+                missing.push(e);
                 i += 1;
             }
             (None, Some(g)) => {
-                unexpected.push(g.clone());
+                unexpected.push(g);
                 j += 1;
             }
             (None, None) => unreachable!(),

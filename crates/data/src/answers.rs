@@ -1,0 +1,422 @@
+//! Flat, row-major answer storage.
+//!
+//! Every algorithm in the workspace ultimately produces a set of answer
+//! rows over the query's variables. Materializing them as `Vec<Vec<u64>>`
+//! costs one heap allocation per answer and a pointer-chasing sort;
+//! [`AnswerSet`] stores all rows contiguously (`arity` + one flat `Vec`),
+//! so collection is an `extend_from_slice`, the canonicalizing
+//! [`AnswerSet::sort_dedup`] sorts slices in place, and iteration is
+//! cache-linear. The paper's cost model counts tuples, not allocator
+//! round-trips — the simulator's data plane shouldn't either.
+//!
+//! ```
+//! use mpc_data::AnswerSet;
+//!
+//! let mut ans = AnswerSet::new(2);
+//! ans.push(&[3, 1]);
+//! ans.push(&[1, 2]);
+//! ans.push(&[3, 1]); // duplicate
+//! ans.sort_dedup();
+//! assert_eq!(ans.len(), 2);
+//! assert_eq!(ans.row(0), &[1, 2]);
+//! assert_eq!(ans, vec![vec![1, 2], vec![3, 1]]); // nested-vec comparisons work
+//! ```
+
+use std::fmt;
+
+/// A set of fixed-arity `u64` rows in one contiguous allocation.
+///
+/// The type deliberately mirrors the slice of `Vec<Vec<u64>>` the workspace
+/// historically used: [`AnswerSet::rows`] iterates `&[u64]` rows,
+/// [`AnswerSet::sort_dedup`] is lexicographic sort + dedup, and equality
+/// against nested vectors is provided for tests ([`AnswerSet::to_nested`]
+/// is the full escape hatch).
+#[derive(Clone, PartialEq, Eq)]
+pub struct AnswerSet {
+    arity: usize,
+    /// Row count, tracked explicitly so `arity == 0` (boolean queries)
+    /// still counts rows.
+    rows: usize,
+    data: Vec<u64>,
+}
+
+impl AnswerSet {
+    /// New empty set of `arity`-wide rows.
+    pub fn new(arity: usize) -> AnswerSet {
+        AnswerSet {
+            arity,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// New empty set with room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> AnswerSet {
+        AnswerSet {
+            arity,
+            rows: 0,
+            data: Vec::with_capacity(arity * rows),
+        }
+    }
+
+    /// Build from nested rows (tests and the migration escape hatch).
+    ///
+    /// # Panics
+    /// Panics when a row's length differs from `arity`.
+    pub fn from_nested(arity: usize, rows: &[Vec<u64>]) -> AnswerSet {
+        let mut out = AnswerSet::with_capacity(arity, rows.len());
+        for row in rows {
+            out.push(row);
+        }
+        out
+    }
+
+    /// Row width (the query's variable count).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != arity`.
+    #[inline]
+    pub fn push(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.arity, "answer arity mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The first row, if any.
+    pub fn first(&self) -> Option<&[u64]> {
+        (self.rows > 0).then(|| self.row(0))
+    }
+
+    /// Iterate all rows as slices (no allocation; [`Rows`] is a plain
+    /// cursor).
+    pub fn rows(&self) -> Rows<'_> {
+        Rows { set: self, i: 0 }
+    }
+
+    /// Append every row of `other`, preserving order (the merge step of
+    /// parallel collection).
+    ///
+    /// # Panics
+    /// Panics when the arities differ.
+    pub fn append(&mut self, other: AnswerSet) {
+        assert_eq!(
+            self.arity, other.arity,
+            "cannot append arity-{} answers to arity-{}",
+            other.arity, self.arity
+        );
+        self.rows += other.rows;
+        self.data.extend(other.data);
+    }
+
+    /// Sort rows lexicographically in place, keeping duplicates (multiset
+    /// comparisons; set semantics want [`AnswerSet::sort_dedup`]).
+    pub fn sort(&mut self) {
+        match self.arity {
+            0 => {}
+            1 => self.data.sort_unstable(),
+            arity => {
+                let mut rows: Vec<&[u64]> = self.data.chunks_exact(arity).collect();
+                rows.sort_unstable();
+                let mut out = Vec::with_capacity(self.data.len());
+                for row in &rows {
+                    out.extend_from_slice(row);
+                }
+                self.data = out;
+            }
+        }
+    }
+
+    /// Sort rows lexicographically and remove duplicates, in place — the
+    /// canonical form every answer-set comparison in the workspace uses.
+    /// Arity-1 sets sort the flat storage directly; wider rows sort one
+    /// index of row slices (a single allocation, not one per row).
+    pub fn sort_dedup(&mut self) {
+        match self.arity {
+            0 => {
+                // All rows are the empty tuple.
+                self.rows = self.rows.min(1);
+            }
+            1 => {
+                self.data.sort_unstable();
+                self.data.dedup();
+                self.rows = self.data.len();
+            }
+            arity => {
+                let mut rows: Vec<&[u64]> = self.data.chunks_exact(arity).collect();
+                rows.sort_unstable();
+                rows.dedup();
+                let mut out = Vec::with_capacity(rows.len() * arity);
+                for row in &rows {
+                    out.extend_from_slice(row);
+                }
+                self.rows = rows.len();
+                self.data = out;
+            }
+        }
+    }
+
+    /// Number of *distinct* rows, counted by sorting and run-length
+    /// scanning — the flat storage is never rebuilt (unlike
+    /// [`AnswerSet::sort_dedup`]): arity-1 sets sort the storage in place,
+    /// wider sets sort only a slice index. Row order may change (arity-1);
+    /// the row *multiset* never does.
+    pub fn sorted_distinct_count(&mut self) -> usize {
+        match self.arity {
+            0 => self.rows.min(1),
+            1 => {
+                self.data.sort_unstable();
+                self.data.len() - self.data.windows(2).filter(|w| w[0] == w[1]).count()
+            }
+            arity => {
+                let mut rows: Vec<&[u64]> = self.data.chunks_exact(arity).collect();
+                rows.sort_unstable();
+                rows.len() - rows.windows(2).filter(|w| w[0] == w[1]).count()
+            }
+        }
+    }
+
+    /// Materialize as nested vectors (the escape hatch for assertions and
+    /// interop; everything hot should stay on [`AnswerSet::rows`]).
+    pub fn to_nested(&self) -> Vec<Vec<u64>> {
+        self.rows().map(|r| r.to_vec()).collect()
+    }
+}
+
+/// Borrowing row iterator of an [`AnswerSet`] (see [`AnswerSet::rows`]).
+#[derive(Clone, Debug)]
+pub struct Rows<'a> {
+    set: &'a AnswerSet,
+    i: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [u64];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u64]> {
+        if self.i >= self.set.rows {
+            return None;
+        }
+        let row = &self.set.data[self.i * self.set.arity..(self.i + 1) * self.set.arity];
+        self.i += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.set.rows - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+impl std::ops::Index<usize> for AnswerSet {
+    type Output = [u64];
+
+    fn index(&self, i: usize) -> &[u64] {
+        self.row(i)
+    }
+}
+
+impl<'a> IntoIterator for &'a AnswerSet {
+    type Item = &'a [u64];
+    type IntoIter = Rows<'a>;
+
+    fn into_iter(self) -> Rows<'a> {
+        self.rows()
+    }
+}
+
+/// Row-wise equality against nested vectors (test ergonomics; arity of an
+/// empty nested vector is unknowable, so only rows are compared).
+impl PartialEq<Vec<Vec<u64>>> for AnswerSet {
+    fn eq(&self, other: &Vec<Vec<u64>>) -> bool {
+        self.len() == other.len() && self.rows().zip(other).all(|(a, b)| a == b.as_slice())
+    }
+}
+
+impl PartialEq<AnswerSet> for Vec<Vec<u64>> {
+    fn eq(&self, other: &AnswerSet) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<&[Vec<u64>]> for AnswerSet {
+    fn eq(&self, other: &&[Vec<u64>]) -> bool {
+        self.len() == other.len()
+            && self
+                .rows()
+                .zip(other.iter())
+                .all(|(a, b)| a == b.as_slice())
+    }
+}
+
+impl fmt::Debug for AnswerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const SHOWN: usize = 20;
+        write!(f, "AnswerSet(arity {}, {} rows", self.arity, self.rows)?;
+        if !self.is_empty() {
+            write!(f, ": ")?;
+            f.debug_list().entries(self.rows().take(SHOWN)).finish()?;
+            if self.rows > SHOWN {
+                write!(f, " … +{} more", self.rows - SHOWN)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_row_len_and_iteration() {
+        let mut a = AnswerSet::new(3);
+        assert!(a.is_empty());
+        a.push(&[1, 2, 3]);
+        a.push(&[4, 5, 6]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.row(1), &[4, 5, 6]);
+        assert_eq!(a[0], [1, 2, 3]);
+        assert_eq!(a.first(), Some([1u64, 2, 3].as_slice()));
+        let collected: Vec<&[u64]> = a.rows().collect();
+        assert_eq!(collected.len(), 2);
+        let via_iter: Vec<&[u64]> = (&a).into_iter().collect();
+        assert_eq!(collected, via_iter);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        AnswerSet::new(2).push(&[1]);
+    }
+
+    #[test]
+    fn sort_keeps_duplicates() {
+        let mut a = AnswerSet::from_nested(2, &[vec![3, 1], vec![1, 2], vec![3, 1]]);
+        a.sort();
+        assert_eq!(a, vec![vec![1, 2], vec![3, 1], vec![3, 1]]);
+        let mut one = AnswerSet::from_nested(1, &[vec![4], vec![2], vec![4]]);
+        one.sort();
+        assert_eq!(one, vec![vec![2], vec![4], vec![4]]);
+    }
+
+    #[test]
+    fn sort_dedup_canonicalizes() {
+        let mut a = AnswerSet::from_nested(2, &[vec![3, 1], vec![1, 2], vec![3, 1], vec![0, 9]]);
+        a.sort_dedup();
+        assert_eq!(a, vec![vec![0, 9], vec![1, 2], vec![3, 1]]);
+    }
+
+    #[test]
+    fn sort_dedup_arity_one_uses_flat_path() {
+        let mut a = AnswerSet::from_nested(1, &[vec![5], vec![1], vec![5], vec![3]]);
+        a.sort_dedup();
+        assert_eq!(a, vec![vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    fn sort_dedup_handles_empty_and_all_duplicates() {
+        let mut empty = AnswerSet::new(2);
+        empty.sort_dedup();
+        assert!(empty.is_empty());
+
+        let mut dup = AnswerSet::new(2);
+        for _ in 0..50 {
+            dup.push(&[7, 7]);
+        }
+        dup.sort_dedup();
+        assert_eq!(dup, vec![vec![7, 7]]);
+    }
+
+    #[test]
+    fn zero_arity_rows_count_and_collapse() {
+        let mut a = AnswerSet::new(0);
+        a.push(&[]);
+        a.push(&[]);
+        assert_eq!(a.len(), 2);
+        a.sort_dedup();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.row(0), &[] as &[u64]);
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut a = AnswerSet::from_nested(2, &[vec![1, 2]]);
+        let b = AnswerSet::from_nested(2, &[vec![3, 4], vec![5, 6]]);
+        a.append(b);
+        assert_eq!(a, vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append arity-1 answers to arity-2")]
+    fn append_arity_mismatch_panics() {
+        AnswerSet::new(2).append(AnswerSet::new(1));
+    }
+
+    #[test]
+    fn sorted_distinct_count_matches_sort_dedup_len() {
+        for (arity, rows) in [
+            (1usize, vec![vec![5u64], vec![1], vec![5], vec![3], vec![1]]),
+            (2, vec![vec![3, 1], vec![1, 2], vec![3, 1], vec![0, 9]]),
+            (2, vec![]),
+            (2, vec![vec![7, 7]; 10]),
+        ] {
+            let mut a = AnswerSet::from_nested(arity, &rows);
+            let mut b = a.clone();
+            b.sort_dedup();
+            assert_eq!(a.sorted_distinct_count(), b.len(), "arity {arity}");
+            assert_eq!(a.len(), rows.len(), "count must not drop rows");
+        }
+        let mut zero = AnswerSet::new(0);
+        zero.push(&[]);
+        zero.push(&[]);
+        assert_eq!(zero.sorted_distinct_count(), 1);
+    }
+
+    #[test]
+    fn nested_round_trip_and_equality() {
+        let rows = vec![vec![9, 8], vec![7, 6]];
+        let a = AnswerSet::from_nested(2, &rows);
+        assert_eq!(a.to_nested(), rows);
+        assert_eq!(a, rows);
+        assert_eq!(rows, a);
+        assert_eq!(a, rows.as_slice());
+        assert_ne!(a, vec![vec![9, 8]]);
+    }
+
+    #[test]
+    fn debug_truncates_large_sets() {
+        let mut a = AnswerSet::new(1);
+        for i in 0..100 {
+            a.push(&[i]);
+        }
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("100 rows"), "{dbg}");
+        assert!(dbg.contains("+80 more"), "{dbg}");
+    }
+}

@@ -1,0 +1,190 @@
+//! `mix64`-keyed hashing: [`FastMap`] / [`FastSet`].
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed per
+//! process and designed to resist hash-flooding from untrusted input. The
+//! simulator's maps are keyed by *its own* tuples — `Vec<u64>` projections,
+//! attribute-position vectors — so that robustness buys nothing and costs
+//! a long per-byte inner loop on every probe. [`FastHasher`] instead folds
+//! whole 64-bit words through [`mix64`] (one SplitMix64
+//! round per word), which is the same mixing quality the simulator already
+//! trusts for its routing hash functions, at a fraction of the cost.
+//!
+//! Because the hasher is stateless (no per-process key), iteration order of
+//! a [`FastMap`] is deterministic for a given insertion sequence — which
+//! every algorithm here must tolerate anyway (results are pinned across
+//! executors), and which makes planner behaviour reproducible run to run.
+//!
+//! ```
+//! use mpc_data::fastmap::FastMap;
+//!
+//! let mut freq: FastMap<Vec<u64>, usize> = FastMap::default();
+//! *freq.entry(vec![7, 9]).or_insert(0) += 1;
+//! // Lookups borrow as a slice: no key materialization needed.
+//! assert_eq!(freq.get([7u64, 9].as_slice()), Some(&1));
+//! ```
+
+use crate::rng::mix64;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// Initial hasher state (an arbitrary odd constant; every written word is
+/// folded into it through [`mix64`]).
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A [`HashMap`] keyed by the [`mix64`]-based [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A [`HashSet`] keyed by the [`mix64`]-based [`FastHasher`].
+pub type FastSet<K> = HashSet<K, FastBuildHasher>;
+
+/// [`BuildHasher`] for [`FastHasher`] (stateless, so hashes are identical
+/// across maps, runs, and processes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastBuildHasher;
+
+impl BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher { state: SEED }
+    }
+}
+
+/// Word-at-a-time hasher: every written 64-bit word passes through one
+/// [`mix64`] round chained on the running state.
+#[derive(Clone, Debug)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Fold the remainder length in so "ab" and "ab\0" differ.
+            self.write_u64(u64::from_le_bytes(buf) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.state = mix64(x, self.state);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// Project `tuple` onto attribute positions `cols` and hand the key to `f`
+/// **without heap-allocating it** (a stack buffer covers every realistic
+/// arity; wider projections fall back to one `Vec`). This is the lookup-side
+/// companion of [`FastMap`]s keyed by `Vec<u64>` projections: routing hot
+/// loops probe with `map.get(key)` where `key: &[u64]` borrows the stack
+/// buffer.
+///
+/// ```
+/// use mpc_data::fastmap::with_projected_key;
+///
+/// let tuple = [10u64, 20, 30];
+/// let key_len = with_projected_key(&tuple, &[2, 0], |key| {
+///     assert_eq!(key, &[30, 10]);
+///     key.len()
+/// });
+/// assert_eq!(key_len, 2);
+/// ```
+#[inline]
+pub fn with_projected_key<R>(tuple: &[u64], cols: &[usize], f: impl FnOnce(&[u64]) -> R) -> R {
+    if cols.len() <= 8 {
+        let mut buf = [0u64; 8];
+        for (i, &c) in cols.iter().enumerate() {
+            buf[i] = tuple[c];
+        }
+        f(&buf[..cols.len()])
+    } else {
+        let key: Vec<u64> = cols.iter().map(|&c| tuple[c]).collect();
+        f(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher.hash_one(v)
+    }
+
+    #[test]
+    fn vec_and_slice_hash_identically() {
+        // HashMap<Vec<u64>, _>::get::<[u64]> relies on this.
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(hash_of(&v), hash_of(&v.as_slice()));
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let keys: Vec<Vec<u64>> = (0..1000u64).map(|i| vec![i, i ^ 0xFF]).collect();
+        let hashes: FastSet<u64> = keys.iter().map(hash_of).collect();
+        assert_eq!(hashes.len(), keys.len(), "collisions among 1000 keys");
+    }
+
+    #[test]
+    fn length_is_part_of_the_hash() {
+        assert_ne!(hash_of(&vec![0u64]), hash_of(&vec![0u64, 0]));
+        assert_ne!(hash_of(&Vec::<u64>::new()), hash_of(&vec![0u64]));
+    }
+
+    #[test]
+    fn byte_writes_fold_remainders() {
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&"abcdefgh"), hash_of(&"abcdefghi"));
+    }
+
+    #[test]
+    fn map_basics_and_slice_lookup() {
+        let mut m: FastMap<Vec<u64>, usize> = FastMap::default();
+        for i in 0..100u64 {
+            m.insert(vec![i, i + 1], i as usize);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get([7u64, 8].as_slice()), Some(&7));
+        assert_eq!(m.get([7u64, 9].as_slice()), None);
+    }
+
+    #[test]
+    fn projected_key_matches_manual_projection() {
+        let tuple = [5u64, 6, 7, 8];
+        with_projected_key(&tuple, &[3, 1], |key| assert_eq!(key, &[8, 6]));
+        with_projected_key(&tuple, &[], |key| assert!(key.is_empty()));
+        // Wide fallback path.
+        let wide: Vec<u64> = (0..12).collect();
+        let cols: Vec<usize> = (0..12).collect();
+        with_projected_key(&wide, &cols, |key| assert_eq!(key, wide.as_slice()));
+    }
+}

@@ -12,10 +12,11 @@
 //! not worst-case-optimal, but it is exact, allocation-conscious, and fast
 //! enough for the experiment scales (≤ 2^20 tuples).
 
+use crate::answers::AnswerSet;
 use crate::catalog::Database;
 use crate::relation::Relation;
+use crate::rng::mix64;
 use mpc_query::{Query, VarSet};
-use std::collections::HashMap;
 
 /// Compute a greedy atom order: start from the smallest relation, then
 /// repeatedly pick the atom with the most already-bound variables (ties:
@@ -55,45 +56,210 @@ fn atom_order(query: &Query, relations: &[&Relation]) -> Vec<usize> {
     order
 }
 
-/// A hash index over one atom's relation, keyed by the values at the
-/// positions of the atom's variables that are bound when the atom is
-/// visited.
+/// Hash-chain key for the [`JoinIndex`] (fixed: index lookups must hash
+/// exactly like index construction).
+const INDEX_SALT: u64 = 0x4cf5_ad43_2745_937f;
+
+/// Sentinel for an empty open-addressing slot.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// A CSR-grouped hash index over one relation: row ids grouped by the
+/// values at `key_cols`, stored as one contiguous `offsets + row_ids`
+/// arena. Construction is two passes over the rows — keys are hashed
+/// inline via [`mix64`] and resolved through an
+/// open-addressing group table, with **no per-key allocation** (the legacy
+/// `HashMap<Vec<u64>, Vec<u32>>` paid one key `Vec` plus one bucket `Vec`
+/// per distinct key). [`JoinIndex::candidates`] returns the group's row-id
+/// slice, in ascending row order, exactly matching the legacy buckets.
+///
+/// ```
+/// use mpc_data::join::JoinIndex;
+/// use mpc_data::Relation;
+///
+/// let rel = Relation::from_rows("S", 2, &[&[1, 5], &[2, 5], &[3, 6]]);
+/// let idx = JoinIndex::build(&rel, vec![1]);
+/// assert_eq!(idx.candidates(&[5]), &[0, 1]);
+/// assert_eq!(idx.candidates(&[6]), &[2]);
+/// assert_eq!(idx.candidates(&[7]), &[] as &[u32]);
+/// ```
+pub struct JoinIndex<'a> {
+    relation: &'a Relation,
+    /// Attribute positions forming the key (may be empty: full scan —
+    /// every row is one group).
+    key_cols: Vec<usize>,
+    /// Group boundaries within `row_ids`: group `g` spans
+    /// `row_ids[offsets[g]..offsets[g + 1]]`.
+    offsets: Vec<u32>,
+    /// Row ids, grouped by key, ascending within each group.
+    row_ids: Vec<u32>,
+    /// Open-addressing table: slot → group id (`EMPTY_SLOT` = free). The
+    /// group's key is read back from its first row, so no key is stored.
+    slots: Vec<u32>,
+    /// `slots.len() - 1` (the table size is a power of two).
+    mask: usize,
+}
+
+impl<'a> JoinIndex<'a> {
+    /// Build the index of `relation` keyed on `key_cols`.
+    ///
+    /// # Panics
+    /// Panics when the relation has ≥ `u32::MAX` rows (far beyond the
+    /// simulator's scales).
+    pub fn build(relation: &'a Relation, key_cols: Vec<usize>) -> JoinIndex<'a> {
+        let n = relation.len();
+        assert!((n as u64) < u32::MAX as u64, "relation too large to index");
+        if key_cols.is_empty() || n == 0 {
+            // One group holding every row (or no rows): candidates() for
+            // the empty key returns the full scan.
+            return JoinIndex {
+                relation,
+                key_cols,
+                offsets: vec![0, n as u32],
+                row_ids: (0..n as u32).collect(),
+                slots: Vec::new(),
+                mask: 0,
+            };
+        }
+
+        // Pass 1: resolve each row to a group id via the open-addressing
+        // table; count group sizes.
+        let cap = (n * 2).next_power_of_two().max(8);
+        let mask = cap - 1;
+        let mut slots = vec![EMPTY_SLOT; cap];
+        let mut group_rep: Vec<u32> = Vec::new(); // first row of each group
+        let mut group_len: Vec<u32> = Vec::new();
+        let mut row_group: Vec<u32> = Vec::with_capacity(n);
+        for (i, row) in relation.rows().enumerate() {
+            let mut s = (hash_cols(row, &key_cols) as usize) & mask;
+            let g = loop {
+                match slots[s] {
+                    EMPTY_SLOT => {
+                        let g = group_rep.len() as u32;
+                        slots[s] = g;
+                        group_rep.push(i as u32);
+                        group_len.push(0);
+                        break g;
+                    }
+                    g if rows_key_equal(relation, group_rep[g as usize], row, &key_cols) => {
+                        break g;
+                    }
+                    _ => s = (s + 1) & mask,
+                }
+            };
+            group_len[g as usize] += 1;
+            row_group.push(g);
+        }
+
+        // Pass 2: prefix-sum offsets, then scatter row ids in ascending
+        // row order (so each group's slice is ascending, matching the
+        // insertion order of the legacy per-key buckets).
+        let mut offsets = Vec::with_capacity(group_len.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &len in &group_len {
+            acc += len;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..group_len.len()].to_vec();
+        let mut row_ids = vec![0u32; n];
+        for (i, &g) in row_group.iter().enumerate() {
+            row_ids[cursor[g as usize] as usize] = i as u32;
+            cursor[g as usize] += 1;
+        }
+
+        JoinIndex {
+            relation,
+            key_cols,
+            offsets,
+            row_ids,
+            slots,
+            mask,
+        }
+    }
+
+    /// The attribute positions forming the key.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Row ids whose projection on the key columns equals `key`, ascending
+    /// (empty key: all rows). Returns an empty slice for absent keys.
+    #[inline]
+    pub fn candidates(&self, key: &[u64]) -> &[u32] {
+        if self.key_cols.is_empty() {
+            return &self.row_ids;
+        }
+        if self.slots.is_empty() {
+            return &[];
+        }
+        let mut s = (hash_key(key) as usize) & self.mask;
+        loop {
+            match self.slots[s] {
+                EMPTY_SLOT => return &[],
+                g => {
+                    let rep = self
+                        .relation
+                        .row(self.row_ids[self.offsets[g as usize] as usize] as usize);
+                    if self.key_cols.iter().zip(key).all(|(&c, &v)| rep[c] == v) {
+                        let (lo, hi) = (self.offsets[g as usize], self.offsets[g as usize + 1]);
+                        return &self.row_ids[lo as usize..hi as usize];
+                    }
+                    s = (s + 1) & self.mask;
+                }
+            }
+        }
+    }
+}
+
+/// Hash the projection of `row` onto `cols` (chained [`mix64`]).
+#[inline]
+fn hash_cols(row: &[u64], cols: &[usize]) -> u64 {
+    let mut h = INDEX_SALT;
+    for &c in cols {
+        h = mix64(row[c], h);
+    }
+    h
+}
+
+/// Hash an already-projected key exactly like [`hash_cols`].
+#[inline]
+fn hash_key(key: &[u64]) -> u64 {
+    let mut h = INDEX_SALT;
+    for &v in key {
+        h = mix64(v, h);
+    }
+    h
+}
+
+/// True iff the key projections of row `a` (by id) and `row_b` agree.
+#[inline]
+fn rows_key_equal(rel: &Relation, a: u32, row_b: &[u64], cols: &[usize]) -> bool {
+    let row_a = rel.row(a as usize);
+    cols.iter().all(|&c| row_a[c] == row_b[c])
+}
+
+/// A [`JoinIndex`] bound to the relation it indexes (one per atom in visit
+/// order).
 struct AtomIndex<'a> {
     relation: &'a Relation,
-    /// Attribute positions forming the key (may be empty: full scan).
-    key_positions: Vec<usize>,
-    /// Row ids per key.
-    buckets: HashMap<Vec<u64>, Vec<u32>>,
-    /// All row ids (used when `key_positions` is empty).
-    all_rows: Vec<u32>,
+    index: JoinIndex<'a>,
 }
 
 impl<'a> AtomIndex<'a> {
     fn build(relation: &'a Relation, key_positions: Vec<usize>) -> AtomIndex<'a> {
-        let mut buckets: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
-        let mut all_rows = Vec::new();
-        if key_positions.is_empty() {
-            all_rows = (0..relation.len() as u32).collect();
-        } else {
-            for (i, row) in relation.rows().enumerate() {
-                let key: Vec<u64> = key_positions.iter().map(|&p| row[p]).collect();
-                buckets.entry(key).or_default().push(i as u32);
-            }
-        }
         AtomIndex {
             relation,
-            key_positions,
-            buckets,
-            all_rows,
+            index: JoinIndex::build(relation, key_positions),
         }
     }
 
+    fn key_positions(&self) -> &[usize] {
+        self.index.key_cols()
+    }
+
+    #[inline]
     fn candidates(&self, key: &[u64]) -> &[u32] {
-        if self.key_positions.is_empty() {
-            &self.all_rows
-        } else {
-            self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
-        }
+        self.index.candidates(key)
     }
 }
 
@@ -170,11 +336,12 @@ pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut
         let atom = query.atom(j);
         let idx = &indexes[depth];
         key_buf.clear();
-        for &pos in &idx.key_positions {
+        for &pos in idx.key_positions() {
             key_buf.push(binding[atom.vars()[pos]]);
         }
-        let key: Vec<u64> = key_buf.clone();
-        for &row_id in idx.candidates(&key) {
+        // `candidates` borrows the index, not `key_buf`, so the buffer is
+        // free for reuse by deeper levels while we iterate.
+        for &row_id in idx.candidates(key_buf) {
             let row = idx.relation.row(row_id as usize);
             if check_positions[depth]
                 .iter()
@@ -296,17 +463,17 @@ impl PartitionedJoin<'_> {
     }
 
     /// Materialize one bucket's answers.
-    pub fn join_bucket(&self, bucket: usize) -> Vec<Vec<u64>> {
-        let mut out = Vec::new();
-        self.join_bucket_foreach(bucket, |row| out.push(row.to_vec()));
+    pub fn join_bucket(&self, bucket: usize) -> AnswerSet {
+        let mut out = AnswerSet::new(self.query.num_vars());
+        self.join_bucket_foreach(bucket, |row| out.push(row));
         out
     }
 }
 
-/// Materialize all answers as rows over the query's variables.
-pub fn join(query: &Query, relations: &[&Relation]) -> Vec<Vec<u64>> {
-    let mut out = Vec::new();
-    join_foreach(query, relations, |row| out.push(row.to_vec()));
+/// Materialize all answers as flat rows over the query's variables.
+pub fn join(query: &Query, relations: &[&Relation]) -> AnswerSet {
+    let mut out = AnswerSet::new(query.num_vars());
+    join_foreach(query, relations, |row| out.push(row));
     out
 }
 
@@ -318,7 +485,7 @@ pub fn join_count(query: &Query, relations: &[&Relation]) -> u64 {
 }
 
 /// Join a [`Database`] directly.
-pub fn join_database(db: &Database) -> Vec<Vec<u64>> {
+pub fn join_database(db: &Database) -> AnswerSet {
     let rels: Vec<&Relation> = db.relations().iter().collect();
     join(db.query(), &rels)
 }
@@ -336,6 +503,15 @@ mod tests {
     use crate::rng::Rng;
     use mpc_query::named;
 
+    /// Concatenate every bucket's answers (multiset).
+    fn mpc_data_answers_concat(parts: &PartitionedJoin<'_>) -> AnswerSet {
+        let mut out = parts.join_bucket(0);
+        for b in 1..parts.num_buckets() {
+            out.append(parts.join_bucket(b));
+        }
+        out
+    }
+
     #[test]
     fn two_way_join_by_hand() {
         // S1(x,z) = {(1,5),(2,5),(3,6)}, S2(y,z) = {(7,5),(8,6),(9,9)}
@@ -344,7 +520,7 @@ mod tests {
         let s1 = Relation::from_rows("S1", 2, &[&[1, 5], &[2, 5], &[3, 6]]);
         let s2 = Relation::from_rows("S2", 2, &[&[7, 5], &[8, 6], &[9, 9]]);
         let mut ans = join(&q, &[&s1, &s2]);
-        ans.sort();
+        ans.sort_dedup();
         // Variable order: x=0, z=1, y=2 (interning order).
         let xi = q.var_index("x").unwrap();
         let yi = q.var_index("y").unwrap();
@@ -420,7 +596,7 @@ mod tests {
         let q = mpc_query::Query::build("q", &[("R", &["x", "x", "y"])]).unwrap();
         let r = Relation::from_rows("R", 3, &[&[1, 1, 5], &[1, 2, 6], &[3, 3, 7]]);
         let mut ans = join(&q, &[&r]);
-        ans.sort();
+        ans.sort_dedup();
         assert_eq!(ans, vec![vec![1, 5], vec![3, 7]]);
     }
 
@@ -486,9 +662,7 @@ mod tests {
             for buckets in [1usize, 2, 7, 16] {
                 let parts = partition_join(&q, &refs, buckets);
                 assert_eq!(parts.num_buckets(), buckets.max(1), "{}", q.name());
-                let mut got: Vec<Vec<u64>> = (0..parts.num_buckets())
-                    .flat_map(|b| parts.join_bucket(b))
-                    .collect();
+                let mut got = mpc_data_answers_concat(&parts);
                 got.sort();
                 assert_eq!(got, expected, "{} with {buckets} buckets", q.name());
             }
@@ -510,7 +684,7 @@ mod tests {
         let mut expected = join(&q, &refs);
         expected.sort();
         let parts = partition_join(&q, &refs, 8);
-        let mut got: Vec<Vec<u64>> = (0..8).flat_map(|b| parts.join_bucket(b)).collect();
+        let mut got = mpc_data_answers_concat(&parts);
         got.sort();
         assert_eq!(got, expected);
         assert_eq!(got.len(), 200 * 200);

@@ -10,19 +10,28 @@
 //! * [`generators`] — uniform / matching / Zipf / exact-degree-sequence
 //!   workloads matching each instance class the paper analyzes;
 //! * [`catalog::Database`] — a query bound to one relation per atom;
-//! * [`join`](mod@crate::join) — the local multiway join every simulated server runs, also
-//!   the sequential ground truth for verification.
+//! * [`answers::AnswerSet`] — flat row-major answer storage (the output
+//!   side of the data plane: one allocation, arity-aware sort/dedup);
+//! * [`fastmap`] — the `mix64`-keyed [`fastmap::FastMap`]/[`fastmap::FastSet`]
+//!   used by every statistics and routing map in the workspace;
+//! * [`join`](mod@crate::join) — the local multiway join every simulated server runs
+//!   (CSR-indexed, allocation-free per tuple), also the sequential ground
+//!   truth for verification.
 
+pub mod answers;
 pub mod catalog;
+pub mod fastmap;
 pub mod generators;
 pub mod join;
 pub mod relation;
 pub mod rng;
 pub mod zipf;
 
+pub use answers::AnswerSet;
 pub use catalog::{CatalogError, Database};
+pub use fastmap::{FastMap, FastSet};
 pub use join::{
-    join, join_count, join_database, join_database_count, join_foreach, partition_join,
+    join, join_count, join_database, join_database_count, join_foreach, partition_join, JoinIndex,
     PartitionedJoin,
 };
 pub use relation::{domain_bits, Relation};

@@ -5,7 +5,7 @@
 //! bits with `M_j = a_j · m_j · log n` (Section 3); [`Relation::bit_size`]
 //! implements exactly that accounting given the domain's bit width.
 
-use std::collections::HashMap;
+use crate::fastmap::FastMap;
 use std::fmt;
 
 /// A relation: `m` tuples of fixed arity over a `u64` domain.
@@ -87,6 +87,22 @@ impl Relation {
         self.data.extend(other.data);
     }
 
+    /// Append tuples stored flat (row-major, `flat.len()` a multiple of the
+    /// arity) — the zero-copy merge step of the shuffle scratch buffers.
+    ///
+    /// # Panics
+    /// Panics when `flat.len()` is not a multiple of the arity.
+    #[inline]
+    pub fn push_rows(&mut self, flat: &[u64]) {
+        assert_eq!(
+            flat.len() % self.arity,
+            0,
+            "flat tuple data not a multiple of arity {}",
+            self.arity
+        );
+        self.data.extend_from_slice(flat);
+    }
+
     /// Tuple `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[u64] {
@@ -126,9 +142,11 @@ impl Relation {
 
     /// Frequency map of the projections onto attribute positions `cols`:
     /// for each distinct projected value, how many tuples carry it. This is
-    /// `m_j(h_j) = |σ_{x_j = h_j}(S_j)|` of Section 4.
-    pub fn frequencies(&self, cols: &[usize]) -> HashMap<Vec<u64>, usize> {
-        let mut freq: HashMap<Vec<u64>, usize> = HashMap::new();
+    /// `m_j(h_j) = |σ_{x_j = h_j}(S_j)|` of Section 4. The map is keyed by
+    /// the `mix64` hasher ([`crate::fastmap::FastMap`]): statistics passes
+    /// scan every tuple, and SipHash dominated that scan.
+    pub fn frequencies(&self, cols: &[usize]) -> FastMap<Vec<u64>, usize> {
+        let mut freq: FastMap<Vec<u64>, usize> = FastMap::default();
         for row in self.rows() {
             let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
             *freq.entry(key).or_insert(0) += 1;

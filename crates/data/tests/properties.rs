@@ -1,8 +1,12 @@
-//! Property-based tests for relations, generators and the local join.
+//! Property-based tests for relations, generators and the local join —
+//! including the flat data plane: [`AnswerSet`] pinned pointwise against
+//! the legacy `Vec<Vec<u64>>` sort+dedup, and the CSR [`JoinIndex`] pinned
+//! against the legacy per-key `HashMap` buckets.
 
-use mpc_data::{generators, join, join_count, Relation, Rng};
+use mpc_data::{generators, join, join_count, AnswerSet, JoinIndex, Relation, Rng};
 use mpc_query::named;
 use mpc_testkit::prelude::*;
+use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -94,13 +98,84 @@ proptest! {
         let s1 = mk("S1", &r1);
         let s2 = mk("S2", &r2);
         let s3 = mk("S3", &r3);
-        for ans in join(&q, &[&s1, &s2, &s3]) {
+        for ans in join(&q, &[&s1, &s2, &s3]).rows() {
             for (j, s) in [&s1, &s2, &s3].iter().enumerate() {
                 let atom = q.atom(j);
                 let proj: Vec<u64> = atom.vars().iter().map(|&v| ans[v]).collect();
                 prop_assert!(s.rows().any(|row| row == proj.as_slice()),
                     "answer {:?} not supported by atom {}", ans, atom.name());
             }
+        }
+    }
+
+    /// `AnswerSet::sort_dedup` + `rows()` is pointwise identical to the
+    /// legacy nested-vec sort+dedup, across arities 1..=3 (the flat values
+    /// are chunked into rows, so empty and all-duplicate row sets occur
+    /// naturally under shrinking; dedicated unit cases below pin them too).
+    #[test]
+    fn answer_set_sort_dedup_matches_legacy(
+        arity in 1usize..4,
+        vals in mpc_testkit::collection::vec(0u64..5, 0..120),
+    ) {
+        let rows: Vec<Vec<u64>> = vals.chunks_exact(arity).map(|c| c.to_vec()).collect();
+        let mut legacy = rows.clone();
+        legacy.sort();
+        legacy.dedup();
+
+        let mut flat = AnswerSet::new(arity);
+        for row in &rows {
+            flat.push(row);
+        }
+        flat.sort_dedup();
+        prop_assert_eq!(flat.len(), legacy.len());
+        for (got, want) in flat.rows().zip(&legacy) {
+            prop_assert_eq!(got, want.as_slice());
+        }
+        // The nested escape hatch and equality shims agree too.
+        prop_assert_eq!(flat.to_nested(), legacy.clone());
+        prop_assert_eq!(flat, legacy);
+    }
+
+    /// The CSR `JoinIndex` returns exactly the legacy HashMap buckets
+    /// (same row ids, same ascending order) for every present key, and an
+    /// empty slice for absent keys.
+    #[test]
+    fn csr_index_matches_legacy_hashmap_buckets(
+        vals in mpc_testkit::collection::vec(0u64..4, 0..90),
+        keyspec in 0usize..6,
+    ) {
+        let arity = 3usize;
+        let mut rel = Relation::new("S", arity);
+        for row in vals.chunks_exact(arity) {
+            rel.push(row);
+        }
+        // Key column subsets: {}, {0}, {1}, {2}, {0,2}, {1,0} (order matters).
+        let key_cols: Vec<usize> = match keyspec {
+            0 => vec![],
+            1 => vec![0],
+            2 => vec![1],
+            3 => vec![2],
+            4 => vec![0, 2],
+            _ => vec![1, 0],
+        };
+
+        // Legacy construction: one key Vec + one bucket Vec per key.
+        let mut buckets: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+        for (i, row) in rel.rows().enumerate() {
+            let key: Vec<u64> = key_cols.iter().map(|&c| row[c]).collect();
+            buckets.entry(key).or_default().push(i as u32);
+        }
+
+        let idx = JoinIndex::build(&rel, key_cols.clone());
+        if key_cols.is_empty() {
+            let all: Vec<u32> = (0..rel.len() as u32).collect();
+            prop_assert_eq!(idx.candidates(&[]), all.as_slice());
+        } else {
+            for (key, want) in &buckets {
+                prop_assert_eq!(idx.candidates(key), want.as_slice());
+            }
+            // Absent keys (the domain above is 0..4) return empty slices.
+            prop_assert!(idx.candidates(&vec![9u64; key_cols.len()]).is_empty());
         }
     }
 

@@ -11,10 +11,12 @@
 
 use crate::backend::Backend;
 use crate::load::LoadReport;
+use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
 use mpc_data::join;
 use mpc_data::relation::Relation;
 use mpc_query::Query;
+use std::cell::RefCell;
 
 /// Smallest number of tuples a shuffle worker is worth spawning for.
 const SHUFFLE_MIN_CHUNK: usize = 512;
@@ -69,36 +71,118 @@ pub struct Cluster {
     backend: Backend,
 }
 
-/// Route rows `lo..hi` of `rel` (atom `j`) into one per-server buffer set.
-/// Shared by both backends so their fragment contents are bit-identical.
-#[allow(clippy::too_many_arguments)]
-fn route_rows(
+/// Reusable per-worker routing scratch: per-server flat tuple buffers plus
+/// the destination list, **cleared — not reallocated — across chunks,
+/// rounds, and batch jobs**. Each worker thread (including the persistent
+/// pool's) owns one instance through a thread-local, so the steady-state
+/// shuffle performs no per-chunk buffer allocation beyond the single
+/// contiguous [`RoutedChunk`] arena it hands to the merge.
+#[derive(Default)]
+struct ShuffleScratch {
+    /// Per-server flat tuple data (`bufs[s]` holds server `s`'s tuples of
+    /// the current chunk, row-major).
+    bufs: Vec<Vec<u64>>,
+    /// Destination-server scratch for one tuple.
+    dests: Vec<usize>,
+}
+
+impl ShuffleScratch {
+    /// Clear all buffers (cheap: lengths only, capacity kept) and make
+    /// sure at least `p` per-server buffers exist. Clearing *everything* —
+    /// not just the first `p` — also recovers from a router panic that
+    /// left stale data behind on this worker thread.
+    fn reset(&mut self, p: usize) {
+        for buf in &mut self.bufs {
+            buf.clear();
+        }
+        if self.bufs.len() < p {
+            self.bufs.resize_with(p, Vec::new);
+        }
+        self.dests.clear();
+    }
+}
+
+thread_local! {
+    static SHUFFLE_SCRATCH: RefCell<ShuffleScratch> = RefCell::new(ShuffleScratch::default());
+}
+
+/// One routed chunk: every destination's tuples packed into a single
+/// arena, per-server word counts alongside (`counts[s]` words belong to
+/// server `s`, in server order). This is the only allocation a routed
+/// chunk performs.
+struct RoutedChunk {
+    data: Vec<u64>,
+    counts: Vec<usize>,
+}
+
+/// Route rows `lo..hi` of `rel` (atom `j`) through the thread-local
+/// [`ShuffleScratch`] into one [`RoutedChunk`]. Shared by all backends so
+/// fragment contents stay bit-identical.
+fn route_chunk(
     rel: &Relation,
     j: usize,
     name: &str,
-    arity: usize,
     lo: usize,
     hi: usize,
     p: usize,
     router: &(impl Router + Sync),
-) -> Vec<Relation> {
-    let mut bufs: Vec<Relation> = (0..p).map(|_| Relation::new(name, arity)).collect();
-    let mut dests: Vec<usize> = Vec::new();
-    for i in lo..hi {
-        let tuple = rel.row(i);
-        dests.clear();
-        router.route(j, tuple, &mut dests);
-        dests.sort_unstable();
-        dests.dedup();
-        for &server in dests.iter() {
-            assert!(
-                server < p,
-                "router sent a tuple of atom {j} ({name}) to server {server} >= p={p}"
-            );
-            bufs[server].push(tuple);
+) -> RoutedChunk {
+    SHUFFLE_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        scratch.reset(p);
+        for i in lo..hi {
+            let tuple = rel.row(i);
+            scratch.dests.clear();
+            router.route(j, tuple, &mut scratch.dests);
+            scratch.dests.sort_unstable();
+            scratch.dests.dedup();
+            for &server in scratch.dests.iter() {
+                assert!(
+                    server < p,
+                    "router sent a tuple of atom {j} ({name}) to server {server} >= p={p}"
+                );
+                scratch.bufs[server].extend_from_slice(tuple);
+            }
         }
-    }
-    bufs
+        let total: usize = scratch.bufs[..p].iter().map(Vec::len).sum();
+        let mut data = Vec::with_capacity(total);
+        let mut counts = Vec::with_capacity(p);
+        for buf in &mut scratch.bufs[..p] {
+            counts.push(buf.len());
+            data.extend_from_slice(buf);
+            buf.clear();
+        }
+        RoutedChunk { data, counts }
+    })
+}
+
+/// Route every row of `rel` (atom `j`) straight into the per-server
+/// fragments — the sequential path, with no intermediate buffers at all.
+fn route_into_fragments(
+    rel: &Relation,
+    j: usize,
+    name: &str,
+    p: usize,
+    router: &(impl Router + Sync),
+    frag: &mut [Relation],
+) {
+    SHUFFLE_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        for i in 0..rel.len() {
+            let tuple = rel.row(i);
+            scratch.dests.clear();
+            router.route(j, tuple, &mut scratch.dests);
+            scratch.dests.sort_unstable();
+            scratch.dests.dedup();
+            for &server in scratch.dests.iter() {
+                assert!(
+                    server < p,
+                    "router sent a tuple of atom {j} ({name}) to server {server} >= p={p}"
+                );
+                frag[server].push(tuple);
+            }
+        }
+    })
 }
 
 impl Cluster {
@@ -139,19 +223,20 @@ impl Cluster {
             .collect();
         for (j, rel) in db.relations().iter().enumerate() {
             let name = q.atom(j).name();
-            let arity = q.atom(j).arity();
             let frag = &mut fragments[j];
             if backend.workers_for(rel.len(), SHUFFLE_MIN_CHUNK) <= 1 {
                 // Route straight into the fragments, no intermediate buffers.
-                *frag = route_rows(rel, j, name, arity, 0, rel.len(), p, router);
+                route_into_fragments(rel, j, name, p, router, frag);
             } else {
                 backend.run_chunks_pipelined(
                     rel.len(),
                     SHUFFLE_MIN_CHUNK,
-                    |lo, hi| route_rows(rel, j, name, arity, lo, hi, p, router),
-                    |bufs| {
-                        for (s, buf) in bufs.into_iter().enumerate() {
-                            frag[s].append(buf);
+                    |lo, hi| route_chunk(rel, j, name, lo, hi, p, router),
+                    |chunk| {
+                        let mut off = 0usize;
+                        for (s, &words) in chunk.counts.iter().enumerate() {
+                            frag[s].push_rows(&chunk.data[off..off + words]);
+                            off += words;
                         }
                     },
                 );
@@ -212,14 +297,18 @@ impl Cluster {
     /// identical whatever the thread count.
     pub fn report(&self) -> LoadReport {
         let num_atoms = self.fragments.len();
+        // Per-chunk partials keep the per-atom counters in one flat vector
+        // (`[atom * width + (s - lo)]`) instead of a nested vec-of-vecs per
+        // chunk — three allocations per chunk, independent of atom count.
         let parts = self.backend.run_chunks(self.p, REPORT_MIN_CHUNK, |lo, hi| {
-            let mut bits = vec![0u64; hi - lo];
-            let mut tuples = vec![0u64; hi - lo];
-            let mut per_atom = vec![vec![0u64; hi - lo]; num_atoms];
+            let width = hi - lo;
+            let mut bits = vec![0u64; width];
+            let mut tuples = vec![0u64; width];
+            let mut per_atom = vec![0u64; num_atoms * width];
             for (a, frags) in self.fragments.iter().enumerate() {
                 for s in lo..hi {
                     let t = frags[s].len() as u64;
-                    per_atom[a][s - lo] = t;
+                    per_atom[a * width + (s - lo)] = t;
                     tuples[s - lo] += t;
                     bits[s - lo] += frags[s].bit_size(self.value_bits);
                 }
@@ -231,10 +320,11 @@ impl Cluster {
         let mut per_atom_server_tuples: Vec<Vec<u64>> =
             (0..num_atoms).map(|_| Vec::with_capacity(self.p)).collect();
         for (bits, tuples, per_atom) in parts {
+            let width = bits.len();
             per_server_bits.extend(bits);
             per_server_tuples.extend(tuples);
-            for (a, row) in per_atom.into_iter().enumerate() {
-                per_atom_server_tuples[a].extend(row);
+            for (a, row) in per_atom.chunks_exact(width).enumerate() {
+                per_atom_server_tuples[a].extend_from_slice(row);
             }
         }
         LoadReport {
@@ -246,7 +336,7 @@ impl Cluster {
     }
 
     /// Answers found by one server: the local join of its fragments.
-    pub fn server_answers(&self, query: &Query, server: usize) -> Vec<Vec<u64>> {
+    pub fn server_answers(&self, query: &Query, server: usize) -> AnswerSet {
         let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[server]).collect();
         join::join(query, &rels)
     }
@@ -255,27 +345,37 @@ impl Cluster {
     /// one-round algorithm makes this equal to the sequential join.
     ///
     /// The per-server local joins are independent, so the cluster's backend
-    /// evaluates server ranges in parallel and merges per-worker outputs in
-    /// server-index order before the final sort — answers are identical for
-    /// every thread count.
-    pub fn all_answers(&self, query: &Query) -> Vec<Vec<u64>> {
-        let parts = self.backend.run_chunks(self.p, 1, |lo, hi| {
-            let mut local: Vec<Vec<u64>> = Vec::new();
-            for s in lo..hi {
-                let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
-                join::join_foreach(query, &rels, |row| local.push(row.to_vec()));
-            }
-            local
-        });
-        let mut out: Vec<Vec<u64>> = parts.into_iter().flatten().collect();
-        out.sort();
-        out.dedup();
+    /// evaluates server ranges in parallel into flat per-worker
+    /// [`AnswerSet`]s and merges them in server-index order before the final
+    /// arity-aware sort — answers are identical for every thread count.
+    pub fn all_answers(&self, query: &Query) -> AnswerSet {
+        let mut out = self.collect_answers(query);
+        out.sort_dedup();
         out
     }
 
-    /// Count of distinct answers across servers.
+    /// The concatenated (unsorted, undeduplicated) per-server outputs.
+    fn collect_answers(&self, query: &Query) -> AnswerSet {
+        let parts = self.backend.run_chunks(self.p, 1, |lo, hi| {
+            let mut local = AnswerSet::new(query.num_vars());
+            for s in lo..hi {
+                let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
+                join::join_foreach(query, &rels, |row| local.push(row));
+            }
+            local
+        });
+        let mut out = AnswerSet::new(query.num_vars());
+        for part in parts {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Count of distinct answers across servers: counts runs over the
+    /// sorted flat union ([`AnswerSet::sorted_distinct_count`]) instead of
+    /// rebuilding a deduplicated copy like [`Cluster::all_answers`] must.
     pub fn answer_count(&self, query: &Query) -> u64 {
-        self.all_answers(query).len() as u64
+        self.collect_answers(query).sorted_distinct_count() as u64
     }
 }
 
@@ -316,8 +416,7 @@ mod tests {
         let cluster = Cluster::run_round(&db, p, &BroadcastRouter { p });
         let expected = {
             let mut ans = mpc_data::join_database(&db);
-            ans.sort();
-            ans.dedup();
+            ans.sort_dedup();
             ans
         };
         assert_eq!(cluster.all_answers(db.query()), expected);
@@ -340,8 +439,7 @@ mod tests {
         let cluster = Cluster::run_round(&db, p, &router);
         let expected = {
             let mut ans = mpc_data::join_database(&db);
-            ans.sort();
-            ans.dedup();
+            ans.sort_dedup();
             ans
         };
         assert_eq!(cluster.all_answers(db.query()), expected);
@@ -547,7 +645,7 @@ mod tests {
                 },
             })
             .collect();
-        let expected: Vec<(Vec<Vec<u64>>, LoadReport)> = jobs
+        let expected: Vec<(mpc_data::AnswerSet, LoadReport)> = jobs
             .iter()
             .map(|job| {
                 let c = Cluster::run_round_on(

@@ -10,6 +10,7 @@
 //! and is identical to the sequential oracle for every backend.
 
 use crate::backend::Backend;
+use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
 use mpc_data::join::partition_join;
 use mpc_data::relation::Relation;
@@ -23,30 +24,32 @@ use mpc_query::Query;
 const BUCKETS_PER_WORKER: usize = 4;
 
 /// The ground-truth answer set of `query` over `relations`, sorted and
-/// deduplicated, computed on `backend`.
-pub fn join_on(query: &Query, relations: &[&Relation], backend: Backend) -> Vec<Vec<u64>> {
+/// deduplicated, computed on `backend`. Rows are collected flat
+/// ([`AnswerSet`]) on every path — one arena per bucket, not one `Vec` per
+/// answer.
+pub fn join_on(query: &Query, relations: &[&Relation], backend: Backend) -> AnswerSet {
     let workers = backend.threads();
-    let mut answers: Vec<Vec<u64>> = if workers <= 1 {
+    let mut answers: AnswerSet = if workers <= 1 {
         mpc_data::join(query, relations)
     } else {
         let parts = partition_join(query, relations, workers * BUCKETS_PER_WORKER);
-        backend
-            .run_items(parts.num_buckets(), |b| {
-                let mut out = Vec::new();
-                parts.join_bucket_foreach(b, |row| out.push(row.to_vec()));
-                out
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+        let buckets = backend.run_items(parts.num_buckets(), |b| {
+            let mut out = AnswerSet::new(query.num_vars());
+            parts.join_bucket_foreach(b, |row| out.push(row));
+            out
+        });
+        let mut merged = AnswerSet::new(query.num_vars());
+        for bucket in buckets {
+            merged.append(bucket);
+        }
+        merged
     };
-    answers.sort();
-    answers.dedup();
+    answers.sort_dedup();
     answers
 }
 
 /// [`join_on`] over a whole [`Database`].
-pub fn join_database_on(db: &Database, backend: Backend) -> Vec<Vec<u64>> {
+pub fn join_database_on(db: &Database, backend: Backend) -> AnswerSet {
     let rels: Vec<&Relation> = db.relations().iter().collect();
     join_on(db.query(), &rels, backend)
 }
@@ -57,10 +60,9 @@ mod tests {
     use mpc_data::{generators, Rng};
     use mpc_query::named;
 
-    fn sequential_oracle(db: &Database) -> Vec<Vec<u64>> {
+    fn sequential_oracle(db: &Database) -> AnswerSet {
         let mut ans = mpc_data::join_database(db);
-        ans.sort();
-        ans.dedup();
+        ans.sort_dedup();
         ans
     }
 

@@ -67,11 +67,27 @@ impl Grid {
     /// range over everything. This is the subcube a tuple is replicated to
     /// during the HyperCube shuffle.
     ///
-    /// Destinations are appended to `out` (cleared first).
+    /// Destinations are appended to `out` (cleared first). This convenience
+    /// form allocates fresh enumeration buffers; routing hot loops should
+    /// hold a [`SubcubeScratch`] and call [`Grid::subcube_into`].
     pub fn subcube(&self, fixed: &[(usize, usize)], out: &mut Vec<usize>) {
+        self.subcube_into(fixed, &mut SubcubeScratch::default(), out)
+    }
+
+    /// [`Grid::subcube`] with caller-owned enumeration buffers: called once
+    /// per routed tuple, this performs **no allocation** in the steady
+    /// state (the scratch is cleared, not reallocated).
+    pub fn subcube_into(
+        &self,
+        fixed: &[(usize, usize)],
+        scratch: &mut SubcubeScratch,
+        out: &mut Vec<usize>,
+    ) {
         out.clear();
         let k = self.dims.len();
-        let mut coord: Vec<Option<usize>> = vec![None; k];
+        scratch.coord.clear();
+        scratch.coord.resize(k, None);
+        let coord = &mut scratch.coord;
         for &(dim, c) in fixed {
             assert!(dim < k, "fixed dimension out of range");
             assert!(c < self.dims[dim], "fixed coordinate out of range");
@@ -85,21 +101,27 @@ impl Grid {
             coord[dim] = Some(c);
         }
         // Iterate the free dimensions with an odometer.
-        let free: Vec<usize> = (0..k).filter(|&i| coord[i].is_none()).collect();
+        scratch.free.clear();
+        scratch.free.extend((0..k).filter(|&i| coord[i].is_none()));
+        let free = &scratch.free;
         let total: usize = free.iter().map(|&i| self.dims[i]).product();
         out.reserve(total);
-        let mut odo = vec![0usize; free.len()];
-        let mut current = vec![0usize; k];
+        scratch.odo.clear();
+        scratch.odo.resize(free.len(), 0);
+        let odo = &mut scratch.odo;
+        scratch.current.clear();
+        scratch.current.resize(k, 0);
+        let current = &mut scratch.current;
         for (i, c) in coord.iter().enumerate() {
             if let Some(v) = c {
                 current[i] = *v;
             }
         }
         loop {
-            for (slot, &dim) in odo.iter().zip(&free) {
+            for (slot, &dim) in odo.iter().zip(free) {
                 current[dim] = *slot;
             }
-            out.push(self.encode(&current));
+            out.push(self.encode(current));
             // Advance odometer.
             let mut i = free.len();
             loop {
@@ -122,6 +144,17 @@ impl Grid {
         self.subcube(fixed, &mut out);
         out
     }
+}
+
+/// Reusable enumeration buffers for [`Grid::subcube_into`] (the odometer
+/// walk needs one small buffer per grid rank; routers keep one scratch per
+/// worker thread so the per-tuple subcube enumeration never allocates).
+#[derive(Clone, Debug, Default)]
+pub struct SubcubeScratch {
+    coord: Vec<Option<usize>>,
+    free: Vec<usize>,
+    odo: Vec<usize>,
+    current: Vec<usize>,
 }
 
 /// Round real-valued shares `p^{e_i}` down to an integer share vector with

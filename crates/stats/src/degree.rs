@@ -9,8 +9,8 @@
 //! cartesian blow-ups never materialize.
 
 use mpc_data::catalog::Database;
+use mpc_data::fastmap::FastMap;
 use mpc_query::VarSet;
-use std::collections::HashMap;
 
 /// Frequencies of one atom's projections onto `x_j`.
 #[derive(Clone, Debug)]
@@ -23,7 +23,7 @@ pub struct AtomDegrees {
     pub cols: Vec<usize>,
     /// `m_j(h_j)` for every present assignment (absent ⇒ 0). For
     /// `x_j = ∅` this holds a single empty key mapping to `m_j`.
-    pub map: HashMap<Vec<u64>, usize>,
+    pub map: FastMap<Vec<u64>, usize>,
     /// Cardinality `m_j`.
     pub cardinality: usize,
 }
@@ -108,7 +108,7 @@ pub fn joint_assignments(
         let bound_positions: Vec<usize> = (0..slots.len())
             .filter(|&i| partials.first().is_some_and(|p| p.0[slots[i]].is_some()))
             .collect();
-        let mut index: HashMap<Vec<u64>, Vec<(&Vec<u64>, usize)>> = HashMap::new();
+        let mut index: FastMap<Vec<u64>, Vec<(&Vec<u64>, usize)>> = FastMap::default();
         for (key, &freq) in &ad.map {
             let sub: Vec<u64> = bound_positions.iter().map(|&i| key[i]).collect();
             index.entry(sub).or_default().push((key, freq));

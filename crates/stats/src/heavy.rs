@@ -9,8 +9,8 @@
 //! is how a real engine's statistics pass would realize that assumption.
 
 use mpc_data::catalog::Database;
+use mpc_data::fastmap::FastMap;
 use mpc_query::{Query, VarSet};
-use std::collections::HashMap;
 
 /// The heavy hitters of one relation at one variable subset.
 #[derive(Clone, Debug)]
@@ -23,8 +23,8 @@ pub struct HeavyHitters {
     /// order (first position for repeated variables).
     pub cols: Vec<usize>,
     /// Heavy assignments and their exact frequencies `m_j(h_j)`, keyed in
-    /// `cols` order.
-    pub entries: HashMap<Vec<u64>, usize>,
+    /// `cols` order (`mix64`-hashed: this map is probed per tuple).
+    pub entries: FastMap<Vec<u64>, usize>,
     /// The relation's cardinality `m_j` (denominator of the threshold).
     pub cardinality: usize,
     /// The `p` used for the threshold.

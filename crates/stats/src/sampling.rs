@@ -16,16 +16,16 @@
 //! the binning of Section 4.2 needs. Tests exercise both guarantees
 //! empirically.
 
+use mpc_data::fastmap::FastMap;
 use mpc_data::relation::Relation;
 use mpc_data::rng::Rng;
-use std::collections::HashMap;
 
 /// Frequencies estimated from a Bernoulli sample.
 #[derive(Clone, Debug)]
 pub struct SampledFrequencies {
     /// Estimated frequency per assignment (only assignments whose estimate
     /// cleared the detection threshold are kept).
-    pub estimates: HashMap<Vec<u64>, usize>,
+    pub estimates: FastMap<Vec<u64>, usize>,
     /// The sampling rate used.
     pub rate: f64,
     /// Number of sampled tuples.
@@ -54,7 +54,7 @@ pub fn sampled_frequencies(
     rng: &mut Rng,
 ) -> SampledFrequencies {
     assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "invalid rate");
-    let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut counts: FastMap<Vec<u64>, usize> = FastMap::default();
     let mut sample_size = 0usize;
     for row in rel.rows() {
         if rng.f64() < rate {

@@ -13,12 +13,34 @@
 //!   uses them to run every group on a reduced budget;
 //! * `MPC_TESTKIT_BENCH_JSON=<path>` appends one JSON object per benchmark
 //!   (`{"group","bench","median_ns","min_ns","max_ns","samples",
-//!   "iters_per_sample"}`) to `<path>`, which `ci.sh --bench` assembles
+//!   "iters_per_sample"}`, plus `"allocs_per_iter"` when an allocation
+//!   probe is registered) to `<path>`, which `ci.sh --bench` assembles
 //!   into the repo-root `BENCH_*.json` trajectory file.
+//!
+//! Allocation accounting: a bench binary that installs a counting
+//! `#[global_allocator]` can register its counter via [`set_alloc_probe`];
+//! the harness then samples the counter around the measured samples of
+//! every benchmark and reports heap allocations per iteration next to the
+//! wall-clock numbers — on a noisy single-core CI host, allocs/iteration
+//! is the stable signal a flat-data-plane optimization shows up in.
 
 pub use crate::{criterion_group, criterion_main};
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// The registered allocation counter (monotone total allocation count for
+/// the process), if any.
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Register a process-wide allocation counter (typically backed by a
+/// counting `#[global_allocator]` in the bench binary). Must be called
+/// before the first benchmark runs; later registrations are ignored. Once
+/// registered, every benchmark's JSON record gains `"allocs_per_iter"`,
+/// the mean heap-allocation count per iteration over the measured samples.
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
 
 /// Benchmark driver. Mirrors `criterion::Criterion`.
 pub struct Criterion {
@@ -193,6 +215,8 @@ fn run_benchmark<F>(
     let per_sample = Duration::from_millis(sample_time_ms);
     let iters = (per_sample.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
 
+    let probe = ALLOC_PROBE.get().copied();
+    let allocs_before = probe.map(|p| p());
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut bencher = Bencher {
@@ -202,6 +226,13 @@ fn run_benchmark<F>(
         f(&mut bencher);
         per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
     }
+    // Mean allocations per iteration across all measured samples (the
+    // counter is process-global; concurrent noise is negligible because
+    // benchmarks run one at a time).
+    let allocs_per_iter = probe.zip(allocs_before).map(|(p, before)| {
+        let total = p().saturating_sub(before);
+        total / (sample_size as u64 * iters).max(1)
+    });
     per_iter_ns.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let lo = per_iter_ns[0];
@@ -211,12 +242,16 @@ fn run_benchmark<F>(
         Throughput::Elements(n) => format!(" {:>12}/s", si(n as f64 * 1e9 / median, "elem")),
         Throughput::Bytes(n) => format!(" {:>12}/s", si(n as f64 * 1e9 / median, "B")),
     });
+    let allocs_note = allocs_per_iter
+        .map(|a| format!("  allocs/iter: {a}"))
+        .unwrap_or_default();
     eprintln!(
-        "{label:<40} time: [{} {} {}]{}",
+        "{label:<40} time: [{} {} {}]{}{}",
         fmt_ns(lo),
         fmt_ns(median),
         fmt_ns(hi),
-        rate.unwrap_or_default()
+        rate.unwrap_or_default(),
+        allocs_note
     );
 
     if let Ok(path) = std::env::var("MPC_TESTKIT_BENCH_JSON") {
@@ -224,8 +259,11 @@ fn run_benchmark<F>(
             Some((g, b)) => (g, b),
             None => ("", label),
         };
+        let alloc_field = allocs_per_iter
+            .map(|a| format!(",\"allocs_per_iter\":{a}"))
+            .unwrap_or_default();
         let line = format!(
-            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}\n",
             json_escape(group),
             json_escape(bench),
             median,
@@ -233,6 +271,7 @@ fn run_benchmark<F>(
             hi,
             sample_size,
             iters,
+            alloc_field,
         );
         use std::io::Write;
         let appended = std::fs::OpenOptions::new()

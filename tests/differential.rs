@@ -115,10 +115,9 @@ fn scenarios() -> Vec<(&'static str, Database)> {
 }
 
 /// Sequential ground truth.
-fn oracle(db: &Database) -> Vec<Vec<u64>> {
+fn oracle(db: &Database) -> mpc_skew::data::AnswerSet {
     let mut ans = mpc_skew::data::join_database(db);
-    ans.sort();
-    ans.dedup();
+    ans.sort_dedup();
     ans
 }
 
@@ -128,16 +127,16 @@ fn oracle(db: &Database) -> Vec<Vec<u64>> {
 fn check_router(
     tag: &str,
     db: &Database,
-    expected: &[Vec<u64>],
+    expected: &mpc_skew::data::AnswerSet,
     p: usize,
     router: &(impl Router + Sync),
 ) {
-    let mut baseline: Option<(Vec<Vec<u64>>, LoadReport)> = None;
+    let mut baseline: Option<(mpc_skew::data::AnswerSet, LoadReport)> = None;
     for backend in BACKENDS {
         let cluster = Cluster::run_round_on(db, p, router, backend);
         let answers = cluster.all_answers(db.query());
         let report = cluster.report();
-        assert_eq!(answers, expected, "{tag} [{backend}]: oracle mismatch");
+        assert_eq!(&answers, expected, "{tag} [{backend}]: oracle mismatch");
         match &baseline {
             None => baseline = Some((answers, report)),
             Some((a0, r0)) => {
@@ -284,7 +283,7 @@ fn batch_submission_matches_per_round_execution() {
         .zip(&plans)
         .map(|((_, db), plan)| plan.batch_job(db))
         .collect();
-    let expected: Vec<(Vec<Vec<u64>>, LoadReport)> = dbs
+    let expected: Vec<(mpc_skew::data::AnswerSet, LoadReport)> = dbs
         .iter()
         .zip(&plans)
         .map(|((_, db), plan)| {

@@ -121,10 +121,9 @@ fn assert_matches_explicit(
     );
 }
 
-fn oracle(db: &Database) -> Vec<Vec<u64>> {
+fn oracle(db: &Database) -> mpc_skew::data::AnswerSet {
     let mut ans = mpc_skew::data::join_database(db);
-    ans.sort();
-    ans.dedup();
+    ans.sort_dedup();
     ans
 }
 
