@@ -3,8 +3,8 @@
 # registry dependencies (the only external surface, proptest/criterion, is
 # replaced in-tree by crates/testkit).
 #
-#   ./ci.sh              # build + triple-backend tests + fmt + lint + docs
-#                        # + bench-compile
+#   ./ci.sh              # build + serve smoke + triple-backend tests + fmt
+#                        # + lint + docs + bench-compile
 #   ./ci.sh --quick      # tier-1 gate only (what the driver enforces);
 #                        # `cargo test` includes the rustdoc doctests
 #   ./ci.sh --bench prN  # bench smoke only (reduced budget) -> BENCH_prN.json;
@@ -107,6 +107,24 @@ fi
 
 stage "cargo build --release"
 cargo build --release --offline
+
+stage "mpcskew serve smoke (LOAD/QUERY/APPEND/STATS/SHUTDOWN over stdin)"
+SERVE_OUT=$(printf 'LOAD S1 2 0,1;1,1;2,3\nLOAD S2 2 5,1;6,3;7,9\nQUERY S1(x,z), S2(y,z) rows\nAPPEND S2 8,1\nQUERY S1(x,z), S2(y,z)\nSTATS\nSHUTDOWN\n' \
+    | ./target/release/mpcskew serve --domain 16 --p 4 --threads 1)
+serve_expect() {
+    echo "$SERVE_OUT" | grep -q "$1" || {
+        echo "serve smoke: missing \`$1\` in:" >&2
+        echo "$SERVE_OUT" >&2
+        exit 1
+    }
+}
+serve_expect '^ok loaded S2 arity=2 tuples=3$'
+serve_expect '^ok answers=3 .*cache=miss'
+serve_expect '^0 1 5$'            # first joined row, echoed sorted
+serve_expect '^ok appended S2 +1 tuples=4$'
+serve_expect '^ok answers=5 '     # the appended tuple joins twice
+serve_expect 'invalidations=1 relations=2$'
+serve_expect '^ok bye$'           # SHUTDOWN acknowledged, clean exit
 
 stage "cargo test -q  (MPCSKEW_THREADS=1: sequential backend)"
 MPCSKEW_THREADS=1 cargo test -q --workspace --offline

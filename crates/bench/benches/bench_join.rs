@@ -26,7 +26,7 @@ fn bench_local_join(c: &mut Criterion) {
         ("chain3_8k", named::chain(3), 1usize << 13, 1u64 << 12),
     ] {
         let db = uniform_db(&q, m, n, 3);
-        let rels: Vec<&Relation> = db.relations().iter().collect();
+        let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
         g.throughput(Throughput::Elements((m * q.num_atoms()) as u64));
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| black_box(join_count(black_box(&q), &rels)))

@@ -1,0 +1,123 @@
+//! Resident-service throughput: how many queries per second the plan
+//! cache + memoized statistics sustain, against the per-query rebuild
+//! path (fresh `Database`, fresh `ExactStats`, fresh plan every time)
+//! that a process without the [`Service`] would pay.
+//!
+//! The stream mixes shapes whose planning cost spans two orders of
+//! magnitude: the 6-variable star's share-LP vertex enumeration is ~15x
+//! its execution cost at this scale, the triangle's closer to 2x — the
+//! cache's win is exactly the planning it skips.
+
+use mpc_core::engine::Engine;
+use mpc_core::service::{QuerySpec, Service};
+use mpc_data::{generators, Database, Relation, Rng};
+use mpc_query::{named, Query};
+use mpc_sim::backend::Backend;
+use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Count every heap allocation so `allocs_per_iter` lands in the bench
+/// JSON records (see `mpc_bench::alloc_counter`).
+#[global_allocator]
+static ALLOC: mpc_bench::alloc_counter::CountingAllocator =
+    mpc_bench::alloc_counter::CountingAllocator;
+
+const M: usize = 1 << 10;
+const DOMAIN: u64 = 1 << 10;
+const P: usize = 16;
+
+/// Five shared binary relations S1..S5; every query shape in the stream
+/// joins a subset of them, the way service clients share one catalog.
+fn catalog() -> Vec<Relation> {
+    let mut rng = Rng::seed_from_u64(9);
+    (1..=5)
+        .map(|i| generators::uniform(&format!("S{i}"), 2, M, DOMAIN, &mut rng))
+        .collect()
+}
+
+/// The query stream: one wide star (planning-heavy), one triangle, one
+/// 4-cycle.
+fn stream() -> Vec<Query> {
+    vec![named::star(5), named::cycle(3), named::cycle(4)]
+}
+
+/// The relations `q` joins, resolved from the catalog by atom name.
+fn rels_for(q: &Query, rels: &[Relation]) -> Vec<Relation> {
+    q.atoms()
+        .iter()
+        .map(|a| {
+            rels.iter()
+                .find(|r| r.name() == a.name())
+                .expect("catalog relation")
+                .clone()
+        })
+        .collect()
+}
+
+fn bench_service_qps(c: &mut Criterion) {
+    let rels = catalog();
+    let queries = stream();
+
+    let mut g = c.benchmark_group("service_qps");
+    // One element = one answered query, so `thrpt` reads as queries/sec.
+    g.throughput(Throughput::Elements(queries.len() as u64));
+
+    // Resident service: relations loaded once, statistics memoized, every
+    // plan served from the cache after the first round.
+    let mut svc = Service::new(DOMAIN)
+        .with_backend(Backend::Sequential)
+        .with_defaults(P, 1);
+    for r in &rels {
+        svc.load(r.clone()).expect("load");
+    }
+    g.bench_function(BenchmarkId::from_parameter("resident"), |b| {
+        b.iter(|| {
+            for q in &queries {
+                let out = svc.query(black_box(q)).expect("query");
+                black_box(out.answers().len());
+            }
+        })
+    });
+
+    // The baseline a service-less process pays per query: revalidate the
+    // tuples into a fresh Database, recompute exact statistics, replan,
+    // then execute.
+    g.bench_function(BenchmarkId::from_parameter("rebuild"), |b| {
+        b.iter(|| {
+            for q in &queries {
+                let db = Database::new(q.clone(), rels_for(q, &rels), DOMAIN).expect("valid db");
+                let plan = Engine::new(q).p(P).seed(1).plan(&db);
+                let out = plan.execute(&db, Backend::Sequential);
+                black_box(out.answers().len());
+            }
+        })
+    });
+    g.finish();
+
+    // Batch multiplexing: the same stream twice over, fanned out across
+    // the persistent worker pool (parallel across jobs, sequential
+    // inside) — the shape `mpcskew serve` uses for BATCH .. RUN.
+    let mut g = c.benchmark_group("service_qps_batch");
+    g.throughput(Throughput::Elements(2 * queries.len() as u64));
+    let mut pooled = Service::new(DOMAIN)
+        .with_backend(Backend::Pooled(4))
+        .with_defaults(P, 1);
+    for r in &rels {
+        pooled.load(r.clone()).expect("load");
+    }
+    let specs: Vec<QuerySpec> = queries
+        .iter()
+        .chain(queries.iter())
+        .map(|q| QuerySpec::new(q.clone()))
+        .collect();
+    g.bench_function(BenchmarkId::from_parameter("resident_pool4"), |b| {
+        b.iter(|| {
+            let outs = pooled.query_batch(black_box(&specs));
+            black_box(outs.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_service_qps);
+criterion_main!(benches);

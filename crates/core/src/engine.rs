@@ -58,7 +58,7 @@ use crate::verify::{self, Verification};
 use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
 use mpc_data::fastmap::FastMap;
-use mpc_query::{Query, VarSet};
+use mpc_query::{Query, QueryShape, VarSet};
 use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{BatchJob, Cluster, Router};
 use mpc_sim::load::LoadReport;
@@ -157,6 +157,20 @@ pub trait Stats {
     /// load, exactly the robustness the paper's approximate-frequency
     /// assumption relies on.
     fn frequencies(&self, atom: usize, cols: &[usize]) -> FastMap<Vec<u64>, usize>;
+
+    /// Plan-cache invalidation hook: a hash of everything about these
+    /// statistics that planning `q` at `p` servers consults (see
+    /// [`planning_projections`]) — heavy-hitter *membership* per consulted
+    /// projection plus coarse (power-of-two) cardinalities. A cached
+    /// [`Plan`] built under one fingerprint may be reused while the
+    /// fingerprint is unchanged: statistics drift within a fingerprint
+    /// yields the same algorithm choice up to load shifts, and any plan
+    /// stays answer-correct regardless. `None` (the default) means these
+    /// statistics cannot cheaply witness their own staleness, so callers
+    /// must not cache plans built from them.
+    fn fingerprint(&self, _q: &Query, _p: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// Exact statistics read from the database (the default). Frequency maps
@@ -272,6 +286,59 @@ fn choose_with(q: &Query, stats: &dyn Stats, simple: &SimpleStatistics, p: usize
     } else {
         Algorithm::GeneralSkew
     }
+}
+
+/// The `(atom, cols)` frequency projections planning consults for `q`:
+/// every single shared variable of every atom (the [`detects_join_skew`]
+/// enumeration that resolves [`Algorithm::Auto`]), plus — on two-relation
+/// joins — each side's full shared-variable projection (what
+/// [`Algorithm::SkewJoin`] routes heavy hitters by). A plan cache must
+/// fingerprint heavy-hitter state over exactly these projections: appends
+/// that change no heavy set here cannot flip the auto choice.
+pub fn planning_projections(q: &Query) -> Vec<(usize, Vec<usize>)> {
+    let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut push = |entry: (usize, Vec<usize>)| {
+        if !entry.1.is_empty() && !out.contains(&entry) {
+            out.push(entry);
+        }
+    };
+    for j in 0..q.num_atoms() {
+        let own = q.atom(j).var_set();
+        let shared = (0..q.num_atoms())
+            .filter(|&k| k != j)
+            .fold(VarSet::EMPTY, |s, k| {
+                s.union(own.intersect(q.atom(k).var_set()))
+            });
+        for v in shared.iter() {
+            push((j, mpc_stats::heavy::columns_for(q, j, VarSet::singleton(v))));
+        }
+    }
+    if q.num_atoms() == 2 {
+        let shared = q.atom(0).var_set().intersect(q.atom(1).var_set());
+        if shared.len() > 1 {
+            for j in 0..2 {
+                push((j, mpc_stats::heavy::columns_for(q, j, shared)));
+            }
+        }
+    }
+    out
+}
+
+/// A plan-cache key: the canonicalized query structure plus every planning
+/// parameter baked into a [`Plan`] (server count, hash seed, and the
+/// *requested* algorithm — `Auto` and a pinned choice must not share an
+/// entry even when they resolve identically today). Pair it with a
+/// [`Stats::fingerprint`] to know when the cached plan went stale.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`Query::shape`] of the (canonicalized) query.
+    pub shape: QueryShape,
+    /// Number of servers `p`.
+    pub p: usize,
+    /// Seed keying the plan's hash functions.
+    pub seed: u64,
+    /// The algorithm as requested (possibly [`Algorithm::Auto`]).
+    pub algorithm: Algorithm,
 }
 
 /// The hash-join partition variable the engine defaults to: the variable

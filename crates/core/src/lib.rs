@@ -32,15 +32,19 @@ pub mod engine;
 pub mod hypercube;
 pub mod mapreduce;
 pub mod multi_round;
+pub mod service;
 pub mod shares;
 pub mod skew_general;
 pub mod skew_join;
 pub mod verify;
+pub mod wire;
 
 pub use baselines::{FragmentReplicateRouter, HashJoinRouter};
-pub use engine::{Algorithm, Engine, ExactStats, Plan, RunOutcome, Stats};
+pub use engine::{Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, Stats};
 pub use hypercube::HyperCube;
+pub use service::{CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome};
 pub use shares::ShareAllocation;
 pub use skew_general::GeneralSkewAlgorithm;
 pub use skew_join::{SkewJoin, SkewJoinConfig};
 pub use verify::{assert_complete, verify, Verification};
+pub use wire::Session;

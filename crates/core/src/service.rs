@@ -1,0 +1,824 @@
+//! The resident query service: a long-lived catalog with memoized
+//! statistics, a fingerprinted plan cache, and an incremental ingest path.
+//!
+//! A [`Service`] owns named relations behind [`Arc`] handles and keeps
+//! [`IncrementalStats`] per relation, so the per-query pipeline becomes:
+//!
+//! 1. canonicalize the query ([`Query::canonical`]) and look its
+//!    [`PlanKey`] up in the plan cache;
+//! 2. compare the entry's stored [`Stats::fingerprint`] with the current
+//!    one (heavy-hitter membership over [`planning_projections`] plus
+//!    power-of-two cardinality buckets — `O(heavy hitters)`, no scan);
+//! 3. on a hit, skip `Engine` planning entirely and execute the cached
+//!    [`Plan`] against a `Database` assembled from `Arc` clones (no tuple
+//!    copies, no validation rescans);
+//! 4. on a miss, plan once from the memoized statistics and cache the
+//!    result.
+//!
+//! [`Service::append`] folds new tuples into the relation and its
+//! statistics in place (`O(appended × tracked projections)`) and
+//! re-fingerprints only the cached plans whose query references the
+//! appended relation, dropping exactly the stale ones.
+//!
+//! Why a stale-but-membership-equal plan is safe: every algorithm in the
+//! menu computes the same answer set on any database (that is what
+//! `Plan::execute`'s verification contract says), so caching can only ever
+//! shift *load*, never change *answers*. The fingerprint is designed to
+//! catch precisely the drift that would change the planner's mind — a
+//! heavy hitter appearing on a shared variable (flips
+//! [`Algorithm::Auto`] between HyperCube
+//! and the §4 algorithms) or a cardinality changing by more than 2×.
+//!
+//! ```
+//! use mpc_core::service::{CacheStatus, Service};
+//! use mpc_data::relation::Relation;
+//! use mpc_query::parse_query;
+//!
+//! let mut svc = Service::new(1 << 16).with_defaults(16, 7);
+//! svc.load(Relation::from_rows("S1", 2, &[&[1, 10], &[2, 10], &[3, 20]]))
+//!     .unwrap();
+//! svc.load(Relation::from_rows("S2", 2, &[&[8, 10], &[9, 30]]))
+//!     .unwrap();
+//!
+//! let q = parse_query("S1(x,z), S2(y,z)").unwrap();
+//! let first = svc.query(&q).unwrap();
+//! assert_eq!(first.cache_status(), CacheStatus::Miss);
+//! assert_eq!(first.answers().len(), 2); // (1,10,8), (2,10,8)
+//!
+//! // Same query again: planning is skipped.
+//! let again = svc.query(&q).unwrap();
+//! assert_eq!(again.cache_status(), CacheStatus::Hit);
+//! assert_eq!(again.answers(), first.answers());
+//!
+//! // Ingest without rebuilding; answers stay exact.
+//! svc.append("S2", &[7, 20]).unwrap();
+//! assert_eq!(svc.query(&q).unwrap().answers().len(), 3);
+//! assert_eq!(svc.counters().hits, 1);
+//! ```
+
+use crate::engine::{
+    execute_batch, planning_projections, Algorithm, Engine, Plan, PlanKey, RunOutcome, Stats,
+};
+use mpc_data::answers::AnswerSet;
+use mpc_data::catalog::Database;
+use mpc_data::fastmap::FastMap;
+use mpc_data::relation::Relation;
+use mpc_data::rng::mix64;
+use mpc_query::Query;
+use mpc_sim::backend::Backend;
+use mpc_stats::cardinality::SimpleStatistics;
+use mpc_stats::incremental::IncrementalStats;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by the service surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A query references a relation that was never loaded.
+    UnknownRelation(String),
+    /// An atom's arity (or an appended tuple batch) disagrees with the
+    /// registered relation.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Registered arity.
+        expected: usize,
+        /// Offending arity.
+        got: usize,
+    },
+    /// A tuple value falls outside the service domain.
+    ValueOutOfDomain {
+        /// Relation name.
+        relation: String,
+        /// Offending value.
+        value: u64,
+        /// The service domain `n`.
+        domain: u64,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownRelation(name) => {
+                write!(f, "relation `{name}` is not loaded")
+            }
+            ServiceError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {got} was supplied"
+            ),
+            ServiceError::ValueOutOfDomain {
+                relation,
+                value,
+                domain,
+            } => write!(
+                f,
+                "value {value} for `{relation}` outside domain [0,{domain})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// How the plan cache served one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Cached plan reused; `Engine` planning was skipped entirely.
+    Hit,
+    /// No entry for this key yet; planned and cached.
+    Miss,
+    /// An entry existed but its statistics fingerprint was stale;
+    /// replanned and recached.
+    Invalidated,
+}
+
+impl CacheStatus {
+    /// Stable wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Invalidated => "invalidated",
+        }
+    }
+}
+
+impl fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One query against the service: the parsed query plus per-query
+/// overrides of the service defaults.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The query (any head/variable names; plans are shared per
+    /// [`Query::shape`]).
+    pub query: Query,
+    /// Server count override.
+    pub p: Option<usize>,
+    /// Hash-seed override.
+    pub seed: Option<u64>,
+    /// Algorithm override (default [`Algorithm::Auto`]).
+    pub algorithm: Algorithm,
+}
+
+impl QuerySpec {
+    /// A spec running `query` with the service defaults.
+    pub fn new(query: Query) -> QuerySpec {
+        QuerySpec {
+            query,
+            p: None,
+            seed: None,
+            algorithm: Algorithm::Auto,
+        }
+    }
+
+    /// Override the server count.
+    pub fn p(mut self, p: usize) -> Self {
+        assert!(p >= 1, "need at least one server");
+        self.p = Some(p);
+        self
+    }
+
+    /// Override the hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Pin the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// The result of one service query: the engine's [`RunOutcome`] plus how
+/// the plan cache served it.
+pub struct ServiceOutcome {
+    outcome: RunOutcome,
+    cache: CacheStatus,
+}
+
+impl ServiceOutcome {
+    /// How the plan cache served this query.
+    pub fn cache_status(&self) -> CacheStatus {
+        self.cache
+    }
+
+    /// The resolved algorithm that ran.
+    pub fn algorithm(&self) -> Algorithm {
+        self.outcome.algorithm()
+    }
+
+    /// The distinct answers, sorted, in query-variable order.
+    pub fn answers(&self) -> AnswerSet {
+        self.outcome.answers()
+    }
+
+    /// Maximum bits received by any server in any round.
+    pub fn max_load_bits(&self) -> u64 {
+        self.outcome.max_load_bits()
+    }
+
+    /// Rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.outcome.num_rounds()
+    }
+
+    /// The full engine outcome.
+    pub fn run_outcome(&self) -> &RunOutcome {
+        &self.outcome
+    }
+}
+
+impl fmt::Debug for ServiceOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceOutcome")
+            .field("algorithm", &self.algorithm())
+            .field("cache", &self.cache)
+            .field("rounds", &self.num_rounds())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Plan-cache traffic counters (see [`Service::counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Queries served by a cached plan without replanning.
+    pub hits: u64,
+    /// Queries planned because no entry existed.
+    pub misses: u64,
+    /// Cache entries dropped because an ingest changed their statistics
+    /// fingerprint.
+    pub invalidations: u64,
+}
+
+/// Catalog information for one relation (see [`Service::relation_infos`]).
+#[derive(Clone, Debug)]
+pub struct RelationInfo {
+    /// Relation name.
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+    /// Current cardinality.
+    pub tuples: usize,
+    /// Memoized frequency-map projections.
+    pub tracked_projections: usize,
+}
+
+struct CatalogEntry {
+    rel: Arc<Relation>,
+    stats: IncrementalStats,
+}
+
+struct CacheEntry {
+    plan: Arc<Plan>,
+    /// The canonical query the plan was built for (also stored in the
+    /// plan; kept here to recompute fingerprints without dereferencing).
+    query: Query,
+    fingerprint: u64,
+}
+
+/// One batch entry after plan resolution: the (possibly cached) plan, the
+/// per-query database view, and how the cache served it.
+type Resolved = Result<(Arc<Plan>, Database, CacheStatus), ServiceError>;
+
+/// The resident query service. See the [module docs](self) for the
+/// architecture and an end-to-end example.
+pub struct Service {
+    domain: u64,
+    backend: Backend,
+    default_p: usize,
+    default_seed: u64,
+    entries: Vec<CatalogEntry>,
+    names: FastMap<String, usize>,
+    plans: FastMap<PlanKey, CacheEntry>,
+    counters: CacheCounters,
+}
+
+impl Service {
+    /// An empty service over domain `[0, domain)` with defaults `p = 64`,
+    /// `seed = 1`, and the environment-selected backend.
+    pub fn new(domain: u64) -> Service {
+        assert!(domain >= 1, "domain must be non-empty");
+        Service {
+            domain,
+            backend: Backend::from_env(),
+            default_p: 64,
+            default_seed: 1,
+            entries: Vec::new(),
+            names: FastMap::default(),
+            plans: FastMap::default(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Set the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the default `p` and seed for queries that do not override them.
+    pub fn with_defaults(mut self, p: usize, seed: u64) -> Self {
+        assert!(p >= 1, "need at least one server");
+        self.default_p = p;
+        self.default_seed = seed;
+        self
+    }
+
+    /// The service domain `n`.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Default server count.
+    pub fn default_p(&self) -> usize {
+        self.default_p
+    }
+
+    /// Default hash seed.
+    pub fn default_seed(&self) -> u64 {
+        self.default_seed
+    }
+
+    /// Plan-cache traffic counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Number of cached plans.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Catalog summary, in load order.
+    pub fn relation_infos(&self) -> Vec<RelationInfo> {
+        self.entries
+            .iter()
+            .map(|e| RelationInfo {
+                name: e.rel.name().to_string(),
+                arity: e.rel.arity(),
+                tuples: e.rel.len(),
+                tracked_projections: e.stats.tracked_projections(),
+            })
+            .collect()
+    }
+
+    /// The loaded relation `name`, if any.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.names.get(name).map(|&i| self.entries[i].rel.as_ref())
+    }
+
+    /// Register (or replace) a relation under its own name, validating
+    /// every value against the service domain — the one full scan a
+    /// relation ever pays. Replacing drops all cached plans that reference
+    /// the name (counted as invalidations) and resets its statistics.
+    /// Returns the relation's cardinality.
+    pub fn load(&mut self, rel: Relation) -> Result<usize, ServiceError> {
+        if let Some(&v) = rel.rows().flatten().find(|&&v| v >= self.domain) {
+            return Err(ServiceError::ValueOutOfDomain {
+                relation: rel.name().to_string(),
+                value: v,
+                domain: self.domain,
+            });
+        }
+        let len = rel.len();
+        let name = rel.name().to_string();
+        let stats = IncrementalStats::of(&rel);
+        match self.names.get(&name).copied() {
+            Some(i) => {
+                self.entries[i] = CatalogEntry {
+                    rel: Arc::new(rel),
+                    stats,
+                };
+                self.drop_plans_referencing(&name);
+            }
+            None => {
+                self.entries.push(CatalogEntry {
+                    rel: Arc::new(rel),
+                    stats,
+                });
+                self.names.insert(name, self.entries.len() - 1);
+            }
+        }
+        Ok(len)
+    }
+
+    /// Append tuples (row-major flat, length a multiple of the arity) to a
+    /// loaded relation, updating its frequency maps, heavy trackers, and
+    /// cardinality in place — no rescan. Cached plans whose query
+    /// references `name` are re-fingerprinted; exactly the stale ones are
+    /// dropped (counted as invalidations). Returns the new cardinality.
+    pub fn append(&mut self, name: &str, tuples: &[u64]) -> Result<usize, ServiceError> {
+        let i = *self
+            .names
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))?;
+        let arity = self.entries[i].rel.arity();
+        if !tuples.len().is_multiple_of(arity) {
+            return Err(ServiceError::ArityMismatch {
+                relation: name.to_string(),
+                expected: arity,
+                got: tuples.len() % arity,
+            });
+        }
+        if let Some(&v) = tuples.iter().find(|&&v| v >= self.domain) {
+            return Err(ServiceError::ValueOutOfDomain {
+                relation: name.to_string(),
+                value: v,
+                domain: self.domain,
+            });
+        }
+        let entry = &mut self.entries[i];
+        entry.stats.append(tuples);
+        // In the steady state the service holds the only strong reference
+        // (per-query Databases are dropped with their outcomes), so this
+        // appends in place; a concurrent holder forces one copy, never a
+        // correctness problem.
+        Arc::make_mut(&mut entry.rel).push_rows(tuples);
+        let len = entry.rel.len();
+        self.revalidate_plans_referencing(name);
+        Ok(len)
+    }
+
+    /// Run `query` with the service defaults.
+    pub fn query(&mut self, query: &Query) -> Result<ServiceOutcome, ServiceError> {
+        self.query_spec(&QuerySpec::new(query.clone()))
+    }
+
+    /// Run one fully-specified query.
+    pub fn query_spec(&mut self, spec: &QuerySpec) -> Result<ServiceOutcome, ServiceError> {
+        let (plan, db, cache) = self.resolve_plan(spec)?;
+        let outcome = plan.execute(&db, self.backend);
+        Ok(ServiceOutcome { outcome, cache })
+    }
+
+    /// Run a batch of queries, multiplexing their shuffles **across** jobs
+    /// on the service backend (the [`execute_batch`] /
+    /// [`Cluster::run_batch`](mpc_sim::cluster::Cluster::run_batch) shape:
+    /// on a pooled backend, concurrent clients share the persistent
+    /// worker pool). Results come back in spec order, each bit-identical
+    /// to running the spec alone.
+    pub fn query_batch(
+        &mut self,
+        specs: &[QuerySpec],
+    ) -> Vec<Result<ServiceOutcome, ServiceError>> {
+        let resolved: Vec<Resolved> = specs.iter().map(|spec| self.resolve_plan(spec)).collect();
+        let jobs: Vec<(&Plan, &Database)> = resolved
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|(plan, db, _)| (plan.as_ref(), db))
+            .collect();
+        let mut outcomes = execute_batch(&jobs, self.backend).into_iter();
+        resolved
+            .into_iter()
+            .map(|r| {
+                r.map(|(_, _, cache)| ServiceOutcome {
+                    outcome: outcomes.next().expect("one outcome per resolved job"),
+                    cache,
+                })
+            })
+            .collect()
+    }
+
+    /// Canonicalize, fingerprint, and serve a plan from the cache —
+    /// planning through the [`Engine`] only on miss/stale — plus the
+    /// zero-copy `Database` to run it on.
+    fn resolve_plan(
+        &mut self,
+        spec: &QuerySpec,
+    ) -> Result<(Arc<Plan>, Database, CacheStatus), ServiceError> {
+        let p = spec.p.unwrap_or(self.default_p);
+        let seed = spec.seed.unwrap_or(self.default_seed);
+        let canonical = spec.query.canonical();
+        let atom_entries = self.resolve_atoms(&canonical)?;
+        let fingerprint = self.fingerprint_for(&canonical, &atom_entries, p);
+        let key = PlanKey {
+            shape: canonical.shape(),
+            p,
+            seed,
+            algorithm: spec.algorithm,
+        };
+        let rels: Vec<Arc<Relation>> = atom_entries
+            .iter()
+            .map(|&i| self.entries[i].rel.clone())
+            .collect();
+        let db = Database::from_shared(canonical.clone(), rels, self.domain)
+            .expect("atoms resolved against the catalog");
+        let cache = match self.plans.get(&key) {
+            Some(entry) if entry.fingerprint == fingerprint => CacheStatus::Hit,
+            Some(_) => CacheStatus::Invalidated,
+            None => CacheStatus::Miss,
+        };
+        let plan = match cache {
+            CacheStatus::Hit => {
+                self.counters.hits += 1;
+                self.plans[&key].plan.clone()
+            }
+            CacheStatus::Miss | CacheStatus::Invalidated => {
+                if cache == CacheStatus::Invalidated {
+                    self.counters.invalidations += 1;
+                } else {
+                    self.counters.misses += 1;
+                }
+                let view = self.stats_view(&canonical, &atom_entries, p, fingerprint);
+                let plan = Arc::new(
+                    Engine::new(&canonical)
+                        .p(p)
+                        .seed(seed)
+                        .algorithm(spec.algorithm)
+                        .stats(&view)
+                        .plan(&db),
+                );
+                self.plans.insert(
+                    key,
+                    CacheEntry {
+                        plan: plan.clone(),
+                        query: canonical,
+                        fingerprint,
+                    },
+                );
+                plan
+            }
+        };
+        Ok((plan, db, cache))
+    }
+
+    /// Map each atom of `q` to its catalog entry, validating presence and
+    /// arity.
+    fn resolve_atoms(&self, q: &Query) -> Result<Vec<usize>, ServiceError> {
+        q.atoms()
+            .iter()
+            .map(|atom| {
+                let &i = self
+                    .names
+                    .get(atom.name())
+                    .ok_or_else(|| ServiceError::UnknownRelation(atom.name().to_string()))?;
+                let rel = &self.entries[i].rel;
+                if rel.arity() != atom.arity() {
+                    return Err(ServiceError::ArityMismatch {
+                        relation: atom.name().to_string(),
+                        expected: rel.arity(),
+                        got: atom.arity(),
+                    });
+                }
+                Ok(i)
+            })
+            .collect()
+    }
+
+    /// The current statistics fingerprint for `q` at `p`: fold the
+    /// power-of-two cardinality bucket of every atom's relation and the
+    /// heavy-membership hash of every [`planning_projections`] tracker
+    /// (building trackers on first need — one scan each, amortized away).
+    fn fingerprint_for(&mut self, q: &Query, atom_entries: &[usize], p: usize) -> u64 {
+        let mut h = mix64(p as u64, 0x5e);
+        for (j, &i) in atom_entries.iter().enumerate() {
+            let entry = &self.entries[i];
+            h = mix64(h, j as u64);
+            h = mix64(h, entry.stats.cardinality_bucket());
+        }
+        for (j, cols) in planning_projections(q) {
+            let i = atom_entries[j];
+            let entry = &mut self.entries[i];
+            let rel = entry.rel.clone();
+            let tracker_hash = entry.stats.ensure_tracker(&rel, &cols, p);
+            h = mix64(h, j as u64 ^ tracker_hash);
+        }
+        h
+    }
+
+    /// Read-only [`Stats`] view over the catalog for planning `q`.
+    fn stats_view<'a>(
+        &'a self,
+        q: &Query,
+        atom_entries: &'a [usize],
+        p: usize,
+        fingerprint: u64,
+    ) -> CatalogStats<'a> {
+        let cardinalities: Vec<usize> = atom_entries
+            .iter()
+            .map(|&i| self.entries[i].stats.cardinality())
+            .collect();
+        let arities: Vec<usize> = q.atoms().iter().map(|a| a.arity()).collect();
+        CatalogStats {
+            service: self,
+            atom_entries,
+            simple: SimpleStatistics::synthetic(&arities, cardinalities, self.domain),
+            p,
+            fingerprint,
+        }
+    }
+
+    /// Drop every cached plan whose query references `name`, counting
+    /// invalidations (the LOAD-replace path: the old statistics are gone).
+    fn drop_plans_referencing(&mut self, name: &str) {
+        let before = self.plans.len();
+        self.plans.retain(|key, _| !key.shape.references(name));
+        self.counters.invalidations += (before - self.plans.len()) as u64;
+    }
+
+    /// Re-fingerprint cached plans whose query references `name` and drop
+    /// exactly the stale ones (the APPEND path). Plans over other
+    /// relations are untouched.
+    fn revalidate_plans_referencing(&mut self, name: &str) {
+        let affected: Vec<PlanKey> = self
+            .plans
+            .keys()
+            .filter(|key| key.shape.references(name))
+            .cloned()
+            .collect();
+        for key in affected {
+            let query = self.plans[&key].query.clone();
+            let atom_entries = self
+                .resolve_atoms(&query)
+                .expect("cached plan references loaded relations");
+            let current = self.fingerprint_for(&query, &atom_entries, key.p);
+            if self.plans[&key].fingerprint != current {
+                self.plans.remove(&key);
+                self.counters.invalidations += 1;
+            }
+        }
+    }
+}
+
+/// Planner-facing view of the catalog's memoized statistics: `simple()`
+/// comes from maintained cardinalities (no scan), `frequencies` from the
+/// memoized incremental maps (cloned on demand, falling back to one
+/// relation scan for a projection planning has never asked about).
+struct CatalogStats<'a> {
+    service: &'a Service,
+    atom_entries: &'a [usize],
+    simple: SimpleStatistics,
+    p: usize,
+    fingerprint: u64,
+}
+
+impl Stats for CatalogStats<'_> {
+    fn simple(&self) -> SimpleStatistics {
+        self.simple.clone()
+    }
+
+    fn frequencies(&self, atom: usize, cols: &[usize]) -> FastMap<Vec<u64>, usize> {
+        let entry = &self.service.entries[self.atom_entries[atom]];
+        match entry.stats.frequencies_cached(cols) {
+            Some(map) => map.clone(),
+            None => entry.rel.frequencies(cols),
+        }
+    }
+
+    fn fingerprint(&self, _q: &Query, p: usize) -> Option<u64> {
+        (p == self.p).then_some(self.fingerprint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::generators;
+    use mpc_data::rng::Rng;
+    use mpc_query::parse_query;
+
+    fn loaded_service() -> Service {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 1u64 << 12;
+        let mut svc = Service::new(n)
+            .with_backend(Backend::Sequential)
+            .with_defaults(16, 3);
+        svc.load(generators::uniform("S1", 2, 500, n, &mut rng))
+            .unwrap();
+        svc.load(generators::uniform("S2", 2, 500, n, &mut rng))
+            .unwrap();
+        svc.load(generators::uniform("S3", 2, 400, n, &mut rng))
+            .unwrap();
+        svc
+    }
+
+    #[test]
+    fn warm_cache_skips_planning_and_counts() {
+        let mut svc = loaded_service();
+        let q = parse_query("S1(x,z), S2(y,z)").unwrap();
+        let first = svc.query(&q).unwrap();
+        assert_eq!(first.cache_status(), CacheStatus::Miss);
+        let second = svc.query(&q).unwrap();
+        assert_eq!(second.cache_status(), CacheStatus::Hit);
+        assert_eq!(second.answers(), first.answers());
+        // A shape-equal query with different spellings shares the plan.
+        let renamed = parse_query("S1(a,c), S2(b,c)").unwrap();
+        assert_eq!(
+            svc.query(&renamed).unwrap().cache_status(),
+            CacheStatus::Hit
+        );
+        assert_eq!(
+            svc.counters(),
+            CacheCounters {
+                hits: 2,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+        assert_eq!(svc.cached_plans(), 1);
+        // Different p / seed / pinned algorithm are distinct entries.
+        let spec = QuerySpec::new(q.clone()).p(8);
+        assert_eq!(
+            svc.query_spec(&spec).unwrap().cache_status(),
+            CacheStatus::Miss
+        );
+        let pinned = QuerySpec::new(q).algorithm(Algorithm::HashJoin);
+        assert_eq!(
+            svc.query_spec(&pinned).unwrap().cache_status(),
+            CacheStatus::Miss
+        );
+        assert_eq!(svc.cached_plans(), 3);
+    }
+
+    #[test]
+    fn append_within_bucket_keeps_plans_warm() {
+        let mut svc = loaded_service();
+        let q = parse_query("S1(x,z), S2(y,z)").unwrap();
+        svc.query(&q).unwrap();
+        // A handful of light tuples: same power-of-two bucket, no heavy
+        // membership change.
+        svc.append("S2", &[1, 2, 3, 4]).unwrap();
+        let after = svc.query(&q).unwrap();
+        assert_eq!(after.cache_status(), CacheStatus::Hit);
+        assert_eq!(svc.counters().invalidations, 0);
+        // Appending to an unrelated relation never touches this plan.
+        svc.append("S3", &[5, 6]).unwrap();
+        assert_eq!(svc.query(&q).unwrap().cache_status(), CacheStatus::Hit);
+    }
+
+    #[test]
+    fn load_replace_invalidates() {
+        let mut svc = loaded_service();
+        let q = parse_query("S1(x,z), S2(y,z)").unwrap();
+        svc.query(&q).unwrap();
+        let mut rng = Rng::seed_from_u64(99);
+        svc.load(generators::uniform("S2", 2, 300, 1 << 12, &mut rng))
+            .unwrap();
+        assert_eq!(svc.counters().invalidations, 1);
+        assert_eq!(svc.cached_plans(), 0);
+        assert_eq!(svc.query(&q).unwrap().cache_status(), CacheStatus::Miss);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut svc = loaded_service();
+        let q = parse_query("S1(x,z), Nope(y,z)").unwrap();
+        assert_eq!(
+            svc.query(&q).unwrap_err(),
+            ServiceError::UnknownRelation("Nope".into())
+        );
+        let q = parse_query("S1(x,y,z), S2(u,v)").unwrap();
+        assert!(matches!(
+            svc.query(&q),
+            Err(ServiceError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            svc.append("S1", &[1, 1 << 20]),
+            Err(ServiceError::ValueOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            svc.append("S1", &[1, 2, 3]),
+            Err(ServiceError::ArityMismatch { .. })
+        ));
+        // Failed ingest mutated nothing.
+        assert_eq!(svc.relation("S1").unwrap().len(), 500);
+    }
+
+    #[test]
+    fn batch_matches_serial_and_shares_the_cache() {
+        let mut svc = loaded_service();
+        let specs = vec![
+            QuerySpec::new(parse_query("S1(x,z), S2(y,z)").unwrap()),
+            QuerySpec::new(parse_query("S1(x,y), S3(y,z)").unwrap()),
+            QuerySpec::new(parse_query("S1(a,c), S2(b,c)").unwrap()),
+        ];
+        let results = svc.query_batch(&specs);
+        assert_eq!(results.len(), 3);
+        let batch_answers: Vec<AnswerSet> =
+            results.into_iter().map(|r| r.unwrap().answers()).collect();
+        // Spec 2 is shape-equal to spec 0: served from the cache.
+        assert_eq!(svc.counters().hits, 1);
+        assert_eq!(svc.counters().misses, 2);
+        let mut fresh = loaded_service();
+        for (spec, batch) in specs.iter().zip(&batch_answers) {
+            assert_eq!(&fresh.query_spec(spec).unwrap().answers(), batch);
+        }
+        assert_eq!(batch_answers[0], batch_answers[2]);
+    }
+}

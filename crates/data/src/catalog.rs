@@ -7,6 +7,7 @@
 use crate::relation::{domain_bits, Relation};
 use mpc_query::Query;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised when assembling a database.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,18 +64,49 @@ impl fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {}
 
 /// A query plus one relation instance per atom over domain `[0, n)`.
+///
+/// Relations are held behind [`Arc`], so a `Database` can be assembled from
+/// a long-lived catalog (the resident service) without copying tuple data:
+/// cloning a `Database`, or building several over the same relations, shares
+/// the underlying buffers.
 #[derive(Clone, Debug)]
 pub struct Database {
     query: Query,
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     domain: u64,
 }
 
 impl Database {
-    /// Assemble and validate.
+    /// Assemble and validate (arity per atom, every value inside the
+    /// domain — this scans all tuples once).
     pub fn new(
         query: Query,
         relations: Vec<Relation>,
+        domain: u64,
+    ) -> Result<Database, CatalogError> {
+        for (atom, rel) in query.atoms().iter().zip(&relations) {
+            if atom.arity() == rel.arity() {
+                if let Some(&v) = rel.rows().flatten().find(|&&v| v >= domain) {
+                    return Err(CatalogError::ValueOutOfDomain {
+                        atom: atom.name().to_string(),
+                        value: v,
+                        domain,
+                    });
+                }
+            }
+        }
+        Database::from_shared(query, relations.into_iter().map(Arc::new).collect(), domain)
+    }
+
+    /// Assemble from already-shared relations, validating the relation
+    /// count and arities but **not** rescanning values against the domain:
+    /// the caller warrants every value is in `[0, domain)`. This is the
+    /// zero-copy path the resident service uses — it validates tuples once
+    /// at ingest and then stamps out a `Database` per query from `Arc`
+    /// clones.
+    pub fn from_shared(
+        query: Query,
+        relations: Vec<Arc<Relation>>,
         domain: u64,
     ) -> Result<Database, CatalogError> {
         if relations.len() != query.num_atoms() {
@@ -89,13 +121,6 @@ impl Database {
                     atom: atom.name().to_string(),
                     expected: atom.arity(),
                     got: rel.arity(),
-                });
-            }
-            if let Some(&v) = rel.rows().flatten().find(|&&v| v >= domain) {
-                return Err(CatalogError::ValueOutOfDomain {
-                    atom: atom.name().to_string(),
-                    value: v,
-                    domain,
                 });
             }
         }
@@ -116,8 +141,8 @@ impl Database {
         &self.relations[j]
     }
 
-    /// All relations in atom order.
-    pub fn relations(&self) -> &[Relation] {
+    /// All relations in atom order, behind their sharing handles.
+    pub fn relations(&self) -> &[Arc<Relation>] {
         &self.relations
     }
 
@@ -133,7 +158,7 @@ impl Database {
 
     /// Cardinalities `m = (m_1, ..., m_ℓ)`.
     pub fn cardinalities(&self) -> Vec<usize> {
-        self.relations.iter().map(Relation::len).collect()
+        self.relations.iter().map(|r| r.len()).collect()
     }
 
     /// Bit sizes `M = (M_1, ..., M_ℓ)` with `M_j = a_j m_j log n`.
@@ -157,7 +182,7 @@ impl Database {
                 got: rel.arity(),
             });
         }
-        self.relations[j] = rel;
+        self.relations[j] = Arc::new(rel);
         Ok(())
     }
 }
@@ -207,6 +232,21 @@ mod tests {
         let s2 = Relation::from_rows("S2", 2, &[&[9, 5]]);
         let err = Database::new(q, vec![s1, s2], 16).unwrap_err();
         assert!(matches!(err, CatalogError::ValueOutOfDomain { .. }));
+    }
+
+    #[test]
+    fn from_shared_skips_value_scan_but_checks_shape() {
+        let q = named::two_way_join();
+        let s1 = Arc::new(Relation::from_rows("S1", 2, &[&[1, 5]]));
+        let s2 = Arc::new(Relation::from_rows("S2", 2, &[&[9, 5]]));
+        let db = Database::from_shared(q.clone(), vec![s1.clone(), s2.clone()], 16).unwrap();
+        // Tuple data is shared, not copied.
+        assert!(std::ptr::eq(db.relation(0), s1.as_ref()));
+        let err = Database::from_shared(q.clone(), vec![s1.clone()], 16).unwrap_err();
+        assert!(matches!(err, CatalogError::WrongRelationCount { .. }));
+        let bad = Arc::new(Relation::from_rows("S1", 1, &[&[1]]));
+        let err = Database::from_shared(q, vec![bad, s2], 16).unwrap_err();
+        assert!(matches!(err, CatalogError::ArityMismatch { .. }));
     }
 
     #[test]

@@ -486,13 +486,13 @@ pub fn join_count(query: &Query, relations: &[&Relation]) -> u64 {
 
 /// Join a [`Database`] directly.
 pub fn join_database(db: &Database) -> AnswerSet {
-    let rels: Vec<&Relation> = db.relations().iter().collect();
+    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
     join(db.query(), &rels)
 }
 
 /// Count answers of a [`Database`] directly.
 pub fn join_database_count(db: &Database) -> u64 {
-    let rels: Vec<&Relation> = db.relations().iter().collect();
+    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
     join_count(db.query(), &rels)
 }
 

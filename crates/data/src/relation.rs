@@ -43,6 +43,26 @@ impl Relation {
         r
     }
 
+    /// Build from row-major flat data (`data.len()` a multiple of `arity`)
+    /// without copying — the ingest path of the resident service, which
+    /// parses wire tuples straight into a flat buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len()` is not a multiple of `arity`.
+    pub fn from_flat(name: impl Into<String>, arity: usize, data: Vec<u64>) -> Relation {
+        assert!(arity > 0, "relation arity must be positive");
+        assert_eq!(
+            data.len() % arity,
+            0,
+            "flat tuple data not a multiple of arity {arity}"
+        );
+        Relation {
+            name: name.into(),
+            arity,
+            data,
+        }
+    }
+
     /// Relation name.
     pub fn name(&self) -> &str {
         &self.name

@@ -27,6 +27,6 @@ pub mod varset;
 
 pub use packing::{max_packing_value, pk, Packing};
 pub use parser::parse_query;
-pub use query::{Atom, Query, QueryError};
+pub use query::{Atom, Query, QueryError, QueryShape};
 pub use residual::{residual_query, saturates, saturating_packing_vertices, saturating_pk};
 pub use varset::VarSet;

@@ -228,6 +228,56 @@ impl Query {
             .map(|(j, _)| j)
             .collect()
     }
+
+    /// Structural identity of this query: relation symbols in body order
+    /// with their interned variable patterns. The query's own name and the
+    /// spelling of its variables are erased — two queries with equal shapes
+    /// join the same relations on the same attribute positions and produce
+    /// identical answer sets (answers are tuples indexed by variable
+    /// position, and interning is first-occurrence order, so equal shapes
+    /// force equal position assignments). Plan caches key on this.
+    pub fn shape(&self) -> QueryShape {
+        QueryShape {
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| (a.name.clone(), a.vars.clone()))
+                .collect(),
+        }
+    }
+
+    /// The canonical representative of this query's [`shape`](Self::shape):
+    /// same atoms and variable structure, with the head renamed to `q` and
+    /// variables renamed to `v0..v{k-1}` in interning order. Shape-equal
+    /// queries have *equal* canonical forms (`==` holds), which lets a plan
+    /// built for one run against databases assembled for the other.
+    pub fn canonical(&self) -> Query {
+        Query {
+            name: "q".to_string(),
+            var_names: (0..self.var_names.len()).map(|i| format!("v{i}")).collect(),
+            atoms: self.atoms.clone(),
+        }
+    }
+}
+
+/// The name-erased structure of a [`Query`]: `(relation symbol, interned
+/// variable pattern)` per atom, in body order. `Eq + Hash`, so usable as a
+/// cache key; produced by [`Query::shape`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryShape {
+    atoms: Vec<(String, Vec<usize>)>,
+}
+
+impl QueryShape {
+    /// Relation symbols in body order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.atoms.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// True if any atom references relation `rel`.
+    pub fn references(&self, rel: &str) -> bool {
+        self.atoms.iter().any(|(n, _)| n == rel)
+    }
 }
 
 impl fmt::Display for Query {
@@ -320,6 +370,26 @@ mod tests {
         let x = VarSet::singleton(1); // x2 appears in S1, S2
         assert_eq!(q.atoms_meeting(x), vec![0, 1]);
         assert_eq!(q.atoms_meeting(VarSet::EMPTY), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn shape_erases_names_and_canonical_is_shared() {
+        let a = Query::build("Q", &[("S1", &["x", "z"]), ("S2", &["y", "z"])]).unwrap();
+        let b = Query::build("P", &[("S1", &["a", "c"]), ("S2", &["b", "c"])]).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(
+            a.canonical().to_string(),
+            "q(v0,v1,v2) = S1(v0,v1), S2(v2,v1)"
+        );
+        // Different join structure, same symbols: shapes differ.
+        let c = Query::build("Q", &[("S1", &["x", "z"]), ("S2", &["z", "y"])]).unwrap();
+        assert_ne!(a.shape(), c.shape());
+        assert!(a.shape().references("S2"));
+        assert!(!a.shape().references("S3"));
+        assert_eq!(a.shape().relation_names().collect::<Vec<_>>(), ["S1", "S2"]);
+        // Canonicalization is idempotent.
+        assert_eq!(a.canonical().canonical(), a.canonical());
     }
 
     #[test]

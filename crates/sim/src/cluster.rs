@@ -222,6 +222,7 @@ impl Cluster {
             .map(|a| (0..p).map(|_| Relation::new(a.name(), a.arity())).collect())
             .collect();
         for (j, rel) in db.relations().iter().enumerate() {
+            let rel: &Relation = rel;
             let name = q.atom(j).name();
             let frag = &mut fragments[j];
             if backend.workers_for(rel.len(), SHUFFLE_MIN_CHUNK) <= 1 {

@@ -50,7 +50,7 @@ pub fn join_on(query: &Query, relations: &[&Relation], backend: Backend) -> Answ
 
 /// [`join_on`] over a whole [`Database`].
 pub fn join_database_on(db: &Database, backend: Backend) -> AnswerSet {
-    let rels: Vec<&Relation> = db.relations().iter().collect();
+    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
     join_on(db.query(), &rels, backend)
 }
 

@@ -1,0 +1,320 @@
+//! Incrementally-maintained per-relation statistics for a resident service.
+//!
+//! A long-lived catalog cannot afford to rescan a relation on every append
+//! just to keep its planning statistics fresh. [`IncrementalStats`] keeps,
+//! per relation:
+//!
+//! * the cardinality `m_j`;
+//! * memoized frequency maps for every column projection a planner has
+//!   asked about (built by one scan on first request, then updated in
+//!   `O(appended tuples)` per append);
+//! * [`HeavyTracker`]s — the exact heavy-hitter *set* at a `(cols, p)`
+//!   pair, maintained incrementally under the paper's threshold
+//!   `m_j(h) > m_j / p` (Section 4.2), together with an order-independent
+//!   membership hash.
+//!
+//! Exactness under appends: the threshold denominator `m_j` only grows, so
+//! after an append the heavy set can change in exactly two ways — a
+//! previously-heavy key falls below the new threshold (there are fewer than
+//! `p` of those to re-check), or a key whose count just grew crosses it
+//! (only appended keys can). Checking those two finite sets keeps the
+//! tracker bit-identical to a fresh scan, without touching the rest of the
+//! frequency map. The membership hash covers heavy *keys only*, not their
+//! counts: any statistics yield a correct (answer-identical) plan — drifting
+//! frequencies of an unchanged heavy set merely shift load within the
+//! paper's constants, so a plan cache keyed on this hash stays warm across
+//! such drift and invalidates exactly when membership changes.
+
+use mpc_data::fastmap::FastMap;
+use mpc_data::relation::Relation;
+use mpc_data::rng::mix64;
+
+/// Order-independent hash of a heavy-hitter key (one projected assignment).
+fn key_hash(key: &[u64]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15;
+    for &v in key {
+        h = mix64(h, v);
+    }
+    h
+}
+
+/// The exact heavy-hitter set of one `(cols, p)` projection, maintained
+/// incrementally (see the module docs for the exactness argument).
+#[derive(Clone, Debug)]
+pub struct HeavyTracker {
+    heavy: FastMap<Vec<u64>, usize>,
+    hash: u64,
+}
+
+impl HeavyTracker {
+    fn from_frequencies(freq: &FastMap<Vec<u64>, usize>, len: usize, p: usize) -> HeavyTracker {
+        let threshold = len as f64 / p as f64;
+        let heavy: FastMap<Vec<u64>, usize> = freq
+            .iter()
+            .filter(|(_, &c)| (c as f64) > threshold)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        let hash = heavy.keys().fold(0u64, |acc, k| acc ^ key_hash(k));
+        HeavyTracker { heavy, hash }
+    }
+
+    /// Heavy assignments (projected keys) and their exact frequencies.
+    pub fn entries(&self) -> &FastMap<Vec<u64>, usize> {
+        &self.heavy
+    }
+
+    /// XOR-combined hash of the heavy *keys* (membership only; counts are
+    /// deliberately excluded — see the module docs).
+    pub fn membership_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Incrementally-maintained statistics for one relation of the catalog.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalStats {
+    arity: usize,
+    len: usize,
+    /// Frequency maps per requested column projection.
+    freq: FastMap<Vec<usize>, FastMap<Vec<u64>, usize>>,
+    /// Heavy-hitter trackers per `(cols, p)`.
+    trackers: FastMap<(Vec<usize>, usize), HeavyTracker>,
+}
+
+impl IncrementalStats {
+    /// Statistics for `rel` as currently loaded. Only the cardinality is
+    /// computed eagerly; frequency maps are built lazily on first request
+    /// and maintained incrementally afterwards.
+    pub fn of(rel: &Relation) -> IncrementalStats {
+        IncrementalStats {
+            arity: rel.arity(),
+            len: rel.len(),
+            freq: FastMap::default(),
+            trackers: FastMap::default(),
+        }
+    }
+
+    /// Current cardinality `m_j`.
+    pub fn cardinality(&self) -> usize {
+        self.len
+    }
+
+    /// The cardinality rounded up to a power of two — the coarse bucket a
+    /// plan-cache fingerprint uses, so appends that stay within a bucket
+    /// keep cached plans warm.
+    pub fn cardinality_bucket(&self) -> u64 {
+        (self.len.max(1) as u64).next_power_of_two()
+    }
+
+    /// Number of column projections with a memoized frequency map.
+    pub fn tracked_projections(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// The frequency map of projection `cols`, building it from `rel` (one
+    /// scan) if this is the first request. `rel` must be the relation these
+    /// statistics describe.
+    pub fn frequencies(&mut self, rel: &Relation, cols: &[usize]) -> &FastMap<Vec<u64>, usize> {
+        debug_assert_eq!(rel.len(), self.len, "stats out of sync with relation");
+        self.freq
+            .entry(cols.to_vec())
+            .or_insert_with(|| rel.frequencies(cols))
+    }
+
+    /// The memoized frequency map of `cols`, if one has been built.
+    pub fn frequencies_cached(&self, cols: &[usize]) -> Option<&FastMap<Vec<u64>, usize>> {
+        self.freq.get(cols)
+    }
+
+    /// Ensure a heavy tracker exists for `(cols, p)` and return its
+    /// membership hash. Builds the frequency map (one scan of `rel`) on
+    /// first request.
+    pub fn ensure_tracker(&mut self, rel: &Relation, cols: &[usize], p: usize) -> u64 {
+        if let Some(t) = self.trackers.get(&(cols.to_vec(), p)) {
+            return t.hash;
+        }
+        self.frequencies(rel, cols);
+        let freq = self.freq.get(cols).expect("just built");
+        let tracker = HeavyTracker::from_frequencies(freq, self.len, p);
+        let hash = tracker.hash;
+        self.trackers.insert((cols.to_vec(), p), tracker);
+        hash
+    }
+
+    /// Membership hash of the `(cols, p)` tracker, if one exists.
+    pub fn tracker_hash(&self, cols: &[usize], p: usize) -> Option<u64> {
+        self.trackers.get(&(cols.to_vec(), p)).map(|t| t.hash)
+    }
+
+    /// The `(cols, p)` tracker, if one exists.
+    pub fn tracker(&self, cols: &[usize], p: usize) -> Option<&HeavyTracker> {
+        self.trackers.get(&(cols.to_vec(), p))
+    }
+
+    /// Fold `rows` (row-major flat, length a multiple of the arity) into
+    /// every memoized frequency map and heavy tracker, in
+    /// `O(rows × tracked projections)` — no rescan of the relation.
+    ///
+    /// # Panics
+    /// Panics when `rows.len()` is not a multiple of the arity.
+    pub fn append(&mut self, rows: &[u64]) {
+        assert!(self.arity > 0, "append on uninitialized stats");
+        assert_eq!(
+            rows.len() % self.arity,
+            0,
+            "flat tuple data not a multiple of arity {}",
+            self.arity
+        );
+        for (cols, map) in self.freq.iter_mut() {
+            for row in rows.chunks_exact(self.arity) {
+                let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+                *map.entry(key).or_insert(0) += 1;
+            }
+        }
+        self.len += rows.len() / self.arity;
+        let threshold_num = self.len;
+        for ((cols, p), tracker) in self.trackers.iter_mut() {
+            let map = self.freq.get(cols).expect("tracker implies frequency map");
+            let threshold = threshold_num as f64 / *p as f64;
+            let mut changed = false;
+            // Previously-heavy keys may fall below the risen threshold.
+            tracker.heavy.retain(|k, c| {
+                // Refresh the stored count while we are here.
+                *c = map.get(k).copied().unwrap_or(0);
+                let keep = (*c as f64) > threshold;
+                changed |= !keep;
+                keep
+            });
+            // Appended keys may have crossed it.
+            for row in rows.chunks_exact(self.arity) {
+                let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+                let count = map.get(&key).copied().unwrap_or(0);
+                if (count as f64) > threshold && !tracker.heavy.contains_key(&key) {
+                    tracker.heavy.insert(key, count);
+                    changed = true;
+                }
+            }
+            if changed {
+                tracker.hash = tracker.heavy.keys().fold(0u64, |acc, k| acc ^ key_hash(k));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::Rng;
+
+    fn scan_heavy(rel: &Relation, cols: &[usize], p: usize) -> FastMap<Vec<u64>, usize> {
+        let threshold = rel.len() as f64 / p as f64;
+        rel.frequencies(cols)
+            .into_iter()
+            .filter(|(_, c)| (*c as f64) > threshold)
+            .collect()
+    }
+
+    #[test]
+    fn incremental_matches_fresh_scan_under_random_appends() {
+        let mut rng = Rng::seed_from_u64(42);
+        for p in [2usize, 4, 8] {
+            let mut rel = Relation::new("S", 2);
+            let mut stats = IncrementalStats::of(&rel);
+            stats.ensure_tracker(&rel, &[1], p);
+            stats.ensure_tracker(&rel, &[0, 1], p);
+            for round in 0..20 {
+                let nrows = 1 + (rng.next_u64() % 40) as usize;
+                let mut flat = Vec::with_capacity(nrows * 2);
+                for _ in 0..nrows {
+                    // Skewed small domain so heavy sets actually change.
+                    let x = rng.next_u64() % 32;
+                    let z = rng.next_u64() % 8;
+                    flat.extend_from_slice(&[x, z]);
+                }
+                rel.push_rows(&flat);
+                stats.append(&flat);
+                assert_eq!(stats.cardinality(), rel.len());
+                for cols in [vec![1usize], vec![0usize, 1]] {
+                    let expect_freq = rel.frequencies(&cols);
+                    assert_eq!(
+                        stats.frequencies_cached(&cols),
+                        Some(&expect_freq),
+                        "p={p} round={round} cols={cols:?}: frequency drift"
+                    );
+                    let expect_heavy = scan_heavy(&rel, &cols, p);
+                    let tracker = stats.tracker(&cols, p).unwrap();
+                    assert_eq!(
+                        tracker.entries(),
+                        &expect_heavy,
+                        "p={p} round={round} cols={cols:?}: heavy drift"
+                    );
+                    let fresh = HeavyTracker::from_frequencies(&expect_freq, rel.len(), p);
+                    assert_eq!(
+                        tracker.membership_hash(),
+                        fresh.membership_hash(),
+                        "p={p} round={round}: hash drift"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn membership_hash_ignores_count_drift_and_sees_membership_changes() {
+        let mut rel = Relation::new("S", 2);
+        // 8 tuples, z=7 appears 3 times: threshold at p=4 is 2.0, so z=7 is
+        // heavy.
+        for (i, z) in [
+            (0u64, 7u64),
+            (1, 7),
+            (2, 7),
+            (3, 1),
+            (4, 2),
+            (5, 3),
+            (6, 4),
+            (7, 5),
+        ] {
+            rel.push(&[i, z]);
+        }
+        let mut stats = IncrementalStats::of(&rel);
+        let h0 = stats.ensure_tracker(&rel, &[1], 4);
+        assert_eq!(stats.tracker(&[1], 4).unwrap().entries().len(), 1);
+        // Growing the heavy key's count (and m with it) keeps membership —
+        // hash unchanged.
+        let grow = [(8u64, 7u64)]
+            .iter()
+            .flat_map(|&(x, z)| [x, z])
+            .collect::<Vec<_>>();
+        rel.push_rows(&grow);
+        stats.append(&grow);
+        assert_eq!(stats.tracker_hash(&[1], 4), Some(h0));
+        assert_eq!(stats.tracker(&[1], 4).unwrap().entries()[&vec![7]], 4);
+        // Flooding with distinct z values raises the threshold until z=7
+        // falls light: membership changes, hash changes.
+        let flood: Vec<u64> = (0..40u64).flat_map(|i| [100 + i, 200 + i]).collect();
+        rel.push_rows(&flood);
+        stats.append(&flood);
+        let h1 = stats.tracker_hash(&[1], 4).unwrap();
+        assert_ne!(h0, h1);
+        assert!(stats.tracker(&[1], 4).unwrap().entries().is_empty());
+    }
+
+    #[test]
+    fn cardinality_bucket_is_power_of_two() {
+        let mut rel = Relation::new("S", 1);
+        let mut stats = IncrementalStats::of(&rel);
+        assert_eq!(stats.cardinality_bucket(), 1);
+        let flat: Vec<u64> = (0..5).collect();
+        rel.push_rows(&flat);
+        stats.append(&flat);
+        assert_eq!(stats.cardinality_bucket(), 8);
+        let flat: Vec<u64> = (0..3).collect();
+        rel.push_rows(&flat);
+        stats.append(&flat);
+        assert_eq!(stats.cardinality_bucket(), 8);
+        let more: Vec<u64> = (0..1).collect();
+        rel.push_rows(&more);
+        stats.append(&more);
+        assert_eq!(stats.cardinality_bucket(), 16);
+    }
+}

@@ -20,6 +20,7 @@ pub mod cardinality;
 pub mod combination;
 pub mod degree;
 pub mod heavy;
+pub mod incremental;
 pub mod sampling;
 
 pub use bins::{bin_exponent, bin_of_frequency, num_bins, BinnedHitters, LIGHT_BIN_EXPONENT};
@@ -27,6 +28,7 @@ pub use cardinality::SimpleStatistics;
 pub use combination::{enumerate_combinations, BinChoice, BinCombination, CombinationAssignment};
 pub use degree::{degree_statistics, joint_assignments, sum_over_assignments, DegreeStatistics};
 pub use heavy::{all_heavy_hitters, heavy_hitters, split_heavy_light, HeavyHitters};
+pub use incremental::{HeavyTracker, IncrementalStats};
 pub use sampling::{
     recommended_rate, sample_heavy_hitters, sampled_frequencies, SampledFrequencies,
 };

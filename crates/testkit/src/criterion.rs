@@ -214,6 +214,17 @@ fn run_benchmark<F>(
     let estimate = bencher.elapsed.max(Duration::from_nanos(1));
     let per_sample = Duration::from_millis(sample_time_ms);
     let iters = (per_sample.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+    // Minimum-time floor: µs-scale benchmarks are dominated by scheduler
+    // and cache noise at the default budget, so quadruple the sample count
+    // below the floor — medians over the larger population are what keep
+    // `bench_compare` deltas meaningful on groups like `share_lp/star4`.
+    // `MPC_TESTKIT_NOISE_FLOOR_NS` overrides the floor (0 disables it).
+    let noise_floor_ns = env_usize("MPC_TESTKIT_NOISE_FLOOR_NS").unwrap_or(100_000) as u128;
+    let sample_size = if estimate.as_nanos() < noise_floor_ns {
+        sample_size * 4
+    } else {
+        sample_size
+    };
 
     let probe = ALLOC_PROBE.get().copied();
     let allocs_before = probe.map(|p| p());

@@ -15,10 +15,18 @@
 //! (the default) picks the algorithm from heavy-hitter statistics, and the
 //! output reports the plan's predicted `L(u, M, p)` next to the measured
 //! load.
+//!
+//! `mpcskew serve` starts the resident query service instead: load
+//! relations once, then stream `QUERY`/`APPEND` lines against memoized
+//! statistics and a fingerprinted plan cache (see `mpc_core::wire` for the
+//! protocol), on stdin or — with `--listen host:port` — a TCP socket
+//! shared by concurrent clients.
 
 use mpc_skew::core::bounds;
 use mpc_skew::core::engine::{Algorithm, Engine};
+use mpc_skew::core::service::Service;
 use mpc_skew::core::shares::ShareAllocation;
+use mpc_skew::core::wire::Session;
 use mpc_skew::data::{generators, Database, Rng};
 use mpc_skew::query::{parse_query, Query};
 use mpc_skew::sim::backend::Backend;
@@ -104,6 +112,8 @@ fn usage() -> &'static str {
      mpcskew bounds <query> --cards m1,m2,... [--p 64] [--domain 1048576]\n  \
      mpcskew run <query> [--m 10000] [--p 64] [--domain 65536] [--algo auto]\n          \
      [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N] [--no-verify]\n  \
+     mpcskew serve [--domain 65536] [--p 64] [--seed 1] [--threads N]\n          \
+     [--listen host:port]\n  \
      mpcskew --help\n\n\
      queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
      flags accept both `--flag value` and `--flag=value`;\n\
@@ -114,7 +124,11 @@ fn usage() -> &'static str {
      otherwise;\n\
      --threads: simulator worker threads (1 = sequential backend, N = scoped\n\
      threads, pool:N = the persistent N-worker pool; default: MPCSKEW_THREADS\n\
-     or all available cores; results are identical whichever backend runs)"
+     or all available cores; results are identical whichever backend runs);\n\
+     serve: resident service speaking the line protocol (LOAD / APPEND /\n\
+     QUERY / BATCH..RUN / STATS / SHUTDOWN) on stdin, or on a TCP socket\n\
+     with --listen — relations stay loaded, statistics are memoized, and\n\
+     repeated query shapes hit a fingerprinted plan cache"
 }
 
 fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
@@ -297,11 +311,141 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the service from the shared serve flags.
+fn service_from_args(args: &Args) -> Result<Service, String> {
+    let domain = args.usize_or("domain", 1 << 16)? as u64;
+    let p = args.usize_or("p", 64)?;
+    let seed = args.usize_or("seed", 1)? as u64;
+    let backend = match args.value("threads")? {
+        None => Backend::from_env(),
+        Some(v) => Backend::parse(v)
+            .map_err(|_| format!("--threads expects an integer or pool:N, got `{v}`"))?,
+    };
+    Ok(Service::new(domain)
+        .with_backend(backend)
+        .with_defaults(p, seed))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let service = service_from_args(args)?;
+    match args.value("listen")? {
+        None => serve_stdio(service),
+        Some(addr) => serve_tcp(service, addr),
+    }
+}
+
+/// One session over stdin/stdout: the classic filter shape, scriptable with
+/// a here-doc (see `ci.sh`'s smoke stage).
+fn serve_stdio(mut service: Service) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let mut session = Session::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        for reply in session.handle(&mut service, &line) {
+            writeln!(stdout, "{reply}").map_err(|e| format!("stdout: {e}"))?;
+        }
+        stdout.flush().map_err(|e| format!("stdout: {e}"))?;
+        if session.is_done() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Concurrent clients multiplexed onto one catalog: each connection gets its
+/// own `Session` (parser state), all of them sharing the `Service` — and
+/// therefore its memoized statistics and plan cache — behind a mutex. Any
+/// client's SHUTDOWN stops the listener.
+fn serve_tcp(service: Service, addr: &str) -> Result<(), String> {
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Printed first so scripts (and the CLI tests) can discover the port
+    // when `--listen 127.0.0.1:0` asked the OS to pick one.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let service = Arc::new(Mutex::new(service));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let done = client_loop(stream, &service);
+            if done {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the blocking accept so the listener can observe the
+                // flag; the no-op connection is dropped unserved.
+                let _ = TcpStream::connect(local);
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Serve one TCP client; returns true when the client issued SHUTDOWN.
+fn client_loop(stream: std::net::TcpStream, service: &std::sync::Mutex<Service>) -> bool {
+    use std::io::{BufRead, BufReader, Write};
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return false,
+    };
+    let mut writer = stream;
+    let mut session = Session::new();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let replies = {
+            let mut svc = service.lock().expect("service mutex");
+            session.handle(&mut svc, &line)
+        };
+        // Keep consuming commands even when the client stopped reading
+        // (a vanished client must not be able to swallow its SHUTDOWN).
+        for reply in replies {
+            if writeln!(writer, "{reply}").is_err() {
+                break;
+            }
+        }
+        let _ = writer.flush();
+        if session.is_done() {
+            break;
+        }
+    }
+    session.is_done()
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+    // `serve` takes no query positional — dispatch it before query parsing.
+    if argv[0] == "serve" {
+        let result = parse_args(&argv[1..]).and_then(|args| cmd_serve(&args));
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if argv.len() < 2 {
         eprintln!("{}", usage());

@@ -33,15 +33,20 @@ pub use mpc_stats as stats;
 pub mod prelude {
     pub use mpc_core::bounds;
     pub use mpc_core::engine::{
-        execute_batch, Algorithm, Engine, ExactStats, Plan, RunOutcome, Stats, SyntheticStats,
+        execute_batch, Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, Stats,
+        SyntheticStats,
     };
     pub use mpc_core::hypercube::HyperCube;
     pub use mpc_core::mapreduce::{servers_for_reducer_cap, ReducerSchedule};
     pub use mpc_core::multi_round::{run_multi_round, run_multi_round_batch, MultiRoundResult};
+    pub use mpc_core::service::{
+        CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome,
+    };
     pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::skew_general::GeneralSkewAlgorithm;
     pub use mpc_core::skew_join::{SkewJoin, SkewJoinConfig};
     pub use mpc_core::verify::{assert_complete, verify};
+    pub use mpc_core::wire::Session;
     pub use mpc_data::catalog::Database;
     pub use mpc_data::relation::Relation;
     pub use mpc_data::rng::Rng;

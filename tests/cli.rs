@@ -349,3 +349,176 @@ fn unknown_algorithm_is_rejected() {
         .expect("binary runs");
     assert!(!out.status.success());
 }
+
+// ---------------------------------------------------------------------------
+// `mpcskew serve`
+// ---------------------------------------------------------------------------
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::Stdio;
+
+/// Run the serve protocol over piped stdin/stdout and return all reply lines.
+fn serve_stdio_session(extra_args: &[&str], script: &str) -> Vec<String> {
+    let mut child = mpcskew()
+        .arg("serve")
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn serve_stdio_load_query_append_shutdown() {
+    let lines = serve_stdio_session(
+        &["--domain", "16", "--p", "4"],
+        "LOAD S1 2 0,1;1,1;2,3\n\
+         LOAD S2 2 5,1;6,3;7,9\n\
+         QUERY S1(x,z), S2(y,z) rows\n\
+         QUERY S1(x,z), S2(y,z)\n\
+         APPEND S2 8,1\n\
+         QUERY S1(x,z), S2(y,z)\n\
+         STATS\n\
+         SHUTDOWN\n",
+    );
+    let text = lines.join("\n");
+    assert!(lines[0].starts_with("ok loaded S1"), "{text}");
+    assert!(lines[1].starts_with("ok loaded S2"), "{text}");
+    // Cold query: 3 answers, with the rows echoed sorted.
+    assert!(lines[2].starts_with("ok answers=3"), "{text}");
+    assert!(lines[2].contains("cache=miss"), "{text}");
+    assert_eq!(&lines[3..6], &["0 1 5", "1 1 5", "2 3 6"], "{text}");
+    assert_eq!(lines[6], "end", "{text}");
+    // Same shape again: the plan cache serves it warm.
+    assert!(lines[7].starts_with("ok answers=3"), "{text}");
+    assert!(lines[7].contains("cache=hit"), "{text}");
+    // Append grows the answer set without a reload.
+    assert!(lines[8].starts_with("ok appended S2 +1 tuples=4"), "{text}");
+    assert!(lines[9].starts_with("ok answers=5"), "{text}");
+    // STATS reports the counters the session accumulated.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("ok plans=") && l.contains("hits=1")),
+        "{text}"
+    );
+    assert!(lines.iter().any(|l| l.starts_with("rel S1 ")), "{text}");
+    assert_eq!(lines.last().map(String::as_str), Some("ok bye"), "{text}");
+}
+
+#[test]
+fn serve_stdio_reports_errors_and_keeps_going() {
+    let lines = serve_stdio_session(
+        &["--domain", "8"],
+        "APPEND Nope 1,2\n\
+         LOAD S1 2 0,9\n\
+         LOAD S1 2 0,1\n\
+         QUERY S1(x,z)\n\
+         SHUTDOWN\n",
+    );
+    let text = lines.join("\n");
+    assert!(lines[0].starts_with("err "), "{text}");
+    assert!(lines[1].starts_with("err "), "{text}"); // 9 out of domain [8]
+    assert!(lines[2].starts_with("ok loaded S1"), "{text}");
+    assert!(lines[3].starts_with("ok answers=1"), "{text}");
+    assert_eq!(lines.last().map(String::as_str), Some("ok bye"), "{text}");
+}
+
+#[test]
+fn serve_tcp_shares_catalog_and_plan_cache_across_clients() {
+    use std::net::TcpStream;
+
+    let mut child = mpcskew()
+        .args([
+            "serve",
+            "--domain",
+            "16",
+            "--p",
+            "4",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // The first stdout line announces the bound address.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("banner format")
+        .to_owned();
+
+    let talk = |script: &str, replies: usize| -> Vec<String> {
+        let stream = TcpStream::connect(&addr).expect("client connects");
+        let mut writer = stream.try_clone().expect("stream clones");
+        writer.write_all(script.as_bytes()).expect("script sent");
+        BufReader::new(stream)
+            .lines()
+            .take(replies)
+            .map(|l| l.expect("reply line"))
+            .collect()
+    };
+
+    // Client 1 loads the catalog and plans the query (a cache miss).
+    let first = talk(
+        "LOAD S1 2 0,1;1,1;2,3\n\
+         LOAD S2 2 5,1;6,3;7,9\n\
+         QUERY S1(x,z), S2(y,z)\n",
+        3,
+    );
+    assert!(first[2].starts_with("ok answers=3"), "{first:?}");
+    assert!(first[2].contains("cache=miss"), "{first:?}");
+
+    // Client 2 sees the same catalog and hits the cached plan.
+    // Client 2 drains every reply to EOF: it sends SHUTDOWN, and the
+    // server closes the connection once the session is done.
+    let second = {
+        let stream = TcpStream::connect(&addr).expect("client connects");
+        let mut writer = stream.try_clone().expect("stream clones");
+        writer
+            .write_all(b"QUERY S1(x,z), S2(y,z)\nSTATS\nSHUTDOWN\n")
+            .expect("script sent");
+        BufReader::new(stream)
+            .lines()
+            .map(|l| l.expect("reply line"))
+            .collect::<Vec<String>>()
+    };
+    assert!(second[0].starts_with("ok answers=3"), "{second:?}");
+    assert!(second[0].contains("cache=hit"), "{second:?}");
+    assert!(second[1].contains("hits=1"), "{second:?}");
+    assert!(second[1].contains("relations=2"), "{second:?}");
+    assert_eq!(
+        second.last().map(String::as_str),
+        Some("ok bye"),
+        "{second:?}"
+    );
+
+    // SHUTDOWN from client 2 stops the whole server.
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
