@@ -2,10 +2,10 @@
 //! full-cluster Zipf end-to-end case (shuffle + per-server local joins)
 //! on every execution backend, including the pool-reuse and batch cases.
 
-use mpc_bench::workloads::{skewed_join_db, uniform_db};
+use mpc_bench::workloads::{skewed_join_db, uniform_db, zipf_triangle_db};
 use mpc_core::engine::{Algorithm, Engine};
 use mpc_core::skew_join::SkewJoin;
-use mpc_data::join::join_count;
+use mpc_data::join::{join_count, join_count_ordered, JoinOrder};
 use mpc_data::Relation;
 use mpc_query::named;
 use mpc_sim::backend::Backend;
@@ -30,6 +30,28 @@ fn bench_local_join(c: &mut Criterion) {
         g.throughput(Throughput::Elements((m * q.num_atoms()) as u64));
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| black_box(join_count(black_box(&q), &rels)))
+        });
+    }
+
+    // The dynamic-vs-fixed differential pairs: the default dynamic order
+    // (what `join_count` above already runs) against the legacy fixed atom
+    // order on the uniform triangle and on the locally-skewed triangle
+    // (`zipf_triangle_db`: x2 Zipf-hot in both S1 and S2). The
+    // `bindings_per_iter` field in the JSON records — the visited-bindings
+    // counter both engines advance — is the machine-noise-free signal next
+    // to wall-clock medians: dynamic < fixed is the point of this PR.
+    let tri = named::cycle(3);
+    let uniform = uniform_db(&tri, 1usize << 12, 1u64 << 8, 3);
+    let skewed = zipf_triangle_db(&tri, 1usize << 12, 1u64 << 8, 1.2, 11);
+    for (name, db, order) in [
+        ("triangle_4k_fixed", &uniform, JoinOrder::Fixed),
+        ("skewed_triangle", &skewed, JoinOrder::Dynamic),
+        ("skewed_triangle_fixed", &skewed, JoinOrder::Fixed),
+    ] {
+        let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
+        g.throughput(Throughput::Elements((rels.len() << 12) as u64));
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(join_count_ordered(black_box(&tri), &rels, order)))
         });
     }
     g.finish();
@@ -125,6 +147,10 @@ criterion_group! {
     name = benches;
     config = {
         mpc_testkit::criterion::set_alloc_probe(mpc_bench::alloc_counter::alloc_count);
+        mpc_testkit::criterion::set_counter_probe(
+            "bindings_per_iter",
+            mpc_data::join::visited_bindings_total,
+        );
         Criterion::default().sample_size(10)
     };
     targets = bench_local_join, bench_cluster_zipf

@@ -4,8 +4,9 @@
 //! bench_compare OLD.json NEW.json [--fail-on-regression]
 //! ```
 //!
-//! Prints per-benchmark median deltas (and allocs/iter deltas when both
-//! files carry them) and flags every wall-clock regression above 10% —
+//! Prints per-benchmark median deltas (plus allocs/iter and join
+//! bindings/iter deltas when the files carry them) and flags every
+//! wall-clock regression above 10% —
 //! except µs-scale benches (baseline median under 100µs), whose deltas are
 //! mostly scheduler noise and are flagged only past 50%.
 //! `ci.sh --bench-compare <old> <new>` wraps this binary, and the full
@@ -42,6 +43,7 @@ struct Record {
     label: String,
     median_ns: f64,
     allocs_per_iter: Option<u64>,
+    bindings_per_iter: Option<u64>,
 }
 
 /// Extract the JSON string value of `field` from a one-record line.
@@ -85,6 +87,7 @@ fn parse_records(text: &str) -> Vec<Record> {
             label,
             median_ns,
             allocs_per_iter: number_field(line, "allocs_per_iter").map(|v| v as u64),
+            bindings_per_iter: number_field(line, "bindings_per_iter").map(|v| v as u64),
         });
     }
     out
@@ -111,14 +114,41 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Format an `old -> new` transition of one exact per-iteration counter
+/// (allocations, join bindings visited): "500 -> 50 (10.0x fewer)",
+/// "500 (unchanged)", "- -> 50", or empty when neither side has it.
+fn counter_delta(old: Option<u64>, new: Option<u64>) -> String {
+    match (old, new) {
+        (Some(a), Some(b)) => {
+            let ratio = if b > 0 { a as f64 / b as f64 } else { f64::NAN };
+            if a == b {
+                format!("{a} (unchanged)")
+            } else if ratio.is_finite() && ratio >= 1.0 {
+                format!("{a} -> {b} ({ratio:.1}x fewer)")
+            } else {
+                format!("{a} -> {b}")
+            }
+        }
+        (None, Some(b)) => format!("- -> {b}"),
+        _ => String::new(),
+    }
+}
+
 /// Render the comparison; returns the flagged-regression labels.
 fn compare(old: &[Record], new: &[Record], out: &mut impl std::io::Write) -> Vec<String> {
     let mut flagged = Vec::new();
-    let header = ("benchmark", "old", "new", "delta", "allocs/iter old->new");
+    let header = (
+        "benchmark",
+        "old",
+        "new",
+        "delta",
+        "allocs/iter old->new",
+        "bindings/iter old->new",
+    );
     writeln!(
         out,
-        "{:<44} {:>10} {:>10} {:>8}  {}",
-        header.0, header.1, header.2, header.3, header.4
+        "{:<44} {:>10} {:>10} {:>8}  {:<24} {}",
+        header.0, header.1, header.2, header.3, header.4, header.5
     )
     .unwrap();
     for n in new {
@@ -135,20 +165,8 @@ fn compare(old: &[Record], new: &[Record], out: &mut impl std::io::Write) -> Vec
             continue;
         };
         let d = delta(o.median_ns, n.median_ns);
-        let allocs = match (o.allocs_per_iter, n.allocs_per_iter) {
-            (Some(a), Some(b)) => {
-                let ratio = if b > 0 { a as f64 / b as f64 } else { f64::NAN };
-                if a == b {
-                    format!("{a} (unchanged)")
-                } else if ratio.is_finite() && ratio >= 1.0 {
-                    format!("{a} -> {b} ({ratio:.1}x fewer)")
-                } else {
-                    format!("{a} -> {b}")
-                }
-            }
-            (None, Some(b)) => format!("- -> {b}"),
-            _ => String::new(),
-        };
+        let allocs = counter_delta(o.allocs_per_iter, n.allocs_per_iter);
+        let bindings = counter_delta(o.bindings_per_iter, n.bindings_per_iter);
         let flag = if d > threshold_for(o.median_ns) {
             flagged.push(n.label.clone());
             "  <-- REGRESSION"
@@ -161,12 +179,13 @@ fn compare(old: &[Record], new: &[Record], out: &mut impl std::io::Write) -> Vec
         };
         writeln!(
             out,
-            "{:<44} {:>10} {:>10} {:>+7.1}%  {}{}",
+            "{:<44} {:>10} {:>10} {:>+7.1}%  {:<24} {}{}",
             n.label,
             fmt_ns(o.median_ns),
             fmt_ns(n.median_ns),
             d * 100.0,
             allocs,
+            bindings,
             flag
         )
         .unwrap();
@@ -242,7 +261,7 @@ mod tests {
     const OLD: &str = r#"{
   "pr": "prX",
   "results": [
-    {"group":"local_join","bench":"join_16k","median_ns":1000.0,"min_ns":900.0,"max_ns":1100.0,"samples":5,"iters_per_sample":10,"allocs_per_iter":500},
+    {"group":"local_join","bench":"join_16k","median_ns":1000.0,"min_ns":900.0,"max_ns":1100.0,"samples":5,"iters_per_sample":10,"allocs_per_iter":500,"bindings_per_iter":9000},
     {"group":"local_join","bench":"gone","median_ns":50.0,"min_ns":50.0,"max_ns":50.0,"samples":5,"iters_per_sample":10}
   ]
 }"#;
@@ -250,7 +269,7 @@ mod tests {
     const NEW: &str = r#"{
   "pr": "prY",
   "results": [
-    {"group":"local_join","bench":"join_16k","median_ns":800.0,"min_ns":700.0,"max_ns":900.0,"samples":5,"iters_per_sample":10,"allocs_per_iter":50},
+    {"group":"local_join","bench":"join_16k","median_ns":800.0,"min_ns":700.0,"max_ns":900.0,"samples":5,"iters_per_sample":10,"allocs_per_iter":50,"bindings_per_iter":3000},
     {"group":"slow","bench":"case","median_ns":99.0,"min_ns":99.0,"max_ns":99.0,"samples":5,"iters_per_sample":10}
   ]
 }"#;
@@ -262,7 +281,31 @@ mod tests {
         assert_eq!(old[0].label, "local_join/join_16k");
         assert_eq!(old[0].median_ns, 1000.0);
         assert_eq!(old[0].allocs_per_iter, Some(500));
+        assert_eq!(old[0].bindings_per_iter, Some(9000));
         assert_eq!(old[1].allocs_per_iter, None);
+        assert_eq!(old[1].bindings_per_iter, None);
+    }
+
+    #[test]
+    fn bindings_column_shows_the_visited_bindings_delta() {
+        let mut buf = Vec::new();
+        compare(&parse_records(OLD), &parse_records(NEW), &mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("bindings/iter old->new"), "{text}");
+        assert!(text.contains("9000 -> 3000 (3.0x fewer)"), "{text}");
+    }
+
+    #[test]
+    fn counter_delta_covers_every_shape() {
+        assert_eq!(
+            counter_delta(Some(500), Some(50)),
+            "500 -> 50 (10.0x fewer)"
+        );
+        assert_eq!(counter_delta(Some(7), Some(7)), "7 (unchanged)");
+        assert_eq!(counter_delta(Some(5), Some(8)), "5 -> 8");
+        assert_eq!(counter_delta(None, Some(8)), "- -> 8");
+        assert_eq!(counter_delta(Some(5), None), "");
+        assert_eq!(counter_delta(None, None), "");
     }
 
     #[test]
@@ -317,6 +360,7 @@ mod tests {
             label: "share_lp/star4".into(),
             median_ns: 50_000.0,
             allocs_per_iter: None,
+            bindings_per_iter: None,
         }];
         let mut new = old.clone();
         new[0].median_ns = 65_000.0; // +30%

@@ -47,6 +47,23 @@ pub fn skewed_join_db(q: &Query, m: usize, n: u64, theta: f64, h12: usize, seed:
     Database::new(q.clone(), vec![s1, s2], n).expect("valid skewed db")
 }
 
+/// A locally-skewed triangle workload for `named::cycle(3)`: the shared
+/// variable `x2` is Zipf(θ)-distributed in *both* S1 (column 1) and S2
+/// (column 0), with the same value 0 heaviest on both sides, while S3 stays
+/// uniform. All three relations have `m` tuples. Fixed-order enumeration
+/// that descends through the hot S1×S2 pairs first does Θ(heavy²) work on
+/// this instance; the cardinality-guided dynamic order routes around it —
+/// `local_join/skewed_triangle` in `bench_join.rs` measures exactly that
+/// gap (`q` must be `named::cycle(3)` or an identically-shaped triangle).
+pub fn zipf_triangle_db(q: &Query, m: usize, n: u64, theta: f64, seed: u64) -> Database {
+    assert_eq!(q.num_atoms(), 3, "zipf_triangle_db wants a triangle query");
+    let mut rng = Rng::seed_from_u64(seed);
+    let s1 = generators::zipf_column("S1", 2, m, n, 1, theta, &mut rng);
+    let s2 = generators::zipf_column("S2", 2, m, n, 0, theta, &mut rng);
+    let s3 = generators::uniform("S3", 2, m, n, &mut rng);
+    Database::new(q.clone(), vec![s1, s2, s3], n).expect("valid zipf triangle db")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +78,19 @@ mod tests {
         for j in 0..3 {
             assert_eq!(m.relation(j).max_frequency(&[0]), 1);
         }
+    }
+
+    #[test]
+    fn zipf_triangle_builder_aligns_the_hot_variable() {
+        let q = named::cycle(3);
+        let db = zipf_triangle_db(&q, 2000, 1 << 10, 1.2, 3);
+        assert_eq!(db.cardinalities(), vec![2000, 2000, 2000]);
+        // x2 is column 1 of S1 and column 0 of S2; value 0 is the heaviest
+        // on both sides (aligned local skew), far above the uniform mean.
+        let hot1 = db.relation(0).frequencies(&[1])[&vec![0u64]];
+        let hot2 = db.relation(1).frequencies(&[0])[&vec![0u64]];
+        assert!(hot1 > 100 && hot2 > 100, "hot1={hot1} hot2={hot2}");
+        assert!(db.relation(2).max_frequency(&[0]) < 20);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod wire;
 pub use baselines::{FragmentReplicateRouter, HashJoinRouter};
 pub use engine::{Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, Stats};
 pub use hypercube::HyperCube;
-pub use service::{CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome};
+pub use service::{
+    CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use shares::ShareAllocation;
 pub use skew_general::GeneralSkewAlgorithm;
 pub use skew_join::{SkewJoin, SkewJoinConfig};

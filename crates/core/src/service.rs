@@ -259,6 +259,9 @@ pub struct CacheCounters {
     /// Cache entries dropped because an ingest changed their statistics
     /// fingerprint.
     pub invalidations: u64,
+    /// Least-recently-used entries dropped to keep the cache within its
+    /// configured capacity ([`Service::with_plan_cache_capacity`]).
+    pub evictions: u64,
 }
 
 /// Catalog information for one relation (see [`Service::relation_infos`]).
@@ -285,7 +288,14 @@ struct CacheEntry {
     /// plan; kept here to recompute fingerprints without dereferencing).
     query: Query,
     fingerprint: u64,
+    /// Monotonic recency stamp ([`Service::tick`] at the last hit or
+    /// insert); the LRU eviction victim is the minimum.
+    last_used: u64,
 }
+
+/// Default bound on the number of cached plans (see
+/// [`Service::with_plan_cache_capacity`]).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 
 /// One batch entry after plan resolution: the (possibly cached) plan, the
 /// per-query database view, and how the cache served it.
@@ -301,6 +311,10 @@ pub struct Service {
     entries: Vec<CatalogEntry>,
     names: FastMap<String, usize>,
     plans: FastMap<PlanKey, CacheEntry>,
+    plan_cache_capacity: usize,
+    /// Monotonic recency counter; advances on every cache touch, so
+    /// `last_used` stamps are unique and LRU ties cannot occur.
+    tick: u64,
     counters: CacheCounters,
 }
 
@@ -317,6 +331,8 @@ impl Service {
             entries: Vec::new(),
             names: FastMap::default(),
             plans: FastMap::default(),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tick: 0,
             counters: CacheCounters::default(),
         }
     }
@@ -333,6 +349,21 @@ impl Service {
         self.default_p = p;
         self.default_seed = seed;
         self
+    }
+
+    /// Bound the plan cache to `capacity` entries: an insert past the bound
+    /// evicts the least-recently-used plan (and advances
+    /// [`CacheCounters::evictions`]). Without a bound, an unbounded stream
+    /// of distinct query shapes would grow the cache without limit.
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "plan cache needs room for at least one plan");
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// The configured plan-cache capacity.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.plan_cache_capacity
     }
 
     /// The service domain `n`.
@@ -527,7 +558,10 @@ impl Service {
         let plan = match cache {
             CacheStatus::Hit => {
                 self.counters.hits += 1;
-                self.plans[&key].plan.clone()
+                self.tick += 1;
+                let entry = self.plans.get_mut(&key).expect("hit entry exists");
+                entry.last_used = self.tick;
+                entry.plan.clone()
             }
             CacheStatus::Miss | CacheStatus::Invalidated => {
                 if cache == CacheStatus::Invalidated {
@@ -544,14 +578,17 @@ impl Service {
                         .stats(&view)
                         .plan(&db),
                 );
+                self.tick += 1;
                 self.plans.insert(
                     key,
                     CacheEntry {
                         plan: plan.clone(),
                         query: canonical,
                         fingerprint,
+                        last_used: self.tick,
                     },
                 );
+                self.evict_lru_overflow();
                 plan
             }
         };
@@ -654,6 +691,22 @@ impl Service {
             }
         }
     }
+
+    /// Evict least-recently-used plans until the cache fits its capacity.
+    /// Recency ticks are unique, so the victim is unambiguous; the O(n)
+    /// scan is bounded by the capacity itself.
+    fn evict_lru_overflow(&mut self) {
+        while self.plans.len() > self.plan_cache_capacity {
+            let victim = self
+                .plans
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+                .expect("an over-capacity cache is non-empty");
+            self.plans.remove(&victim);
+            self.counters.evictions += 1;
+        }
+    }
 }
 
 /// Planner-facing view of the catalog's memoized statistics: `simple()`
@@ -728,7 +781,8 @@ mod tests {
             CacheCounters {
                 hits: 2,
                 misses: 1,
-                invalidations: 0
+                invalidations: 0,
+                evictions: 0
             }
         );
         assert_eq!(svc.cached_plans(), 1);
@@ -744,6 +798,31 @@ mod tests {
             CacheStatus::Miss
         );
         assert_eq!(svc.cached_plans(), 3);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let mut svc = loaded_service().with_plan_cache_capacity(2);
+        let qa = parse_query("S1(x,z), S2(y,z)").unwrap();
+        let qb = parse_query("S1(x,y), S3(y,z)").unwrap();
+        let qc = parse_query("S2(x,y), S3(y,z)").unwrap();
+        // Fill to capacity, then touch A so B is the LRU entry.
+        svc.query(&qa).unwrap();
+        svc.query(&qb).unwrap();
+        assert_eq!(svc.query(&qa).unwrap().cache_status(), CacheStatus::Hit);
+        assert_eq!(svc.counters().evictions, 0);
+        // Inserting C overflows the capacity and evicts B.
+        assert_eq!(svc.query(&qc).unwrap().cache_status(), CacheStatus::Miss);
+        assert_eq!(svc.cached_plans(), 2);
+        assert_eq!(svc.counters().evictions, 1);
+        // A survived (recently used); B replans correctly: miss, then hit.
+        assert_eq!(svc.query(&qa).unwrap().cache_status(), CacheStatus::Hit);
+        let replanned = svc.query(&qb).unwrap();
+        assert_eq!(replanned.cache_status(), CacheStatus::Miss);
+        assert_eq!(svc.query(&qb).unwrap().cache_status(), CacheStatus::Hit);
+        // The B reinsert displaced C in turn.
+        assert_eq!(svc.counters().evictions, 2);
+        assert_eq!(svc.cached_plans(), 2);
     }
 
     #[test]

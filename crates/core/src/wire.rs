@@ -184,11 +184,12 @@ impl Session {
     fn cmd_stats(&mut self, service: &mut Service) -> Vec<String> {
         let c = service.counters();
         let mut out = vec![format!(
-            "ok plans={} hits={} misses={} invalidations={} relations={}",
+            "ok plans={} hits={} misses={} invalidations={} evictions={} relations={}",
             service.cached_plans(),
             c.hits,
             c.misses,
             c.invalidations,
+            c.evictions,
             service.relation_infos().len()
         )];
         for info in service.relation_infos() {
@@ -365,7 +366,7 @@ mod tests {
         let out = s.handle(&mut svc, "STATS");
         assert_eq!(
             out[0],
-            "ok plans=1 hits=1 misses=1 invalidations=0 relations=2"
+            "ok plans=1 hits=1 misses=1 invalidations=0 evictions=0 relations=2"
         );
         assert!(
             out.contains(&"rel S1 arity=2 tuples=2 tracked=1".to_string()),

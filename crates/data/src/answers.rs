@@ -97,6 +97,32 @@ impl AnswerSet {
         self.rows += 1;
     }
 
+    /// Append `times` copies of one row — the multiplicity-aware emit path
+    /// of the dynamic join, which reports each distinct binding once with
+    /// the number of row combinations deriving it. `times == 0` appends
+    /// nothing; the copies come from doubling `extend_from_within` calls,
+    /// so the cost is one slice append plus O(log times) memcpys.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != arity`.
+    #[inline]
+    pub fn push_repeat(&mut self, row: &[u64], times: u64) {
+        assert_eq!(row.len(), self.arity, "answer arity mismatch");
+        if times == 0 {
+            return;
+        }
+        let start = self.data.len();
+        self.data.extend_from_slice(row);
+        let mut have = 1u64;
+        while have < times {
+            let copy = (times - have).min(have);
+            self.data
+                .extend_from_within(start..start + copy as usize * self.arity);
+            have += copy;
+        }
+        self.rows += times as usize;
+    }
+
     /// Row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[u64] {
@@ -313,6 +339,26 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_mismatch_panics() {
         AnswerSet::new(2).push(&[1]);
+    }
+
+    #[test]
+    fn push_repeat_matches_repeated_push() {
+        let mut a = AnswerSet::new(2);
+        a.push_repeat(&[1, 2], 0);
+        assert!(a.is_empty());
+        a.push_repeat(&[1, 2], 1);
+        a.push_repeat(&[3, 4], 5);
+        let mut b = AnswerSet::new(2);
+        b.push(&[1, 2]);
+        for _ in 0..5 {
+            b.push(&[3, 4]);
+        }
+        assert_eq!(a, b);
+
+        // Zero-arity rows still count.
+        let mut z = AnswerSet::new(0);
+        z.push_repeat(&[], 7);
+        assert_eq!(z.len(), 7);
     }
 
     #[test]

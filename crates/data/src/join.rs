@@ -1,33 +1,104 @@
-//! A local (single-machine) multiway join.
+//! A local (single-machine) multiway join with cardinality-guided dynamic
+//! variable ordering.
 //!
 //! Every MPC algorithm in this workspace reshuffles tuples and then has each
 //! server evaluate the query on its fragment; this module is that local
 //! evaluator, and doubles as the sequential ground truth the distributed
 //! answers are verified against.
 //!
-//! The implementation is a straightforward hash-indexed backtracking join:
-//! atoms are ordered greedily (smallest relation first, then maximal overlap
-//! with already-bound variables), each atom gets a hash index keyed on its
-//! bound attribute positions, and bindings are extended depth-first. This is
-//! not worst-case-optimal, but it is exact, allocation-conscious, and fast
-//! enough for the experiment scales (≤ 2^20 tuples).
+//! Two engines share the CSR [`JoinIndex`] and are selected by
+//! [`JoinOrder`]:
+//!
+//! * [`JoinOrder::Dynamic`] (the default) is a worst-case-optimal-leaning
+//!   evaluator in the Atreides family: it binds one *variable* at a time
+//!   instead of one atom at a time. Every atom tracks an O(1) cardinality
+//!   bound for its current candidate set — `candidates(key).len()` once any
+//!   of its positions are bound, the per-value group count of a lazily
+//!   built [`JoinIndex`] before that — and at every depth the evaluator
+//!   picks the unbound variable whose **max-over-atoms** bound is smallest,
+//!   then enumerates that variable's values from the atom with the
+//!   *smallest* candidate set (the driver), intersecting the remaining
+//!   atoms' candidate slices against each value. Tiny candidate sets
+//!   (≤ `SCAN_THRESHOLD` rows) are filtered by scanning instead of
+//!   re-indexing, and the *last* unbound variable is resolved by a
+//!   leapfrog-style sorted-merge intersection of the sharing atoms' value
+//!   lists — no per-value index probes at the leaf. HyperCube routing
+//!   balances skew *across* servers; this
+//!   ordering absorbs the skew that survives *inside* a server's subcube,
+//!   where a fixed order can be quadratically off on a locally heavy value.
+//! * [`JoinOrder::Fixed`] is the legacy greedy backtracking join — atoms
+//!   ordered up front by `atom_order`, one hash index per atom keyed on
+//!   its already-bound positions, bindings extended depth-first one *row*
+//!   at a time. It is kept alive as the independent differential baseline:
+//!   the oracle joins run it, so every verification pass is a
+//!   dynamic-vs-fixed comparison.
+//!
+//! Both engines produce the same answer *multiset* (the dynamic engine
+//! emits each distinct binding once with its multiplicity — the product of
+//! the per-atom candidate counts — which is exactly the number of row
+//! combinations deriving it), and both report a [`JoinStats`] probe of the
+//! bindings they explored, also accumulated process-wide for the bench
+//! harness via [`visited_bindings_total`].
 
 use crate::answers::AnswerSet;
 use crate::catalog::Database;
 use crate::relation::Relation;
 use crate::rng::mix64;
 use mpc_query::{Query, VarSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Compute a greedy atom order: start from the smallest relation, then
-/// repeatedly pick the atom with the most already-bound variables (ties:
-/// smaller relation).
+/// Which variable-ordering engine evaluates a local join.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum JoinOrder {
+    /// Cardinality-guided dynamic ordering (the default): at every depth
+    /// bind the unbound variable with the smallest max-over-atoms candidate
+    /// bound, enumerating its values from the smallest candidate set.
+    #[default]
+    Dynamic,
+    /// The legacy greedy fixed atom order (`atom_order`): deterministic,
+    /// kept as the differential baseline the oracle joins run.
+    Fixed,
+}
+
+/// Exploration counters reported by one join evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Candidate bindings explored: one per candidate row iterated by the
+    /// fixed engine, one per driver row (root) or distinct driver value
+    /// (deeper levels) tried by the dynamic engine. Comparable across
+    /// engines — both count every partial binding they materialize.
+    pub bindings_visited: u64,
+}
+
+/// Process-wide accumulator behind [`visited_bindings_total`].
+static VISITED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Total bindings visited by every join evaluated in this process (all
+/// threads, both engines). The bench harness samples it around a run to
+/// report `bindings_per_iter` next to `allocs_per_iter`; deltas of this
+/// counter are meaningful, absolute values are not.
+pub fn visited_bindings_total() -> u64 {
+    VISITED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Compute the greedy fixed atom order. The selection key is fully
+/// deterministic, in priority order:
+///
+/// 1. **maximal overlap** with already-bound variables (at step 0 every
+///    overlap is zero, so the first pick is purely by size);
+/// 2. **minimal relation size**;
+/// 3. **minimal atom index** — the first candidate atom scanned wins every
+///    remaining tie, so equal-size relations always order by their position
+///    in the query and plans/benches are reproducible.
 fn atom_order(query: &Query, relations: &[&Relation]) -> Vec<usize> {
     let l = query.num_atoms();
     let mut order = Vec::with_capacity(l);
     let mut used = vec![false; l];
     let mut bound = VarSet::EMPTY;
-    for step in 0..l {
-        let mut best: Option<(usize, usize, usize)> = None; // (atom, overlap, size)
+    for _ in 0..l {
+        // (overlap, size) of the best atom so far; strict comparisons keep
+        // the lowest atom index on full ties.
+        let mut best: Option<(usize, usize, usize)> = None;
         for j in 0..l {
             if used[j] {
                 continue;
@@ -36,13 +107,7 @@ fn atom_order(query: &Query, relations: &[&Relation]) -> Vec<usize> {
             let size = relations[j].len();
             let better = match best {
                 None => true,
-                Some((_, bo, bs)) => {
-                    if step == 0 {
-                        size < bs
-                    } else {
-                        overlap > bo || (overlap == bo && size < bs)
-                    }
-                }
+                Some((_, bo, bs)) => overlap > bo || (overlap == bo && size < bs),
             };
             if better {
                 best = Some((j, overlap, size));
@@ -63,6 +128,16 @@ const INDEX_SALT: u64 = 0x4cf5_ad43_2745_937f;
 /// Sentinel for an empty open-addressing slot.
 const EMPTY_SLOT: u32 = u32::MAX;
 
+/// Guard for the index's `u32` row-id space: building a [`JoinIndex`] over
+/// a relation with ≥ `u32::MAX` rows would silently truncate row ids, so
+/// construction fails loudly instead.
+fn assert_indexable(name: &str, rows: usize) {
+    assert!(
+        (rows as u64) < u32::MAX as u64,
+        "relation {name:?} has {rows} rows, which exceeds the u32 row-id space of JoinIndex"
+    );
+}
+
 /// A CSR-grouped hash index over one relation: row ids grouped by the
 /// values at `key_cols`, stored as one contiguous `offsets + row_ids`
 /// arena. Construction is two passes over the rows — keys are hashed
@@ -81,6 +156,7 @@ const EMPTY_SLOT: u32 = u32::MAX;
 /// assert_eq!(idx.candidates(&[5]), &[0, 1]);
 /// assert_eq!(idx.candidates(&[6]), &[2]);
 /// assert_eq!(idx.candidates(&[7]), &[] as &[u32]);
+/// assert_eq!(idx.num_groups(), 2);
 /// ```
 pub struct JoinIndex<'a> {
     relation: &'a Relation,
@@ -103,11 +179,11 @@ impl<'a> JoinIndex<'a> {
     /// Build the index of `relation` keyed on `key_cols`.
     ///
     /// # Panics
-    /// Panics when the relation has ≥ `u32::MAX` rows (far beyond the
-    /// simulator's scales).
+    /// Panics when the relation has ≥ `u32::MAX` rows — row ids are stored
+    /// as `u32` and would otherwise silently truncate.
     pub fn build(relation: &'a Relation, key_cols: Vec<usize>) -> JoinIndex<'a> {
         let n = relation.len();
-        assert!((n as u64) < u32::MAX as u64, "relation too large to index");
+        assert_indexable(relation.name(), n);
         if key_cols.is_empty() || n == 0 {
             // One group holding every row (or no rows): candidates() for
             // the empty key returns the full scan.
@@ -182,32 +258,47 @@ impl<'a> JoinIndex<'a> {
         &self.key_cols
     }
 
-    /// Row ids whose projection on the key columns equals `key`, ascending
-    /// (empty key: all rows). Returns an empty slice for absent keys.
+    /// Number of distinct keys (groups). An empty key — and an empty
+    /// relation — count as one group spanning all rows.
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Half-open range `lo..hi` into the grouped row-id arena whose rows
+    /// match `key` — the O(1) cardinality bound (`hi - lo`) the dynamic
+    /// ordering is built on. `(0, 0)` for absent keys; the empty key spans
+    /// all rows.
     #[inline]
-    pub fn candidates(&self, key: &[u64]) -> &[u32] {
+    fn candidates_range(&self, key: &[u64]) -> (u32, u32) {
         if self.key_cols.is_empty() {
-            return &self.row_ids;
+            return (0, self.row_ids.len() as u32);
         }
         if self.slots.is_empty() {
-            return &[];
+            return (0, 0);
         }
         let mut s = (hash_key(key) as usize) & self.mask;
         loop {
             match self.slots[s] {
-                EMPTY_SLOT => return &[],
+                EMPTY_SLOT => return (0, 0),
                 g => {
                     let rep = self
                         .relation
                         .row(self.row_ids[self.offsets[g as usize] as usize] as usize);
                     if self.key_cols.iter().zip(key).all(|(&c, &v)| rep[c] == v) {
-                        let (lo, hi) = (self.offsets[g as usize], self.offsets[g as usize + 1]);
-                        return &self.row_ids[lo as usize..hi as usize];
+                        return (self.offsets[g as usize], self.offsets[g as usize + 1]);
                     }
                     s = (s + 1) & self.mask;
                 }
             }
         }
+    }
+
+    /// Row ids whose projection on the key columns equals `key`, ascending
+    /// (empty key: all rows). Returns an empty slice for absent keys.
+    #[inline]
+    pub fn candidates(&self, key: &[u64]) -> &[u32] {
+        let (lo, hi) = self.candidates_range(key);
+        &self.row_ids[lo as usize..hi as usize]
     }
 }
 
@@ -238,6 +329,10 @@ fn rows_key_equal(rel: &Relation, a: u32, row_b: &[u64], cols: &[usize]) -> bool
     cols.iter().all(|&c| row_a[c] == row_b[c])
 }
 
+// ---------------------------------------------------------------------------
+// Fixed-order engine (the differential baseline)
+// ---------------------------------------------------------------------------
+
 /// A [`JoinIndex`] bound to the relation it indexes (one per atom in visit
 /// order).
 struct AtomIndex<'a> {
@@ -263,13 +358,15 @@ impl<'a> AtomIndex<'a> {
     }
 }
 
-/// Evaluate `query` over `relations` (one per atom, in atom order),
-/// invoking `emit` once per answer tuple (values indexed by query variable).
-pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut(&[u64])) {
-    assert_eq!(relations.len(), query.num_atoms());
-    if relations.iter().any(|r| r.is_empty()) {
-        return;
-    }
+/// The legacy engine: order atoms once with [`atom_order`], index each on
+/// its bound positions, extend bindings depth-first one row at a time.
+/// Emits every answer with multiplicity 1.
+fn fixed_join(
+    query: &Query,
+    relations: &[&Relation],
+    visited: &mut u64,
+    emit: &mut impl FnMut(&[u64], u64),
+) {
     let order = atom_order(query, relations);
 
     // For each atom (in visit order) decide which of its positions are bound
@@ -326,10 +423,11 @@ pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut
         bind_positions: &[Vec<(usize, usize)>],
         binding: &mut Vec<u64>,
         key_buf: &mut Vec<u64>,
-        emit: &mut impl FnMut(&[u64]),
+        visited: &mut u64,
+        emit: &mut impl FnMut(&[u64], u64),
     ) {
         if depth == order.len() {
-            emit(binding);
+            emit(binding, 1);
             return;
         }
         let j = order[depth];
@@ -342,6 +440,7 @@ pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut
         // `candidates` borrows the index, not `key_buf`, so the buffer is
         // free for reuse by deeper levels while we iterate.
         for &row_id in idx.candidates(key_buf) {
+            *visited += 1;
             let row = idx.relation.row(row_id as usize);
             if check_positions[depth]
                 .iter()
@@ -361,6 +460,7 @@ pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut
                 bind_positions,
                 binding,
                 key_buf,
+                visited,
                 emit,
             );
         }
@@ -375,8 +475,947 @@ pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut
         &bind_positions,
         &mut binding,
         &mut key_buf,
-        &mut emit,
+        visited,
+        emit,
     );
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic (cardinality-guided) engine
+// ---------------------------------------------------------------------------
+
+/// Candidate sets at most this large are narrowed by scanning their rows
+/// instead of building/probing an index keyed on the new position set.
+const SCAN_THRESHOLD: usize = 8;
+
+/// Driver slices at most this long deduplicate their values by linear scan
+/// of the collected `(value, count)` pairs; longer slices sort a flat value
+/// buffer and run-length encode it.
+const LINEAR_DEDUP_MAX: usize = 32;
+
+/// Where an atom's current candidate rows live.
+#[derive(Clone, Copy)]
+enum Candidates {
+    /// No position of the atom is bound: every row is a candidate.
+    All,
+    /// `lo..hi` into the row-id arena of the cached index for the state's
+    /// position mask.
+    Range(u32, u32),
+    /// The first `count` entries, inline (produced by the scan path).
+    Inline([u32; SCAN_THRESHOLD]),
+    /// Count known but rows not materialized (a driver slice deduplicated
+    /// by value); re-derived through an index lookup if ever needed again.
+    Unknown,
+}
+
+/// One atom's live candidate set: which positions are bound, how many rows
+/// match the current binding on them, and where those rows live.
+#[derive(Clone, Copy)]
+struct AtomState {
+    /// Bound positions of the atom (bit `p` = position `p`; arity ≤ 64).
+    mask: u64,
+    /// Rows matching the current binding projected on `mask`'s positions —
+    /// the O(1) cardinality bound driving variable selection, and at the
+    /// leaf one factor of the answer multiplicity.
+    count: u32,
+    rows: Candidates,
+}
+
+/// One atom's relation plus its lazily built per-position-mask indexes.
+/// Indexes are cached for the whole join, so each (atom, position set)
+/// pair is built at most once no matter how often the search revisits it.
+struct DynAtom<'a> {
+    rel: &'a Relation,
+    /// Variable at each position (`atom.vars()`).
+    vars: &'a [usize],
+    /// `(pos, first_pos)` pairs a row must agree on (repeated variables
+    /// within the atom); used by the root driver scan.
+    dup_checks: Vec<(usize, usize)>,
+    indexes: Vec<(u64, JoinIndex<'a>)>,
+}
+
+/// One distinct driver value with its multiplicity; `lo..hi` is the value's
+/// group range in the driver's per-value index (group-enumeration path
+/// only).
+#[derive(Clone, Copy)]
+struct ValEntry {
+    val: u64,
+    count: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// Reusable per-depth buffers of the dynamic search.
+#[derive(Default)]
+struct NodeScratch {
+    /// Distinct driver values at this depth.
+    vals: Vec<ValEntry>,
+    /// States this depth mutates, for restore on backtrack.
+    save: Vec<(usize, AtomState)>,
+    /// Flat value buffer for the sort-based dedup path.
+    raw: Vec<u64>,
+    /// Key buffer for index probes.
+    key: Vec<u64>,
+    /// Leaf intersection: surviving `(value, multiplicity product)` pairs,
+    /// sorted by value.
+    merged: Vec<(u64, u64)>,
+}
+
+/// Ascending positions set in `mask`.
+fn mask_positions(mut mask: u64) -> Vec<usize> {
+    let mut cols = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        cols.push(mask.trailing_zeros() as usize);
+        mask &= mask - 1;
+    }
+    cols
+}
+
+/// Project the binding onto `mask`'s positions (ascending — the order
+/// [`JoinIndex`] keys use) into `key`.
+fn build_key(key: &mut Vec<u64>, mut mask: u64, vars: &[usize], binding: &[u64]) {
+    key.clear();
+    while mask != 0 {
+        let p = mask.trailing_zeros() as usize;
+        key.push(binding[vars[p]]);
+        mask &= mask - 1;
+    }
+}
+
+/// True iff `row` matches the binding at every position in `mask`.
+#[inline]
+fn masked_match(row: &[u64], vars: &[usize], mut mask: u64, binding: &[u64]) -> bool {
+    while mask != 0 {
+        let p = mask.trailing_zeros() as usize;
+        if row[p] != binding[vars[p]] {
+            return false;
+        }
+        mask &= mask - 1;
+    }
+    true
+}
+
+/// True iff `row` holds the same value at every position in `mask` (the
+/// repeated-variable consistency check; `first` is one of the positions).
+#[inline]
+fn positions_agree(row: &[u64], mut mask: u64, first: usize) -> bool {
+    let want = row[first];
+    while mask != 0 {
+        let p = mask.trailing_zeros() as usize;
+        if row[p] != want {
+            return false;
+        }
+        mask &= mask - 1;
+    }
+    true
+}
+
+/// Position of the atom's cached index for `mask`, building it on first
+/// use (cached for the rest of the join).
+fn ensure_index_pos(atom: &mut DynAtom<'_>, mask: u64) -> usize {
+    if let Some(i) = atom.indexes.iter().position(|(m, _)| *m == mask) {
+        return i;
+    }
+    atom.indexes
+        .push((mask, JoinIndex::build(atom.rel, mask_positions(mask))));
+    atom.indexes.len() - 1
+}
+
+/// The atom's cached index for `mask` (must exist — every `Range` state
+/// points into one).
+fn cached_index<'x, 'a>(atom: &'x DynAtom<'a>, mask: u64) -> &'x JoinIndex<'a> {
+    &atom
+        .indexes
+        .iter()
+        .find(|(m, _)| *m == mask)
+        .expect("a Range state always points into a cached index")
+        .1
+}
+
+/// Filter `rows` down to those matching the binding on `add_mask`,
+/// collecting survivors inline. Returns the survivor count (≤ input count
+/// ≤ [`SCAN_THRESHOLD`]).
+fn filter_into(
+    rel: &Relation,
+    vars: &[usize],
+    add_mask: u64,
+    binding: &[u64],
+    rows: impl Iterator<Item = u32>,
+    inline: &mut [u32; SCAN_THRESHOLD],
+) -> u32 {
+    let mut cnt = 0u32;
+    for row_id in rows {
+        if masked_match(rel.row(row_id as usize), vars, add_mask, binding) {
+            inline[cnt as usize] = row_id;
+            cnt += 1;
+        }
+    }
+    cnt
+}
+
+/// Narrow the atom's candidate set after the positions in `add_mask`
+/// became bound. Candidate sets of ≤ [`SCAN_THRESHOLD`] known rows are
+/// filtered by scanning; everything else probes (and lazily builds) the
+/// index keyed on the full new position set. Returns `false` when no row
+/// survives (prune).
+fn narrow(
+    atom: &mut DynAtom<'_>,
+    state: &mut AtomState,
+    add_mask: u64,
+    binding: &[u64],
+    key: &mut Vec<u64>,
+) -> bool {
+    let newmask = state.mask | add_mask;
+    if state.count as usize <= SCAN_THRESHOLD {
+        let mut inline = [0u32; SCAN_THRESHOLD];
+        let cnt = match state.rows {
+            Candidates::All => filter_into(
+                atom.rel,
+                atom.vars,
+                add_mask,
+                binding,
+                0..state.count,
+                &mut inline,
+            ),
+            Candidates::Range(lo, hi) => {
+                let idx = cached_index(atom, state.mask);
+                filter_into(
+                    atom.rel,
+                    atom.vars,
+                    add_mask,
+                    binding,
+                    idx.row_ids[lo as usize..hi as usize].iter().copied(),
+                    &mut inline,
+                )
+            }
+            Candidates::Inline(rows) => filter_into(
+                atom.rel,
+                atom.vars,
+                add_mask,
+                binding,
+                rows[..state.count as usize].iter().copied(),
+                &mut inline,
+            ),
+            // Rows not materialized: fall through to the index probe.
+            Candidates::Unknown => u32::MAX,
+        };
+        if cnt != u32::MAX {
+            *state = AtomState {
+                mask: newmask,
+                count: cnt,
+                rows: Candidates::Inline(inline),
+            };
+            return cnt > 0;
+        }
+    }
+    build_key(key, newmask, atom.vars, binding);
+    let i = ensure_index_pos(atom, newmask);
+    let (lo, hi) = atom.indexes[i].1.candidates_range(key);
+    *state = AtomState {
+        mask: newmask,
+        count: hi - lo,
+        rows: Candidates::Range(lo, hi),
+    };
+    lo < hi
+}
+
+/// Memoize an [`Candidates::Unknown`] candidate set back to its index
+/// `Range`: the state's mask always has a cached index (the narrow that
+/// produced the count built it) and the binding projects to its key.
+fn materialize_unknown(
+    atom: &mut DynAtom<'_>,
+    state: &mut AtomState,
+    binding: &[u64],
+    key: &mut Vec<u64>,
+) {
+    if matches!(state.rows, Candidates::Unknown) {
+        build_key(key, state.mask, atom.vars, binding);
+        let i = ensure_index_pos(atom, state.mask);
+        let (lo, hi) = atom.indexes[i].1.candidates_range(key);
+        debug_assert_eq!(hi - lo, state.count);
+        state.rows = Candidates::Range(lo, hi);
+    }
+}
+
+/// O(1) cardinality bound for the atom's rows compatible with the current
+/// binding, as seen through variable `v`'s positions (`pos_mask`): the
+/// candidate count once any position is bound, the distinct-value count of
+/// a cached per-value index before that, the relation size as the fallback.
+#[inline]
+fn estimate(atom: &DynAtom<'_>, state: &AtomState, pos_mask: u64) -> u64 {
+    if state.mask != 0 {
+        return state.count as u64;
+    }
+    match atom.indexes.iter().find(|(m, _)| *m == pos_mask) {
+        Some((_, idx)) => idx.num_groups() as u64,
+        None => atom.rel.len() as u64,
+    }
+}
+
+/// One level of the dynamic search: pick the most selective unbound
+/// variable, enumerate its distinct values from the smallest candidate set
+/// (the driver), narrow every other atom containing it, recurse; at the
+/// leaf emit the binding with multiplicity = ∏ per-atom candidate counts.
+#[allow(clippy::too_many_arguments)]
+fn dyn_descend<'a>(
+    atoms: &mut [DynAtom<'a>],
+    occs_of_var: &[Vec<(usize, u64, usize)>],
+    all_vars: VarSet,
+    bound: VarSet,
+    binding: &mut [u64],
+    states: &mut [AtomState],
+    scratch: &mut [NodeScratch],
+    visited: &mut u64,
+    emit: &mut impl FnMut(&[u64], u64),
+) {
+    // --- variable selection: smallest max-over-atoms candidate bound ---
+    // (ties: smaller min bound, then lower variable index).
+    let mut pick: Option<(u64, u64, usize)> = None;
+    for (v, occs) in occs_of_var.iter().enumerate() {
+        if bound.contains(v) {
+            continue;
+        }
+        let mut hi = 0u64;
+        let mut lo = u64::MAX;
+        for &(a, pos_mask, _) in occs {
+            let e = estimate(&atoms[a], &states[a], pos_mask);
+            hi = hi.max(e);
+            lo = lo.min(e);
+        }
+        if pick.is_none_or(|(bh, bl, _)| (hi, lo) < (bh, bl)) {
+            pick = Some((hi, lo, v));
+        }
+    }
+    let (_, _, v) = pick.expect("an unbound variable exists above the leaf");
+
+    // Driver: the occurrence with the smallest bound (ties: lowest atom
+    // index — occurrences are stored in atom order).
+    let occs = &occs_of_var[v];
+    let (mut d, mut dmask, mut dfirst) = occs[0];
+    let mut dbest = estimate(&atoms[d], &states[d], dmask);
+    for &(a, pos_mask, first) in &occs[1..] {
+        let e = estimate(&atoms[a], &states[a], pos_mask);
+        if e < dbest {
+            (d, dmask, dfirst, dbest) = (a, pos_mask, first, e);
+        }
+    }
+
+    let (cur, rest) = scratch.split_first_mut().expect("one scratch per depth");
+
+    // Leaf fast path: `v` is the last unbound variable, so nothing below
+    // ever re-narrows — intersect sorted value lists instead of paying one
+    // index probe (and a state snapshot/restore) per candidate value.
+    if bound.insert(v) == all_vars {
+        dyn_leaf(
+            atoms, occs, v, d, dmask, dfirst, states, binding, cur, visited, emit,
+        );
+        return;
+    }
+
+    cur.vals.clear();
+    cur.save.clear();
+
+    // --- enumerate the driver's distinct v-values with multiplicities ---
+    let grouped = states[d].mask == 0;
+    if grouped {
+        // Unbound driver: group-enumerate its per-value index. Each group
+        // is one distinct value with its row range; groups whose rows
+        // disagree on repeated v-positions can never match and are skipped
+        // whole (all rows of a group share the key projection).
+        let multi = dmask.count_ones() > 1;
+        let i = ensure_index_pos(&mut atoms[d], dmask);
+        let idx = &atoms[d].indexes[i].1;
+        let rel = atoms[d].rel;
+        for g in 0..idx.num_groups() {
+            let (lo, hi) = (idx.offsets[g], idx.offsets[g + 1]);
+            let rep = rel.row(idx.row_ids[lo as usize] as usize);
+            if multi && !positions_agree(rep, dmask, dfirst) {
+                continue;
+            }
+            cur.vals.push(ValEntry {
+                val: rep[dfirst],
+                count: hi - lo,
+                lo,
+                hi,
+            });
+        }
+    } else {
+        // Bound driver: its candidate rows are already narrowed — collect
+        // the distinct values at v's positions, counting occurrences
+        // (which become the driver's per-value candidate count).
+        let multi = dmask.count_ones() > 1;
+        materialize_unknown(&mut atoms[d], &mut states[d], binding, &mut cur.key);
+        let rel = atoms[d].rel;
+        let inline_store;
+        let row_slice: &[u32] = match states[d].rows {
+            Candidates::Inline(rows) => {
+                inline_store = rows;
+                &inline_store[..states[d].count as usize]
+            }
+            Candidates::Range(lo, hi) => {
+                &cached_index(&atoms[d], states[d].mask).row_ids[lo as usize..hi as usize]
+            }
+            Candidates::All | Candidates::Unknown => {
+                unreachable!("bound driver has materialized rows")
+            }
+        };
+        if row_slice.len() <= LINEAR_DEDUP_MAX {
+            'rows: for &row_id in row_slice {
+                let row = rel.row(row_id as usize);
+                if multi && !positions_agree(row, dmask, dfirst) {
+                    continue;
+                }
+                let val = row[dfirst];
+                for e in cur.vals.iter_mut() {
+                    if e.val == val {
+                        e.count += 1;
+                        continue 'rows;
+                    }
+                }
+                cur.vals.push(ValEntry {
+                    val,
+                    count: 1,
+                    lo: 0,
+                    hi: 0,
+                });
+            }
+        } else {
+            cur.raw.clear();
+            for &row_id in row_slice {
+                let row = rel.row(row_id as usize);
+                if multi && !positions_agree(row, dmask, dfirst) {
+                    continue;
+                }
+                cur.raw.push(row[dfirst]);
+            }
+            cur.raw.sort_unstable();
+            let mut i = 0;
+            while i < cur.raw.len() {
+                let val = cur.raw[i];
+                let mut j = i + 1;
+                while j < cur.raw.len() && cur.raw[j] == val {
+                    j += 1;
+                }
+                cur.vals.push(ValEntry {
+                    val,
+                    count: (j - i) as u32,
+                    lo: 0,
+                    hi: 0,
+                });
+                i = j;
+            }
+        }
+    }
+
+    // Snapshot every state this level mutates (driver included).
+    for &(a, _, _) in occs {
+        cur.save.push((a, states[a]));
+    }
+    let dmask_base = states[d].mask;
+    let now_bound = bound.insert(v);
+
+    for vi in 0..cur.vals.len() {
+        // Restore this level's snapshot (idempotent on the first value).
+        for si in 0..cur.save.len() {
+            let (a, s) = cur.save[si];
+            states[a] = s;
+        }
+        let e = cur.vals[vi];
+        *visited += 1;
+        binding[v] = e.val;
+        states[d] = AtomState {
+            mask: dmask_base | dmask,
+            count: e.count,
+            rows: if grouped {
+                Candidates::Range(e.lo, e.hi)
+            } else {
+                Candidates::Unknown
+            },
+        };
+        let mut ok = true;
+        for &(a, pos_mask, _) in occs {
+            if a == d {
+                continue;
+            }
+            if !narrow(
+                &mut atoms[a],
+                &mut states[a],
+                pos_mask,
+                binding,
+                &mut cur.key,
+            ) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        dyn_descend(
+            atoms,
+            occs_of_var,
+            all_vars,
+            now_bound,
+            binding,
+            states,
+            rest,
+            visited,
+            emit,
+        );
+    }
+    // Restore for the caller.
+    for si in 0..cur.save.len() {
+        let (a, s) = cur.save[si];
+        states[a] = s;
+    }
+}
+
+/// Leaf specialization of `dyn_descend`: exactly one variable `v` remains
+/// unbound. The generic level pays one index probe per candidate value for
+/// every non-driver occurrence (plus a state snapshot/restore per value);
+/// here nothing below ever re-narrows, so we collect each occurrence's
+/// distinct `(value, count)` list once and sorted-merge-intersect them.
+/// Occurrences whose candidate sets dwarf the surviving value list are
+/// probed per survivor instead of scanned. Each survivor is emitted once
+/// with multiplicity = (∏ counts of atoms not containing `v`) × (∏ the
+/// value's per-occurrence counts) — the same multiset the generic level
+/// produces, in value order rather than driver-row order.
+///
+/// Visited-bindings accounting is unchanged: one per distinct driver
+/// value, whether or not it survives the intersection.
+#[allow(clippy::too_many_arguments)]
+fn dyn_leaf<'a>(
+    atoms: &mut [DynAtom<'a>],
+    occs: &[(usize, u64, usize)],
+    v: usize,
+    d: usize,
+    dmask: u64,
+    dfirst: usize,
+    states: &mut [AtomState],
+    binding: &mut [u64],
+    cur: &mut NodeScratch,
+    visited: &mut u64,
+    emit: &mut impl FnMut(&[u64], u64),
+) {
+    // --- driver: collect its distinct v-values with multiplicities, ---
+    // --- sorted by value, into `cur.merged`.                        ---
+    cur.merged.clear();
+    let multi = dmask.count_ones() > 1;
+    if states[d].mask == 0 {
+        // Unbound driver: its per-value index already groups rows by
+        // value; groups disagreeing on repeated v-positions are skipped
+        // whole (all rows of a group share the key projection).
+        let i = ensure_index_pos(&mut atoms[d], dmask);
+        let idx = &atoms[d].indexes[i].1;
+        let rel = atoms[d].rel;
+        for g in 0..idx.num_groups() {
+            let (lo, hi) = (idx.offsets[g], idx.offsets[g + 1]);
+            let rep = rel.row(idx.row_ids[lo as usize] as usize);
+            if multi && !positions_agree(rep, dmask, dfirst) {
+                continue;
+            }
+            cur.merged.push((rep[dfirst], (hi - lo) as u64));
+        }
+        cur.merged.sort_unstable_by_key(|&(val, _)| val);
+    } else {
+        materialize_unknown(&mut atoms[d], &mut states[d], binding, &mut cur.key);
+        let rel = atoms[d].rel;
+        cur.raw.clear();
+        let inline_store;
+        let row_slice: &[u32] = match states[d].rows {
+            Candidates::Inline(rows) => {
+                inline_store = rows;
+                &inline_store[..states[d].count as usize]
+            }
+            Candidates::Range(lo, hi) => {
+                &cached_index(&atoms[d], states[d].mask).row_ids[lo as usize..hi as usize]
+            }
+            Candidates::All | Candidates::Unknown => {
+                unreachable!("bound driver has materialized rows")
+            }
+        };
+        for &row_id in row_slice {
+            let row = rel.row(row_id as usize);
+            if multi && !positions_agree(row, dmask, dfirst) {
+                continue;
+            }
+            cur.raw.push(row[dfirst]);
+        }
+        cur.raw.sort_unstable();
+        let mut i = 0;
+        while i < cur.raw.len() {
+            let val = cur.raw[i];
+            let mut j = i + 1;
+            while j < cur.raw.len() && cur.raw[j] == val {
+                j += 1;
+            }
+            cur.merged.push((val, (j - i) as u64));
+            i = j;
+        }
+    }
+    *visited += cur.merged.len() as u64;
+
+    // --- intersect every other occurrence's value list into `merged` ---
+    for &(a, pos_mask, first) in occs {
+        if a == d || cur.merged.is_empty() {
+            continue;
+        }
+        let multi = pos_mask.count_ones() > 1;
+        // Scan-and-merge when the candidate set is comparable in size to
+        // the surviving value list (the driver is the min-bound
+        // occurrence, so candidates ≥ survivors); probe the per-value
+        // index once per survivor when it is much larger — and always for
+        // a fully unbound atom, whose "candidates" are the whole relation.
+        let scan = !matches!(states[a].rows, Candidates::All)
+            && (states[a].count as usize) <= 4 * cur.merged.len().max(SCAN_THRESHOLD);
+        if scan {
+            materialize_unknown(&mut atoms[a], &mut states[a], binding, &mut cur.key);
+            let rel = atoms[a].rel;
+            cur.raw.clear();
+            {
+                let inline_store;
+                let row_slice: &[u32] = match states[a].rows {
+                    Candidates::Inline(rows) => {
+                        inline_store = rows;
+                        &inline_store[..states[a].count as usize]
+                    }
+                    Candidates::Range(lo, hi) => {
+                        &cached_index(&atoms[a], states[a].mask).row_ids[lo as usize..hi as usize]
+                    }
+                    Candidates::All | Candidates::Unknown => {
+                        unreachable!("the scan path materialized the rows")
+                    }
+                };
+                for &row_id in row_slice {
+                    let row = rel.row(row_id as usize);
+                    if multi && !positions_agree(row, pos_mask, first) {
+                        continue;
+                    }
+                    cur.raw.push(row[first]);
+                }
+            }
+            cur.raw.sort_unstable();
+            // Two-pointer intersect: fold each matching run's length into
+            // the survivor's multiplicity product.
+            let (mut w, mut i, mut j) = (0usize, 0usize, 0usize);
+            while i < cur.merged.len() && j < cur.raw.len() {
+                let (val, prod) = cur.merged[i];
+                match cur.raw[j].cmp(&val) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Greater => i += 1,
+                    std::cmp::Ordering::Equal => {
+                        let mut c = 0u64;
+                        while j < cur.raw.len() && cur.raw[j] == val {
+                            c += 1;
+                            j += 1;
+                        }
+                        cur.merged[w] = (val, prod * c);
+                        w += 1;
+                        i += 1;
+                    }
+                }
+            }
+            cur.merged.truncate(w);
+        } else {
+            let newmask = states[a].mask | pos_mask;
+            let i = ensure_index_pos(&mut atoms[a], newmask);
+            let vars = atoms[a].vars;
+            let mut w = 0usize;
+            for mi in 0..cur.merged.len() {
+                let (val, prod) = cur.merged[mi];
+                binding[v] = val;
+                build_key(&mut cur.key, newmask, vars, binding);
+                let (lo, hi) = atoms[a].indexes[i].1.candidates_range(&cur.key);
+                if hi > lo {
+                    cur.merged[w] = (val, prod * (hi - lo) as u64);
+                    w += 1;
+                }
+            }
+            cur.merged.truncate(w);
+        }
+    }
+    if cur.merged.is_empty() {
+        return;
+    }
+
+    // --- emit: atoms not containing `v` contribute a constant factor ---
+    let mut base = 1u64;
+    for (a, s) in states.iter().enumerate() {
+        if !occs.iter().any(|&(oa, _, _)| oa == a) {
+            base *= s.count as u64;
+        }
+    }
+    for mi in 0..cur.merged.len() {
+        let (val, prod) = cur.merged[mi];
+        binding[v] = val;
+        emit(binding, base * prod);
+    }
+}
+
+/// The dynamic engine's entry point. The root level is specialized: the
+/// smallest relation drives (the same pick the fixed order makes, so both
+/// engines start from identical row scans), its rows are iterated directly
+/// — no index is built for the driver — and every atom sharing variables
+/// with it is narrowed per row before the per-variable search takes over.
+fn dyn_join(
+    query: &Query,
+    relations: &[&Relation],
+    visited: &mut u64,
+    emit: &mut impl FnMut(&[u64], u64),
+) {
+    let l = query.num_atoms();
+    for (j, rel) in relations.iter().enumerate() {
+        assert!(
+            query.atom(j).arity() <= 64,
+            "dynamic join supports atom arity <= 64 (atom {:?} has arity {})",
+            query.atom(j).name(),
+            query.atom(j).arity()
+        );
+        assert_indexable(rel.name(), rel.len());
+    }
+
+    // Per-atom shape info.
+    let mut atoms: Vec<DynAtom<'_>> = Vec::with_capacity(l);
+    for (j, &rel) in relations.iter().enumerate() {
+        let vars = query.atom(j).vars();
+        let mut dup_checks = Vec::new();
+        for (pos, &v) in vars.iter().enumerate() {
+            let first = vars
+                .iter()
+                .position(|&w| w == v)
+                .expect("a variable's first position exists");
+            if first != pos {
+                dup_checks.push((pos, first));
+            }
+        }
+        atoms.push(DynAtom {
+            rel,
+            vars,
+            dup_checks,
+            indexes: Vec::new(),
+        });
+    }
+
+    // Per-variable occurrences: (atom, position mask of the variable in
+    // the atom, first position), in atom order.
+    let k = query.num_vars();
+    let mut occs_of_var: Vec<Vec<(usize, u64, usize)>> = vec![Vec::new(); k];
+    for (j, da) in atoms.iter().enumerate() {
+        let mut masks = vec![0u64; k];
+        for (pos, &v) in da.vars.iter().enumerate() {
+            masks[v] |= 1u64 << pos;
+        }
+        for (pos, &v) in da.vars.iter().enumerate() {
+            if da.vars[..pos].contains(&v) {
+                continue; // only the first occurrence registers
+            }
+            occs_of_var[v].push((j, masks[v], pos));
+        }
+    }
+    let all_vars = query.all_vars();
+
+    // Root driver: smallest relation, ties to the lowest atom index (the
+    // fixed order's step-0 pick).
+    let mut d = 0;
+    for j in 1..l {
+        if relations[j].len() < relations[d].len() {
+            d = j;
+        }
+    }
+    let dvars = query.atom(d).var_set();
+    let darity = query.atom(d).arity();
+    let dfull: u64 = if darity == 64 {
+        u64::MAX
+    } else {
+        (1u64 << darity) - 1
+    };
+    // First-occurrence (position, var) pairs of the driver.
+    let binds: Vec<(usize, usize)> = atoms[d]
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|&(pos, v)| !atoms[d].vars[..pos].contains(v))
+        .map(|(pos, &v)| (pos, v))
+        .collect();
+    // Atoms sharing variables with the driver, with the position mask the
+    // driver row binds in each.
+    let mut sharers: Vec<(usize, u64)> = Vec::new();
+    for (j, da) in atoms.iter().enumerate() {
+        if j == d {
+            continue;
+        }
+        let mut add = 0u64;
+        for (pos, &v) in da.vars.iter().enumerate() {
+            if dvars.contains(v) {
+                add |= 1u64 << pos;
+            }
+        }
+        if add != 0 {
+            sharers.push((j, add));
+        }
+    }
+
+    let mut states: Vec<AtomState> = relations
+        .iter()
+        .map(|r| AtomState {
+            mask: 0,
+            count: r.len() as u32,
+            rows: Candidates::All,
+        })
+        .collect();
+    let save: Vec<(usize, AtomState)> = std::iter::once(d)
+        .chain(sharers.iter().map(|&(a, _)| a))
+        .map(|a| (a, states[a]))
+        .collect();
+
+    let mut binding = vec![0u64; k];
+    let mut scratch: Vec<NodeScratch> = (0..k).map(|_| NodeScratch::default()).collect();
+    let mut key: Vec<u64> = Vec::new();
+    let drel = relations[d];
+
+    for row_id in 0..drel.len() as u32 {
+        *visited += 1;
+        let row = drel.row(row_id as usize);
+        if atoms[d].dup_checks.iter().any(|&(p, f)| row[p] != row[f]) {
+            continue;
+        }
+        for &(pos, var) in &binds {
+            binding[var] = row[pos];
+        }
+        for &(a, s) in &save {
+            states[a] = s;
+        }
+        let mut inline = [0u32; SCAN_THRESHOLD];
+        inline[0] = row_id;
+        states[d] = AtomState {
+            mask: dfull,
+            count: 1,
+            rows: Candidates::Inline(inline),
+        };
+        let mut ok = true;
+        for &(a, add) in &sharers {
+            if !narrow(&mut atoms[a], &mut states[a], add, &binding, &mut key) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if dvars == all_vars {
+            let mut mult = 1u64;
+            for s in &states {
+                mult *= s.count as u64;
+            }
+            emit(&binding, mult);
+        } else {
+            dyn_descend(
+                &mut atoms,
+                &occs_of_var,
+                all_vars,
+                dvars,
+                &mut binding,
+                &mut states,
+                &mut scratch,
+                visited,
+                &mut *emit,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public evaluation surface
+// ---------------------------------------------------------------------------
+
+/// Evaluate `query` over `relations` (one per atom, in atom order) with the
+/// chosen engine, invoking `emit(binding, multiplicity)` once per *distinct
+/// answer occurrence group*: the multiplicity is the number of row
+/// combinations deriving the binding, so expanding every call `mult` times
+/// reproduces the exact answer multiset of the row-at-a-time join. The
+/// fixed engine always passes multiplicity 1.
+pub fn join_foreach_mult(
+    query: &Query,
+    relations: &[&Relation],
+    order: JoinOrder,
+    mut emit: impl FnMut(&[u64], u64),
+) -> JoinStats {
+    assert_eq!(relations.len(), query.num_atoms());
+    let mut visited = 0u64;
+    if !relations.iter().any(|r| r.is_empty()) {
+        match order {
+            JoinOrder::Dynamic => dyn_join(query, relations, &mut visited, &mut emit),
+            JoinOrder::Fixed => fixed_join(query, relations, &mut visited, &mut emit),
+        }
+    }
+    VISITED_TOTAL.fetch_add(visited, Ordering::Relaxed);
+    JoinStats {
+        bindings_visited: visited,
+    }
+}
+
+/// Evaluate `query` over `relations`, invoking `emit` once per answer tuple
+/// (values indexed by query variable), using the default dynamic ordering.
+pub fn join_foreach(query: &Query, relations: &[&Relation], mut emit: impl FnMut(&[u64])) {
+    join_foreach_mult(query, relations, JoinOrder::Dynamic, |row, mult| {
+        for _ in 0..mult {
+            emit(row);
+        }
+    });
+}
+
+/// [`join_foreach`] with an explicit engine, reporting the exploration
+/// stats.
+pub fn join_foreach_ordered(
+    query: &Query,
+    relations: &[&Relation],
+    order: JoinOrder,
+    mut emit: impl FnMut(&[u64]),
+) -> JoinStats {
+    join_foreach_mult(query, relations, order, |row, mult| {
+        for _ in 0..mult {
+            emit(row);
+        }
+    })
+}
+
+/// Materialize all answers as flat rows over the query's variables with an
+/// explicit engine.
+pub fn join_ordered(query: &Query, relations: &[&Relation], order: JoinOrder) -> AnswerSet {
+    let mut out = AnswerSet::new(query.num_vars());
+    join_foreach_mult(query, relations, order, |row, mult| {
+        out.push_repeat(row, mult);
+    });
+    out
+}
+
+/// Count answers with an explicit engine, without materializing them.
+pub fn join_count_ordered(query: &Query, relations: &[&Relation], order: JoinOrder) -> u64 {
+    let mut count = 0u64;
+    join_foreach_mult(query, relations, order, |_, mult| count += mult);
+    count
+}
+
+/// Materialize all answers as flat rows over the query's variables.
+pub fn join(query: &Query, relations: &[&Relation]) -> AnswerSet {
+    join_ordered(query, relations, JoinOrder::Dynamic)
+}
+
+/// Count answers without materializing them.
+pub fn join_count(query: &Query, relations: &[&Relation]) -> u64 {
+    join_count_ordered(query, relations, JoinOrder::Dynamic)
+}
+
+/// Join a [`Database`] directly.
+pub fn join_database(db: &Database) -> AnswerSet {
+    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
+    join(db.query(), &rels)
+}
+
+/// Count answers of a [`Database`] directly.
+pub fn join_database_count(db: &Database) -> u64 {
+    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
+    join_count(db.query(), &rels)
 }
 
 /// A hash-partitioned decomposition of a join into independent sub-joins.
@@ -456,44 +1495,36 @@ impl PartitionedJoin<'_> {
         self.relations.len()
     }
 
-    /// Evaluate one bucket's sub-join, invoking `emit` per answer.
-    pub fn join_bucket_foreach(&self, bucket: usize, emit: impl FnMut(&[u64])) {
+    /// Evaluate one bucket's sub-join with the chosen engine, invoking
+    /// `emit(binding, multiplicity)` per distinct answer occurrence group
+    /// (see [`join_foreach_mult`]).
+    pub fn join_bucket_foreach_mult(
+        &self,
+        bucket: usize,
+        order: JoinOrder,
+        emit: impl FnMut(&[u64], u64),
+    ) -> JoinStats {
         let rels: Vec<&Relation> = self.relations[bucket].iter().collect();
-        join_foreach(self.query, &rels, emit);
+        join_foreach_mult(self.query, &rels, order, emit)
+    }
+
+    /// Evaluate one bucket's sub-join, invoking `emit` per answer.
+    pub fn join_bucket_foreach(&self, bucket: usize, mut emit: impl FnMut(&[u64])) {
+        self.join_bucket_foreach_mult(bucket, JoinOrder::Dynamic, |row, mult| {
+            for _ in 0..mult {
+                emit(row);
+            }
+        });
     }
 
     /// Materialize one bucket's answers.
     pub fn join_bucket(&self, bucket: usize) -> AnswerSet {
         let mut out = AnswerSet::new(self.query.num_vars());
-        self.join_bucket_foreach(bucket, |row| out.push(row));
+        self.join_bucket_foreach_mult(bucket, JoinOrder::Dynamic, |row, mult| {
+            out.push_repeat(row, mult);
+        });
         out
     }
-}
-
-/// Materialize all answers as flat rows over the query's variables.
-pub fn join(query: &Query, relations: &[&Relation]) -> AnswerSet {
-    let mut out = AnswerSet::new(query.num_vars());
-    join_foreach(query, relations, |row| out.push(row));
-    out
-}
-
-/// Count answers without materializing them.
-pub fn join_count(query: &Query, relations: &[&Relation]) -> u64 {
-    let mut count = 0u64;
-    join_foreach(query, relations, |_| count += 1);
-    count
-}
-
-/// Join a [`Database`] directly.
-pub fn join_database(db: &Database) -> AnswerSet {
-    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
-    join(db.query(), &rels)
-}
-
-/// Count answers of a [`Database`] directly.
-pub fn join_database_count(db: &Database) -> u64 {
-    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
-    join_count(db.query(), &rels)
 }
 
 #[cfg(test)]
@@ -571,6 +1602,10 @@ mod tests {
             e
         };
         assert_eq!(join_count(&q, &[&e1, &e1, &e1]), 24);
+        assert_eq!(
+            join_count_ordered(&q, &[&e1, &e1, &e1], JoinOrder::Fixed),
+            24
+        );
     }
 
     #[test]
@@ -580,6 +1615,10 @@ mod tests {
         let r2 = Relation::from_rows("S2", 1, &[&[5], &[6], &[7]]);
         let r3 = Relation::from_rows("S3", 1, &[&[9]]);
         assert_eq!(join_count(&q, &[&r1, &r2, &r3]), 6);
+        assert_eq!(
+            join_count_ordered(&q, &[&r1, &r2, &r3], JoinOrder::Fixed),
+            6
+        );
     }
 
     #[test]
@@ -588,6 +1627,7 @@ mod tests {
         let s1 = Relation::new("S1", 2);
         let s2 = Relation::from_rows("S2", 2, &[&[7, 5]]);
         assert_eq!(join_count(&q, &[&s1, &s2]), 0);
+        assert_eq!(join_count_ordered(&q, &[&s1, &s2], JoinOrder::Fixed), 0);
     }
 
     #[test]
@@ -598,6 +1638,22 @@ mod tests {
         let mut ans = join(&q, &[&r]);
         ans.sort_dedup();
         assert_eq!(ans, vec![vec![1, 5], vec![3, 7]]);
+    }
+
+    #[test]
+    fn repeated_variable_across_atoms() {
+        // q(x,y) = R(x,x), S(x,y): the repeated variable narrows R while S
+        // extends — exercises multi-position masks on both engines.
+        let q = mpc_query::Query::build("q", &[("R", &["x", "x"]), ("S", &["x", "y"])]).unwrap();
+        let r = Relation::from_rows("R", 2, &[&[1, 1], &[2, 3], &[4, 4], &[4, 4]]);
+        let s = Relation::from_rows("S", 2, &[&[1, 10], &[4, 11], &[4, 12], &[5, 13]]);
+        let mut dynamic = join_ordered(&q, &[&r, &s], JoinOrder::Dynamic);
+        let mut fixed = join_ordered(&q, &[&r, &s], JoinOrder::Fixed);
+        dynamic.sort();
+        fixed.sort();
+        assert_eq!(dynamic, fixed);
+        // (1,10), (4,11) x2, (4,12) x2 — R's duplicate (4,4) doubles them.
+        assert_eq!(dynamic.len(), 5);
     }
 
     #[test]
@@ -634,6 +1690,119 @@ mod tests {
         let db = Database::new(q, vec![s1, s2], 16).unwrap();
         assert_eq!(join_database_count(&db), 1);
         assert_eq!(join_database(&db).len(), 1);
+    }
+
+    #[test]
+    fn dynamic_matches_fixed_on_query_menagerie() {
+        // The two engines must produce the same answer *multiset* (sorted
+        // with duplicates preserved, not deduped) on every query shape.
+        let cases: Vec<(Query, usize, u64)> = vec![
+            (named::two_way_join(), 400, 64),
+            (named::cycle(3), 300, 24),
+            (named::cycle(4), 200, 16),
+            (named::chain(4), 300, 48),
+            (named::star(3), 300, 48),
+            (named::cartesian(2), 40, 128),
+            (
+                mpc_query::Query::build("q", &[("R", &["x", "x", "y"]), ("S", &["y", "z"])])
+                    .unwrap(),
+                200,
+                12,
+            ),
+        ];
+        for (q, m, n) in cases {
+            let mut rng = Rng::seed_from_u64(0xD15C);
+            let rels: Vec<Relation> = q
+                .atoms()
+                .iter()
+                .map(|a| generators::uniform(a.name(), a.arity(), m, n, &mut rng))
+                .collect();
+            let refs: Vec<&Relation> = rels.iter().collect();
+            let mut dynamic = join_ordered(&q, &refs, JoinOrder::Dynamic);
+            let mut fixed = join_ordered(&q, &refs, JoinOrder::Fixed);
+            assert_eq!(
+                join_count_ordered(&q, &refs, JoinOrder::Dynamic),
+                dynamic.len() as u64,
+                "{}: count vs materialized",
+                q.name()
+            );
+            dynamic.sort();
+            fixed.sort();
+            assert_eq!(dynamic, fixed, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn dynamic_explores_no_more_bindings_on_local_skew() {
+        // A locally skewed triangle: one heavy x2-value shared by S1 and
+        // S2. The fixed order walks every (S1 row, S2 match) pair through
+        // the heavy value; the dynamic order binds x2 first (few distinct
+        // values) and collapses the heavy value to one branch.
+        let q = named::cycle(3);
+        let mut s1 = Relation::new("S1", 2);
+        let mut s2 = Relation::new("S2", 2);
+        let mut s3 = Relation::new("S3", 2);
+        for i in 0..240u64 {
+            // 200 of 240 rows share x2 = 0.
+            let hot = if i < 200 { 0 } else { 1 + i % 13 };
+            s1.push(&[i % 60, hot]);
+            s2.push(&[hot, i % 60]);
+            s3.push(&[i % 60, (i * 7) % 60]);
+        }
+        let refs = [&s1, &s2, &s3];
+        let mut dyn_count = 0u64;
+        let dyn_stats =
+            join_foreach_mult(&q, &refs, JoinOrder::Dynamic, |_, mult| dyn_count += mult);
+        let mut fixed_count = 0u64;
+        let fixed_stats =
+            join_foreach_mult(&q, &refs, JoinOrder::Fixed, |_, mult| fixed_count += mult);
+        assert_eq!(dyn_count, fixed_count);
+        assert!(dyn_stats.bindings_visited > 0);
+        assert!(
+            dyn_stats.bindings_visited <= fixed_stats.bindings_visited,
+            "dynamic {} vs fixed {}",
+            dyn_stats.bindings_visited,
+            fixed_stats.bindings_visited
+        );
+    }
+
+    #[test]
+    fn visited_bindings_probe_accumulates() {
+        let q = named::two_way_join();
+        let s1 = Relation::from_rows("S1", 2, &[&[1, 5], &[2, 5]]);
+        let s2 = Relation::from_rows("S2", 2, &[&[7, 5]]);
+        let before = visited_bindings_total();
+        let stats = join_foreach_mult(&q, &[&s1, &s2], JoinOrder::Dynamic, |_, _| {});
+        assert!(stats.bindings_visited > 0);
+        // Other tests run in the same process; the global only ever grows.
+        assert!(visited_bindings_total() - before >= stats.bindings_visited);
+    }
+
+    #[test]
+    fn atom_order_is_deterministic_and_documented() {
+        // Equal sizes: overlap decides, remaining ties fall to the atom
+        // index. cycle(3) = S1(x1,x2), S2(x2,x3), S3(x3,x1).
+        let q = named::cycle(3);
+        let rows: Vec<&[u64]> = vec![&[1, 2], &[2, 3], &[3, 1], &[4, 4]];
+        let equal: Vec<Relation> = (1..=3)
+            .map(|i| Relation::from_rows(format!("S{i}"), 2, &rows))
+            .collect();
+        let refs: Vec<&Relation> = equal.iter().collect();
+        assert_eq!(atom_order(&q, &refs), vec![0, 1, 2]);
+
+        // Smallest first at step 0; then both S1 and S3 overlap S2 by one
+        // variable at equal size, so the lower atom index (S1) wins.
+        let small = Relation::from_rows("S2", 2, &[&[2, 3]]);
+        let refs = vec![&equal[0], &small, &equal[2]];
+        assert_eq!(atom_order(&q, &refs), vec![1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 row-id space")]
+    fn join_index_rejects_u32_row_id_overflow() {
+        // The guard itself is exercised directly: materializing a 4-billion
+        // row relation in a test is not practical.
+        assert_indexable("R", u32::MAX as usize);
     }
 
     #[test]
@@ -691,6 +1860,29 @@ mod tests {
         // Exactly one bucket is non-empty: z = 7 hashes to a single bucket.
         let busy = (0..8).filter(|&b| !parts.join_bucket(b).is_empty()).count();
         assert_eq!(busy, 1);
+    }
+
+    #[test]
+    fn bucket_mult_foreach_matches_expanded_answers() {
+        // The multiplicity-aware bucket walk must expand to exactly the
+        // per-row walk, on both engines.
+        let q = named::two_way_join();
+        let mut rng = Rng::seed_from_u64(0xBEEF);
+        let s1 = generators::uniform("S1", 2, 300, 16, &mut rng);
+        let s2 = generators::uniform("S2", 2, 300, 16, &mut rng);
+        let parts = partition_join(&q, &[&s1, &s2], 4);
+        for order in [JoinOrder::Dynamic, JoinOrder::Fixed] {
+            for b in 0..parts.num_buckets() {
+                let mut via_mult = AnswerSet::new(q.num_vars());
+                parts.join_bucket_foreach_mult(b, order, |row, mult| {
+                    via_mult.push_repeat(row, mult);
+                });
+                let mut expected = parts.join_bucket(b);
+                via_mult.sort();
+                expected.sort();
+                assert_eq!(via_mult, expected, "{order:?} bucket {b}");
+            }
+        }
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub use answers::AnswerSet;
 pub use catalog::{CatalogError, Database};
 pub use fastmap::{FastMap, FastSet};
 pub use join::{
-    join, join_count, join_database, join_database_count, join_foreach, partition_join, JoinIndex,
-    PartitionedJoin,
+    join, join_count, join_count_ordered, join_database, join_database_count, join_foreach,
+    join_foreach_mult, join_foreach_ordered, join_ordered, partition_join, visited_bindings_total,
+    JoinIndex, JoinOrder, JoinStats, PartitionedJoin,
 };
 pub use relation::{domain_bits, Relation};
 pub use rng::{mix64, splitmix64, Rng};

@@ -62,7 +62,8 @@ proptest! {
     }
 
     /// The local join of the two-way join query agrees with a brute-force
-    /// nested loop on arbitrary relations.
+    /// nested loop on arbitrary relations — under both the default dynamic
+    /// variable order and the legacy fixed atom order.
     #[test]
     fn join_agrees_with_nested_loop(
         r1 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..8, 2), 0..30),
@@ -74,11 +75,105 @@ proptest! {
         let mut s2 = Relation::new("S2", 2);
         for row in &r2 { s2.push(row); }
         let fast = join_count(&q, &[&s1, &s2]);
+        let fixed = join::join_count_ordered(&q, &[&s1, &s2], join::JoinOrder::Fixed);
         let slow = r1.iter()
             .flat_map(|a| r2.iter().map(move |b| (a, b)))
             .filter(|(a, b)| a[1] == b[1])
             .count() as u64;
         prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fixed, slow);
+    }
+
+    /// Dynamic, fixed, and a brute-force triple nested loop produce the
+    /// identical answer *multiset* on the triangle. The generated row
+    /// lists carry duplicate tuples, and shrinking drives the relations
+    /// through empty shapes, so the multiset contract (one expanded answer
+    /// per contributing tuple combination) is pinned across the board.
+    #[test]
+    fn dynamic_fixed_and_nested_loop_agree_on_triangle(
+        r1 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..5, 2), 0..25),
+        r2 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..5, 2), 0..25),
+        r3 in mpc_testkit::collection::vec(mpc_testkit::collection::vec(0u64..5, 2), 0..25),
+    ) {
+        let q = named::cycle(3);
+        let mk = |name: &str, rows: &Vec<Vec<u64>>| {
+            let mut r = Relation::new(name, 2);
+            for row in rows { r.push(row); }
+            r
+        };
+        let (s1, s2, s3) = (mk("S1", &r1), mk("S2", &r2), mk("S3", &r3));
+        // Brute force: every (a, b, c) with a=(x1,x2), b=(x2,x3), c=(x3,x1).
+        let mut slow: Vec<Vec<u64>> = Vec::new();
+        for a in &r1 {
+            for b in &r2 {
+                for c in &r3 {
+                    if a[1] == b[0] && b[1] == c[0] && c[1] == a[0] {
+                        slow.push(vec![a[0], a[1], b[1]]);
+                    }
+                }
+            }
+        }
+        slow.sort();
+        let collect = |order| {
+            let mut got: Vec<Vec<u64>> = Vec::new();
+            join::join_foreach_ordered(&q, &[&s1, &s2, &s3], order, |b| got.push(b.to_vec()));
+            got.sort();
+            got
+        };
+        prop_assert_eq!(collect(join::JoinOrder::Dynamic), slow.clone());
+        prop_assert_eq!(collect(join::JoinOrder::Fixed), slow);
+    }
+
+    /// Dynamic and fixed agree on Zipf-skewed triangles (the aligned
+    /// local-skew shape `zipf_column` plants: x2 hot in both S1 and S2),
+    /// across seeds and skew exponents.
+    #[test]
+    fn dynamic_matches_fixed_on_zipf_triangle(seed in 0u64..400, theta in 0.4f64..2.0) {
+        let q = named::cycle(3);
+        let mut rng = Rng::seed_from_u64(seed);
+        let (m, n) = (60, 16);
+        let s1 = generators::zipf_column("S1", 2, m, n, 1, theta, &mut rng);
+        let s2 = generators::zipf_column("S2", 2, m, n, 0, theta, &mut rng);
+        let s3 = generators::uniform("S3", 2, m, n, &mut rng);
+        let collect = |order| {
+            let mut got: Vec<Vec<u64>> = Vec::new();
+            join::join_foreach_ordered(&q, &[&s1, &s2, &s3], order, |b| got.push(b.to_vec()));
+            got.sort();
+            got
+        };
+        prop_assert_eq!(
+            collect(join::JoinOrder::Dynamic),
+            collect(join::JoinOrder::Fixed)
+        );
+    }
+
+    /// All-duplicate relations (a single tuple repeated `c` times, `c = 0`
+    /// included — the empty relation): both engines emit exactly
+    /// `c1·c2·c3` copies of the joining binding when the three tuples
+    /// close a triangle, and nothing otherwise. Exercises the multiplicity
+    /// fast path (leaf multiplicity = product of candidate counts) at its
+    /// degenerate extreme.
+    #[test]
+    fn engines_agree_on_all_duplicate_relations(
+        a in mpc_testkit::collection::vec(0u64..3, 2), c1 in 0usize..9,
+        b in mpc_testkit::collection::vec(0u64..3, 2), c2 in 0usize..9,
+        c in mpc_testkit::collection::vec(0u64..3, 2), c3 in 0usize..9,
+    ) {
+        let q = named::cycle(3);
+        let mk = |name: &str, row: &[u64], count: usize| {
+            let mut r = Relation::new(name, 2);
+            for _ in 0..count { r.push(row); }
+            r
+        };
+        let (s1, s2, s3) = (mk("S1", &a, c1), mk("S2", &b, c2), mk("S3", &c, c3));
+        let joins = a[1] == b[0] && b[1] == c[0] && c[1] == a[0];
+        let want = if joins { (c1 * c2 * c3) as u64 } else { 0 };
+        for order in [join::JoinOrder::Dynamic, join::JoinOrder::Fixed] {
+            let mut got: Vec<Vec<u64>> = Vec::new();
+            join::join_foreach_ordered(&q, &[&s1, &s2, &s3], order, |bnd| got.push(bnd.to_vec()));
+            prop_assert_eq!(got.len() as u64, want);
+            prop_assert!(got.iter().all(|bnd| bnd == &[a[0], a[1], b[1]]));
+        }
     }
 
     /// Join output tuples actually satisfy every atom.

@@ -361,7 +361,9 @@ impl Cluster {
             let mut local = AnswerSet::new(query.num_vars());
             for s in lo..hi {
                 let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
-                join::join_foreach(query, &rels, |row| local.push(row));
+                join::join_foreach_mult(query, &rels, join::JoinOrder::Dynamic, |row, mult| {
+                    local.push_repeat(row, mult);
+                });
             }
             local
         });

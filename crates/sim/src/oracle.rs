@@ -8,11 +8,16 @@
 //! through the same [`Backend::run_chunks`] primitive as the simulator —
 //! including the persistent pool. The result is sorted and deduplicated,
 //! and is identical to the sequential oracle for every backend.
+//!
+//! The oracle deliberately evaluates with [`JoinOrder::Fixed`] — the legacy
+//! greedy atom order — while the simulated servers run the default dynamic
+//! cardinality-guided ordering, so every verification pass doubles as a
+//! dynamic-vs-fixed differential on the two engines' answer sets.
 
 use crate::backend::Backend;
 use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
-use mpc_data::join::partition_join;
+use mpc_data::join::{partition_join, JoinOrder};
 use mpc_data::relation::Relation;
 use mpc_query::Query;
 
@@ -30,12 +35,14 @@ const BUCKETS_PER_WORKER: usize = 4;
 pub fn join_on(query: &Query, relations: &[&Relation], backend: Backend) -> AnswerSet {
     let workers = backend.threads();
     let mut answers: AnswerSet = if workers <= 1 {
-        mpc_data::join(query, relations)
+        mpc_data::join_ordered(query, relations, JoinOrder::Fixed)
     } else {
         let parts = partition_join(query, relations, workers * BUCKETS_PER_WORKER);
         let buckets = backend.run_items(parts.num_buckets(), |b| {
             let mut out = AnswerSet::new(query.num_vars());
-            parts.join_bucket_foreach(b, |row| out.push(row));
+            parts.join_bucket_foreach_mult(b, JoinOrder::Fixed, |row, mult| {
+                out.push_repeat(row, mult);
+            });
             out
         });
         let mut merged = AnswerSet::new(query.num_vars());

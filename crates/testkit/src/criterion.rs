@@ -14,8 +14,10 @@
 //! * `MPC_TESTKIT_BENCH_JSON=<path>` appends one JSON object per benchmark
 //!   (`{"group","bench","median_ns","min_ns","max_ns","samples",
 //!   "iters_per_sample"}`, plus `"allocs_per_iter"` when an allocation
-//!   probe is registered) to `<path>`, which `ci.sh --bench` assembles
-//!   into the repo-root `BENCH_*.json` trajectory file.
+//!   probe is registered and one extra named counter field when a
+//!   [`set_counter_probe`] counter is registered) to `<path>`, which
+//!   `ci.sh --bench` assembles into the repo-root `BENCH_*.json`
+//!   trajectory file.
 //!
 //! Allocation accounting: a bench binary that installs a counting
 //! `#[global_allocator]` can register its counter via [`set_alloc_probe`];
@@ -33,6 +35,13 @@ use std::time::{Duration, Instant};
 /// the process), if any.
 static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
 
+/// An extra monotone counter sampled like the allocation probe: the JSON
+/// field name it reports under, plus the counter itself.
+type NamedProbe = (&'static str, fn() -> u64);
+
+/// The registered extra counter, if any.
+static EXTRA_PROBE: OnceLock<NamedProbe> = OnceLock::new();
+
 /// Register a process-wide allocation counter (typically backed by a
 /// counting `#[global_allocator]` in the bench binary). Must be called
 /// before the first benchmark runs; later registrations are ignored. Once
@@ -40,6 +49,16 @@ static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
 /// the mean heap-allocation count per iteration over the measured samples.
 pub fn set_alloc_probe(probe: fn() -> u64) {
     let _ = ALLOC_PROBE.set(probe);
+}
+
+/// Register one extra monotone process-wide counter to sample alongside
+/// the allocation probe. `field` names the JSON field the mean
+/// per-iteration delta is reported under (e.g. `"bindings_per_iter"`
+/// backed by `mpc_data::join::visited_bindings_total`); it must be a
+/// valid JSON string without escapes. Must be called before the first
+/// benchmark runs; later registrations are ignored.
+pub fn set_counter_probe(field: &'static str, probe: fn() -> u64) {
+    let _ = EXTRA_PROBE.set((field, probe));
 }
 
 /// Benchmark driver. Mirrors `criterion::Criterion`.
@@ -228,6 +247,8 @@ fn run_benchmark<F>(
 
     let probe = ALLOC_PROBE.get().copied();
     let allocs_before = probe.map(|p| p());
+    let extra = EXTRA_PROBE.get().copied();
+    let extra_before = extra.map(|(_, p)| p());
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut bencher = Bencher {
@@ -244,6 +265,11 @@ fn run_benchmark<F>(
         let total = p().saturating_sub(before);
         total / (sample_size as u64 * iters).max(1)
     });
+    // Same averaging for the extra counter (e.g. join bindings visited).
+    let extra_per_iter = extra.zip(extra_before).map(|((field, p), before)| {
+        let total = p().saturating_sub(before);
+        (field, total / (sample_size as u64 * iters).max(1))
+    });
     per_iter_ns.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let lo = per_iter_ns[0];
@@ -256,13 +282,17 @@ fn run_benchmark<F>(
     let allocs_note = allocs_per_iter
         .map(|a| format!("  allocs/iter: {a}"))
         .unwrap_or_default();
+    let extra_note = extra_per_iter
+        .map(|(field, n)| format!("  {}: {n}", field.replace("_per_iter", "/iter")))
+        .unwrap_or_default();
     eprintln!(
-        "{label:<40} time: [{} {} {}]{}{}",
+        "{label:<40} time: [{} {} {}]{}{}{}",
         fmt_ns(lo),
         fmt_ns(median),
         fmt_ns(hi),
         rate.unwrap_or_default(),
-        allocs_note
+        allocs_note,
+        extra_note
     );
 
     if let Ok(path) = std::env::var("MPC_TESTKIT_BENCH_JSON") {
@@ -273,8 +303,11 @@ fn run_benchmark<F>(
         let alloc_field = allocs_per_iter
             .map(|a| format!(",\"allocs_per_iter\":{a}"))
             .unwrap_or_default();
+        let extra_field = extra_per_iter
+            .map(|(field, n)| format!(",\"{field}\":{n}"))
+            .unwrap_or_default();
         let line = format!(
-            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}\n",
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}{}}}\n",
             json_escape(group),
             json_escape(bench),
             median,
@@ -283,6 +316,7 @@ fn run_benchmark<F>(
             sample_size,
             iters,
             alloc_field,
+            extra_field,
         );
         use std::io::Write;
         let appended = std::fs::OpenOptions::new()

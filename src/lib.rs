@@ -41,6 +41,7 @@ pub mod prelude {
     pub use mpc_core::multi_round::{run_multi_round, run_multi_round_batch, MultiRoundResult};
     pub use mpc_core::service::{
         CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome,
+        DEFAULT_PLAN_CACHE_CAPACITY,
     };
     pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::skew_general::GeneralSkewAlgorithm;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use mpc_core::verify::{assert_complete, verify};
     pub use mpc_core::wire::Session;
     pub use mpc_data::catalog::Database;
+    pub use mpc_data::join::{JoinOrder, JoinStats};
     pub use mpc_data::relation::Relation;
     pub use mpc_data::rng::Rng;
     pub use mpc_query::query::Query;
