@@ -90,7 +90,7 @@ if [ "${1:-}" = "--bench" ]; then
     NPROC=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
     {
         printf '{\n'
-        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations; allocs_per_iter (optional) is the mean heap-allocation count per iteration from the bench binary'\''s counting global allocator (exact and host-noise-free, present since pr5); bindings_per_iter (optional) is the mean join-bindings-visited count per iteration from mpc_data::join::visited_bindings_total (present since pr7). backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host. Compare two files with ./ci.sh --bench-compare OLD NEW.",\n'
+        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations; allocs_per_iter (optional) is the mean heap-allocation count per iteration from the bench binary'\''s counting global allocator (exact and host-noise-free, present since pr5); bindings_per_iter (optional) is the mean join-bindings-visited count per iteration from mpc_data::join::visited_bindings_total (present since pr7); scan_bytes_per_iter (optional) is the mean relation bytes scanned to (re)build planner statistics per iteration from mpc_data::stats_scan_bytes_total — flat under sketch-backed append, linear under exact rebuild (present since pr8). backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host. Compare two files with ./ci.sh --bench-compare OLD NEW.",\n'
         printf '  "pr": "%s",\n' "$LABEL"
         printf '  "generated_by": "ci.sh --bench %s",\n' "$LABEL"
         printf '  "nproc": %s,\n' "$NPROC"
@@ -123,7 +123,10 @@ serve_expect '^ok answers=3 .*cache=miss'
 serve_expect '^0 1 5$'            # first joined row, echoed sorted
 serve_expect '^ok appended S2 +1 tuples=4$'
 serve_expect '^ok answers=5 '     # the appended tuple joins twice
-serve_expect 'invalidations=1 evictions=0 relations=2$'
+# serve defaults to sketch-backed statistics; STATS reports the mode and
+# one sketch telemetry record (summary bytes, capacity, max error bound).
+serve_expect 'invalidations=1 evictions=0 relations=2 mode=sketch$'
+serve_expect '^sketch bytes=[0-9][0-9]* capacity=[0-9][0-9]* max_error=[0-9][0-9]*$'
 serve_expect '^ok bye$'           # SHUTDOWN acknowledged, clean exit
 
 stage "cargo test -q  (MPCSKEW_THREADS=1: sequential backend)"

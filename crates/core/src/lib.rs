@@ -40,10 +40,13 @@ pub mod verify;
 pub mod wire;
 
 pub use baselines::{FragmentReplicateRouter, HashJoinRouter};
-pub use engine::{Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, Stats};
+pub use engine::{
+    sketch_capacity, Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, SketchStats, Stats,
+    StatsMode, SyntheticStats,
+};
 pub use hypercube::HyperCube;
 pub use service::{
-    CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome,
+    CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome, SketchTelemetry,
     DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use shares::ShareAllocation;

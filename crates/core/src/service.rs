@@ -57,7 +57,8 @@
 //! ```
 
 use crate::engine::{
-    execute_batch, planning_projections, Algorithm, Engine, Plan, PlanKey, RunOutcome, Stats,
+    execute_batch, planning_projections, sketch_capacity, Algorithm, Engine, Plan, PlanKey,
+    RunOutcome, Stats, StatsMode,
 };
 use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
@@ -68,6 +69,7 @@ use mpc_query::Query;
 use mpc_sim::backend::Backend;
 use mpc_stats::cardinality::SimpleStatistics;
 use mpc_stats::incremental::IncrementalStats;
+use mpc_stats::sketch::{FreqEstimate, RelationSketch};
 use std::fmt;
 use std::sync::Arc;
 
@@ -280,6 +282,11 @@ pub struct RelationInfo {
 struct CatalogEntry {
     rel: Arc<Relation>,
     stats: IncrementalStats,
+    /// SpaceSaving/HLL summaries ([`StatsMode::Sketch`] only): built by
+    /// one streaming pass at load, folded forward on every append —
+    /// planning and fingerprinting then read `O(capacity)` state instead
+    /// of exact frequency maps.
+    sketch: Option<RelationSketch>,
 }
 
 struct CacheEntry {
@@ -312,10 +319,24 @@ pub struct Service {
     names: FastMap<String, usize>,
     plans: FastMap<PlanKey, CacheEntry>,
     plan_cache_capacity: usize,
+    stats_mode: StatsMode,
     /// Monotonic recency counter; advances on every cache touch, so
     /// `last_used` stamps are unique and LRU ties cannot occur.
     tick: u64,
     counters: CacheCounters,
+}
+
+/// Aggregate sketch telemetry over the catalog (the serve `STATS` line's
+/// `sketch` record; see [`Service::sketch_telemetry`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SketchTelemetry {
+    /// Total bytes resident across all relation sketches.
+    pub bytes: usize,
+    /// Per-projection SpaceSaving capacity (tracked keys).
+    pub capacity: usize,
+    /// Largest guaranteed error bound across every tracked projection —
+    /// the worst-case overcount any planner-visible estimate carries.
+    pub max_error: u64,
 }
 
 impl Service {
@@ -332,6 +353,7 @@ impl Service {
             names: FastMap::default(),
             plans: FastMap::default(),
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            stats_mode: StatsMode::Exact,
             tick: 0,
             counters: CacheCounters::default(),
         }
@@ -340,6 +362,21 @@ impl Service {
     /// Set the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Set the statistics mode for relations loaded *after* this call
+    /// (configure before loading; `mpcskew serve` defaults to
+    /// [`StatsMode::Sketch`]). In sketch mode each relation carries
+    /// SpaceSaving/HLL summaries sized with headroom over the default `p`
+    /// ([`Service::sketch_capacity_for_p`]): planning and plan-cache
+    /// fingerprints read `O(capacity)` sketch state, and appends fold into
+    /// the summaries without ever rescanning the relation. Queries that
+    /// override `p` far above the default erode the no-missed-heavy-hitter
+    /// guarantee gradually (capacity headroom absorbs moderate drift);
+    /// answers stay exact regardless — estimate error only shifts load.
+    pub fn with_stats_mode(mut self, mode: StatsMode) -> Self {
+        self.stats_mode = mode;
         self
     }
 
@@ -386,6 +423,33 @@ impl Service {
         self.default_seed
     }
 
+    /// The configured statistics mode.
+    pub fn stats_mode(&self) -> StatsMode {
+        self.stats_mode
+    }
+
+    /// The SpaceSaving capacity sketches are built at: the engine's
+    /// [`sketch_capacity`] for the default `p`, doubled again and floored
+    /// at 64 — headroom so per-query `p` above the default keeps the
+    /// no-missed-heavy-hitter guarantee.
+    pub fn sketch_capacity_for_p(&self) -> usize {
+        (2 * sketch_capacity(self.default_p)).max(64)
+    }
+
+    /// Aggregate sketch telemetry, or `None` outside
+    /// [`StatsMode::Sketch`] (or before any relation is loaded).
+    pub fn sketch_telemetry(&self) -> Option<SketchTelemetry> {
+        let mut out: Option<SketchTelemetry> = None;
+        for e in &self.entries {
+            let sk = e.sketch.as_ref()?;
+            let t = out.get_or_insert_with(SketchTelemetry::default);
+            t.bytes += sk.bytes();
+            t.capacity = sk.capacity();
+            t.max_error = t.max_error.max(sk.max_error_bound());
+        }
+        out
+    }
+
     /// Plan-cache traffic counters.
     pub fn counters(&self) -> CacheCounters {
         self.counters
@@ -430,11 +494,16 @@ impl Service {
         let len = rel.len();
         let name = rel.name().to_string();
         let stats = IncrementalStats::of(&rel);
+        let sketch = match self.stats_mode {
+            StatsMode::Sketch => Some(RelationSketch::of(&rel, self.sketch_capacity_for_p())),
+            StatsMode::Exact | StatsMode::Synthetic => None,
+        };
         match self.names.get(&name).copied() {
             Some(i) => {
                 self.entries[i] = CatalogEntry {
                     rel: Arc::new(rel),
                     stats,
+                    sketch,
                 };
                 self.drop_plans_referencing(&name);
             }
@@ -442,6 +511,7 @@ impl Service {
                 self.entries.push(CatalogEntry {
                     rel: Arc::new(rel),
                     stats,
+                    sketch,
                 });
                 self.names.insert(name, self.entries.len() - 1);
             }
@@ -476,6 +546,11 @@ impl Service {
         }
         let entry = &mut self.entries[i];
         entry.stats.append(tuples);
+        if let Some(sk) = entry.sketch.as_mut() {
+            // Fold into the summaries: O(appended × tracked projections),
+            // never a rescan of the relation.
+            sk.append_rows(tuples);
+        }
         // In the steady state the service holds the only strong reference
         // (per-query Databases are dropped with their outcomes), so this
         // appends in place; a concurrent holder forces one copy, never a
@@ -633,8 +708,18 @@ impl Service {
             let i = atom_entries[j];
             let entry = &mut self.entries[i];
             let rel = entry.rel.clone();
-            let tracker_hash = entry.stats.ensure_tracker(&rel, &cols, p);
-            h = mix64(h, j as u64 ^ tracker_hash);
+            let hash = match entry.sketch.as_mut() {
+                // Sketch mode: hash the *conservative* heavy membership the
+                // planner will actually see — O(capacity), no tracker, no
+                // exact frequency map.
+                Some(sk) => {
+                    sk.ensure_projection(&rel, &cols);
+                    let estimates = sk.heavy_hitters(&cols, p).expect("projection ensured");
+                    heavy_membership_hash(&estimates)
+                }
+                None => entry.stats.ensure_tracker(&rel, &cols, p),
+            };
+            h = mix64(h, j as u64 ^ hash);
         }
         h
     }
@@ -709,10 +794,28 @@ impl Service {
     }
 }
 
+/// Order-independent XOR hash of the heavy membership of a batch of
+/// estimates — the sketch-mode analogue of
+/// [`HeavyTracker::membership_hash`](mpc_stats::incremental::HeavyTracker::membership_hash):
+/// counts are deliberately excluded, so estimate drift within an unchanged
+/// conservative heavy set keeps cached plans warm.
+fn heavy_membership_hash(estimates: &[FreqEstimate]) -> u64 {
+    estimates
+        .iter()
+        .map(|e| {
+            e.key
+                .iter()
+                .fold(0x9e37_79b9_7f4a_7c15, |acc, &v| mix64(acc, v))
+        })
+        .fold(0u64, |acc, kh| acc ^ kh)
+}
+
 /// Planner-facing view of the catalog's memoized statistics: `simple()`
-/// comes from maintained cardinalities (no scan), `frequencies` from the
-/// memoized incremental maps (cloned on demand, falling back to one
-/// relation scan for a projection planning has never asked about).
+/// comes from maintained cardinalities (no scan); heavy hitters come from
+/// the relation's sketch in [`StatsMode::Sketch`] and from the memoized
+/// incremental maps otherwise, falling back to one relation scan for a
+/// projection planning has never asked about (e.g. a pinned §4.2 run
+/// asking for a joint variable subset outside [`planning_projections`]).
 struct CatalogStats<'a> {
     service: &'a Service,
     atom_entries: &'a [usize],
@@ -721,17 +824,72 @@ struct CatalogStats<'a> {
     fingerprint: u64,
 }
 
+impl CatalogStats<'_> {
+    fn entry(&self, atom: usize) -> &CatalogEntry {
+        &self.service.entries[self.atom_entries[atom]]
+    }
+
+    /// The exact frequency map: memoized `Arc` when incremental stats
+    /// have it, one relation scan otherwise.
+    fn frequencies_exact(&self, atom: usize, cols: &[usize]) -> Arc<FastMap<Vec<u64>, usize>> {
+        let entry = self.entry(atom);
+        match entry.stats.frequencies_cached(cols) {
+            Some(map) => Arc::clone(map),
+            None => Arc::new(entry.rel.frequencies(cols)),
+        }
+    }
+}
+
 impl Stats for CatalogStats<'_> {
     fn simple(&self) -> SimpleStatistics {
         self.simple.clone()
     }
 
-    fn frequencies(&self, atom: usize, cols: &[usize]) -> FastMap<Vec<u64>, usize> {
-        let entry = &self.service.entries[self.atom_entries[atom]];
-        match entry.stats.frequencies_cached(cols) {
-            Some(map) => map.clone(),
-            None => entry.rel.frequencies(cols),
+    fn heavy_hitters(&self, atom: usize, cols: &[usize], p: usize) -> Vec<FreqEstimate> {
+        let entry = self.entry(atom);
+        if let Some(sk) = &entry.sketch {
+            if let Some(estimates) = sk.heavy_hitters(cols, p) {
+                return estimates;
+            }
+            // Projection never registered with the sketch; fall through to
+            // one exact scan rather than mutate through a shared view.
         }
+        let m = entry.stats.cardinality();
+        let threshold = m as f64 / p as f64;
+        let map = self.frequencies_exact(atom, cols);
+        let mut out: Vec<FreqEstimate> = map
+            .iter()
+            .filter(|(_, &c)| c as f64 > threshold)
+            .map(|(k, &c)| FreqEstimate::exact(k.clone(), c))
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    fn distinct(&self, atom: usize, col: usize) -> Option<usize> {
+        let entry = self.entry(atom);
+        match &entry.sketch {
+            Some(sk) => sk.distinct(col),
+            None => entry.stats.frequencies_cached(&[col]).map(|m| m.len()),
+        }
+    }
+
+    fn frequencies(&self, atom: usize, cols: &[usize]) -> Arc<FastMap<Vec<u64>, usize>> {
+        let entry = self.entry(atom);
+        if let Some(sk) = &entry.sketch {
+            if let Some(ss) = sk.projection(cols) {
+                return Arc::new(
+                    ss.estimates()
+                        .into_iter()
+                        .map(|e| {
+                            let c = e.count_upper();
+                            (e.key, c)
+                        })
+                        .collect(),
+                );
+            }
+        }
+        self.frequencies_exact(atom, cols)
     }
 
     fn fingerprint(&self, _q: &Query, p: usize) -> Option<u64> {

@@ -41,7 +41,9 @@ use mpc_sim::hashing::HashFamily;
 use mpc_sim::load::LoadReport;
 use mpc_sim::topology::{round_shares, Grid, SubcubeScratch};
 use mpc_stats::cardinality::SimpleStatistics;
-use mpc_stats::combination::{enumerate_combinations, BinChoice, BinCombination};
+use mpc_stats::combination::{
+    enumerate_combinations_with, BinChoice, BinCombination, ExactSource, FrequencySource,
+};
 use std::cell::RefCell;
 
 /// One prepared bin combination: its LP solution, grid shape, and block
@@ -83,18 +85,37 @@ pub struct GeneralSkewAlgorithm {
 
 impl GeneralSkewAlgorithm {
     /// Plan from the data's exact statistics.
-    #[allow(clippy::needless_range_loop)]
     pub fn plan(db: &Database, p: usize, seed: u64) -> GeneralSkewAlgorithm {
+        let simple = SimpleStatistics::of(db);
+        let source = ExactSource { db, p };
+        GeneralSkewAlgorithm::plan_with_source(db, p, seed, &simple, &source)
+    }
+
+    /// Plan from any [`FrequencySource`] — the entry point for sketch- and
+    /// sample-backed statistics. One source feeds both the §4.2 bin
+    /// combinations and the residual-base exclusion tables, so tuples a
+    /// given source classifies as heavy are either covered by a heavy
+    /// combination or stay in `B_∅` — completeness holds under any
+    /// (including overcounted) classification; estimate error only shifts
+    /// load. Exact statistics through [`ExactSource`] reproduce
+    /// [`GeneralSkewAlgorithm::plan`] bit for bit.
+    #[allow(clippy::needless_range_loop)]
+    pub fn plan_with_source(
+        db: &Database,
+        p: usize,
+        seed: u64,
+        simple: &SimpleStatistics,
+        source: &dyn FrequencySource,
+    ) -> GeneralSkewAlgorithm {
         let q = db.query().clone();
-        let stats = SimpleStatistics::of(db);
         let logp = (p.max(2) as f64).ln();
-        let mu: Vec<f64> = stats
+        let mu: Vec<f64> = simple
             .bit_sizes_f64()
             .iter()
             .map(|&m| m.max(1.0).ln() / logp)
             .collect();
 
-        let raw = enumerate_combinations(db, p);
+        let raw = enumerate_combinations_with(&q, p, source);
         // Count assignments dropped by the |C'(B)| <= p cap: re-derive how
         // many candidates each combination could have had. The enumerator
         // already caps, so recompute potential counts cheaply from the
@@ -195,17 +216,25 @@ impl GeneralSkewAlgorithm {
         }
         assert!(base != usize::MAX, "B_∅ always enumerated");
 
-        // Heavy-projection tables for the B_∅ exclusion rule.
+        // Heavy-projection tables for the B_∅ exclusion rule — from the
+        // SAME source as the combinations above, so the heavy/light split
+        // stays internally consistent whatever the estimate error.
         let mut all_heavy: Vec<FastMap<Vec<usize>, FastSet<Vec<u64>>>> =
             vec![FastMap::default(); q.num_atoms()];
-        for hh in mpc_stats::heavy::all_heavy_hitters(db, p) {
-            if hh.entries.is_empty() {
-                continue;
+        for j in 0..q.num_atoms() {
+            for subset in q.atom(j).var_set().subsets() {
+                if subset.is_empty() {
+                    continue;
+                }
+                let hh = source.heavy(j, subset);
+                if hh.entries.is_empty() {
+                    continue;
+                }
+                all_heavy[hh.atom]
+                    .entry(hh.cols.clone())
+                    .or_default()
+                    .extend(hh.entries.keys().cloned());
             }
-            all_heavy[hh.atom]
-                .entry(hh.cols.clone())
-                .or_default()
-                .extend(hh.entries.keys().cloned());
         }
         let mut covered_heavy: Vec<FastMap<Vec<usize>, FastSet<Vec<u64>>>> =
             vec![FastMap::default(); q.num_atoms()];

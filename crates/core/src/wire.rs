@@ -184,14 +184,21 @@ impl Session {
     fn cmd_stats(&mut self, service: &mut Service) -> Vec<String> {
         let c = service.counters();
         let mut out = vec![format!(
-            "ok plans={} hits={} misses={} invalidations={} evictions={} relations={}",
+            "ok plans={} hits={} misses={} invalidations={} evictions={} relations={} mode={}",
             service.cached_plans(),
             c.hits,
             c.misses,
             c.invalidations,
             c.evictions,
-            service.relation_infos().len()
+            service.relation_infos().len(),
+            service.stats_mode()
         )];
+        if let Some(t) = service.sketch_telemetry() {
+            out.push(format!(
+                "sketch bytes={} capacity={} max_error={}",
+                t.bytes, t.capacity, t.max_error
+            ));
+        }
         for info in service.relation_infos() {
             out.push(format!(
                 "rel {} arity={} tuples={} tracked={}",
@@ -366,12 +373,40 @@ mod tests {
         let out = s.handle(&mut svc, "STATS");
         assert_eq!(
             out[0],
-            "ok plans=1 hits=1 misses=1 invalidations=0 evictions=0 relations=2"
+            "ok plans=1 hits=1 misses=1 invalidations=0 evictions=0 relations=2 mode=exact"
         );
+        // No sketch record outside sketch mode.
+        assert!(!out.iter().any(|l| l.starts_with("sketch ")), "{out:?}");
         assert!(
             out.contains(&"rel S1 arity=2 tuples=2 tracked=1".to_string()),
             "{out:?}"
         );
+        assert_eq!(out.last().unwrap(), "end");
+    }
+
+    #[test]
+    fn stats_reports_sketch_telemetry_in_sketch_mode() {
+        use crate::engine::StatsMode;
+        let mut svc = service().with_stats_mode(StatsMode::Sketch);
+        let mut s = Session::new();
+        s.handle(&mut svc, "LOAD S1 2 0,1;1,2");
+        s.handle(&mut svc, "LOAD S2 2 5,1");
+        s.handle(&mut svc, "QUERY S1(x,z), S2(y,z)");
+        let out = s.handle(&mut svc, "STATS");
+        assert!(out[0].ends_with(" mode=sketch"), "{out:?}");
+        let sketch = out
+            .iter()
+            .find(|l| l.starts_with("sketch "))
+            .unwrap_or_else(|| panic!("no sketch record: {out:?}"));
+        assert!(sketch.contains(" capacity="), "{sketch}");
+        assert!(sketch.contains(" max_error="), "{sketch}");
+        let bytes: usize = sketch
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("bytes="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(bytes > 0);
         assert_eq!(out.last().unwrap(), "end");
     }
 

@@ -35,6 +35,6 @@ pub use join::{
     join_foreach_mult, join_foreach_ordered, join_ordered, partition_join, visited_bindings_total,
     JoinIndex, JoinOrder, JoinStats, PartitionedJoin,
 };
-pub use relation::{domain_bits, Relation};
+pub use relation::{domain_bits, record_stats_scan_bytes, stats_scan_bytes_total, Relation};
 pub use rng::{mix64, splitmix64, Rng};
 pub use zipf::Zipf;

@@ -6,7 +6,37 @@
 //! implements exactly that accounting given the domain's bit width.
 
 use crate::fastmap::FastMap;
+use std::cell::Cell;
 use std::fmt;
+
+thread_local! {
+    /// Bytes of relation data read by statistics scans on this thread.
+    ///
+    /// Advanced by [`Relation::frequencies`] (the exact-statistics pass
+    /// reads every tuple) and by [`record_stats_scan_bytes`] callers such
+    /// as the sketch module's one-time projection backfills. Benches
+    /// snapshot it via [`stats_scan_bytes_total`] to prove a statistics
+    /// path is sublinear: a sketch maintained on ingest keeps this flat
+    /// per append while an exact rescan grows with the relation.
+    /// Thread-local (statistics scans run on the planning thread), so
+    /// parallel tests and pooled workers never pollute a measurement.
+    static STATS_SCAN_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotone total of this thread's statistics-scan bytes (the
+/// thread-local meter documented above); wraps on overflow, so consumers
+/// must diff two snapshots, never read it as an absolute.
+pub fn stats_scan_bytes_total() -> u64 {
+    STATS_SCAN_BYTES.with(|c| c.get())
+}
+
+/// Record `bytes` of relation data read by a statistics scan. Public so
+/// statistics code outside this crate (sketch backfills, samplers) taxes
+/// the same meter as [`Relation::frequencies`].
+#[inline]
+pub fn record_stats_scan_bytes(bytes: u64) {
+    STATS_SCAN_BYTES.with(|c| c.set(c.get().wrapping_add(bytes)));
+}
 
 /// A relation: `m` tuples of fixed arity over a `u64` domain.
 #[derive(Clone, PartialEq, Eq)]
@@ -166,6 +196,7 @@ impl Relation {
     /// the `mix64` hasher ([`crate::fastmap::FastMap`]): statistics passes
     /// scan every tuple, and SipHash dominated that scan.
     pub fn frequencies(&self, cols: &[usize]) -> FastMap<Vec<u64>, usize> {
+        record_stats_scan_bytes(self.data.len() as u64 * 8);
         let mut freq: FastMap<Vec<u64>, usize> = FastMap::default();
         for row in self.rows() {
             let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();

@@ -42,6 +42,20 @@ pub fn bin_of_frequency(freq: usize, m: usize, p: usize) -> Option<usize> {
     Some(num_bins(p))
 }
 
+/// The 1-based bin index of an error-bounded frequency estimate, with the
+/// pinned conservative-fallback rule: an estimate whose interval straddles
+/// the `m/p` threshold bins at its *largest* consistent count, so it lands
+/// in a heavy bin rather than falling light. §4.2's bins are a factor of
+/// two wide precisely so approximate frequencies suffice; rounding up
+/// within the interval shifts load by at most those constants and never
+/// changes answers.
+pub fn bin_of_estimate(est: &crate::sketch::FreqEstimate, m: usize, p: usize) -> Option<usize> {
+    if !est.may_exceed(m as f64 / p as f64) {
+        return None;
+    }
+    bin_of_frequency(est.count_upper().min(m.max(1)), m, p)
+}
+
 /// The bin exponent `β_b = log_p(2^{b-1})` of heavy bin `b`; the light bin
 /// is represented by exponent 1 ([`LIGHT_BIN_EXPONENT`]).
 pub fn bin_exponent(b: usize, p: usize) -> f64 {
@@ -140,6 +154,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn estimates_bin_conservatively() {
+        use crate::sketch::{ErrorDirection, FreqEstimate};
+        let (m, p) = (1024usize, 16usize);
+        // Exact estimates bin exactly like raw frequencies.
+        let e = FreqEstimate::exact(vec![1], 300);
+        assert_eq!(bin_of_estimate(&e, m, p), bin_of_frequency(300, m, p));
+        assert_eq!(
+            bin_of_estimate(&FreqEstimate::exact(vec![1], 64), m, p),
+            None
+        );
+        // A straddling interval (threshold 64 inside [60, 70]) rounds up
+        // into a heavy bin instead of falling light.
+        let straddle = FreqEstimate {
+            key: vec![2],
+            estimate: 70,
+            error_bound: 10,
+            direction: ErrorDirection::Overcount,
+        };
+        assert_eq!(bin_of_estimate(&straddle, m, p), bin_of_frequency(70, m, p));
+        // Entirely-light intervals stay light.
+        let light = FreqEstimate {
+            key: vec![3],
+            estimate: 60,
+            error_bound: 4,
+            direction: ErrorDirection::Overcount,
+        };
+        assert_eq!(bin_of_estimate(&light, m, p), None);
+        // Symmetric intervals bin at their upper end (clamped to m).
+        let sym = FreqEstimate {
+            key: vec![4],
+            estimate: m,
+            error_bound: 50,
+            direction: ErrorDirection::Symmetric,
+        };
+        assert_eq!(bin_of_estimate(&sym, m, p), Some(1));
     }
 
     #[test]

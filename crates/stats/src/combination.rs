@@ -19,10 +19,49 @@
 //! per-assignment processing). Combinations violating that are skipped.
 
 use crate::bins::{bin_exponent, BinnedHitters, LIGHT_BIN_EXPONENT};
-use crate::heavy::heavy_hitters;
+use crate::heavy::{heavy_hitters, HeavyHitters};
 use mpc_data::catalog::Database;
-use mpc_query::VarSet;
+use mpc_query::{Query, VarSet};
 use std::collections::HashMap;
+
+/// Where the combination enumerator gets its frequencies: either the exact
+/// per-projection scans ([`ExactSource`]) or any error-bounded estimate
+/// provider (sketches, samples) adapted through
+/// [`HeavyHitters::from_estimates`]'s conservative rule.
+pub trait FrequencySource {
+    /// Heavy hitters of atom `j` at variable subset `vars` (already
+    /// intersected with the atom's variables).
+    fn heavy(&self, atom: usize, vars: VarSet) -> HeavyHitters;
+
+    /// Best-known frequency of a *light* assignment (used only to order
+    /// the `|C'(B)| <= p` cap; any value at or below the threshold is
+    /// consistent, so estimate providers may return 0 for unknown keys).
+    fn light_frequency(&self, atom: usize, cols: &[usize], key: &[u64]) -> usize;
+}
+
+/// The exact source: scans the database's relations (the paper's
+/// all-knowing statistics oracle).
+pub struct ExactSource<'a> {
+    /// The database whose relations are scanned.
+    pub db: &'a Database,
+    /// Threshold denominator `p`.
+    pub p: usize,
+}
+
+impl FrequencySource for ExactSource<'_> {
+    fn heavy(&self, atom: usize, vars: VarSet) -> HeavyHitters {
+        heavy_hitters(self.db, atom, vars, self.p)
+    }
+
+    fn light_frequency(&self, atom: usize, cols: &[usize], key: &[u64]) -> usize {
+        self.db
+            .relation(atom)
+            .frequencies(cols)
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+}
 
 /// The per-atom bin choice inside a combination.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,7 +130,17 @@ impl BinCombination {
 /// light projection. Combinations whose heavy atoms do not cover `x`, or
 /// with no realizable assignment, are dropped.
 pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
-    let q = db.query();
+    enumerate_combinations_with(db.query(), p, &ExactSource { db, p })
+}
+
+/// [`enumerate_combinations`] over any [`FrequencySource`] — the entry
+/// point for sketch- and sample-backed planning (exact statistics go
+/// through the same path via [`ExactSource`], bit-identically).
+pub fn enumerate_combinations_with(
+    q: &Query,
+    p: usize,
+    source: &dyn FrequencySource,
+) -> Vec<BinCombination> {
     let l = q.num_atoms();
     let mut out = vec![BinCombination::empty(l)];
 
@@ -102,7 +151,7 @@ pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
             if sub.is_empty() {
                 continue;
             }
-            binned.insert((j, sub), BinnedHitters::build(heavy_hitters(db, j, sub, p)));
+            binned.insert((j, sub), BinnedHitters::build(source.heavy(j, sub)));
         }
     }
 
@@ -137,7 +186,8 @@ pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
                 .filter(|(_, c)| matches!(c, BinChoice::Heavy(_)))
                 .fold(VarSet::EMPTY, |s, (&j, _)| s.union(xj[j]));
             if covered == x {
-                if let Some(combo) = realize_combination(db, p, x, &participants, &chosen, &binned)
+                if let Some(combo) =
+                    realize_combination(q, p, x, &participants, &chosen, &binned, source)
                 {
                     out.push(combo);
                 }
@@ -162,15 +212,16 @@ pub fn enumerate_combinations(db: &Database, p: usize) -> Vec<BinCombination> {
 
 /// Join the chosen heavy bins' members into joint assignments, verify light
 /// choices, cap at `p`, and package the combination.
+#[allow(clippy::too_many_arguments)]
 fn realize_combination(
-    db: &Database,
+    q: &Query,
     p: usize,
     x: VarSet,
     participants: &[usize],
     chosen: &[&BinChoice],
     binned: &HashMap<(usize, VarSet), BinnedHitters>,
+    source: &dyn FrequencySource,
 ) -> Option<BinCombination> {
-    let q = db.query();
     let l = q.num_atoms();
     let xvars: Vec<usize> = x.iter().collect();
     let d = xvars.len();
@@ -244,14 +295,9 @@ fn realize_combination(
                 (BinChoice::Heavy(_), None) => continue 'cand,
                 (BinChoice::Light, Some(_)) => continue 'cand, // actually heavy
                 (BinChoice::Light, None) => {
-                    // Light: exact frequency from the data (may be 0).
-                    let rel = db.relation(j);
-                    let f = rel
-                        .frequencies(&bh.source.cols)
-                        .get(&key)
-                        .copied()
-                        .unwrap_or(0);
-                    freqs[j] = Some(f);
+                    // Light: best-known frequency (may be 0; only orders
+                    // the cap, see `FrequencySource::light_frequency`).
+                    freqs[j] = Some(source.light_frequency(j, &bh.source.cols, &key));
                 }
                 (BinChoice::Absent, _) => unreachable!("participants are non-absent"),
             }

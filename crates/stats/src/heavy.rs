@@ -32,6 +32,41 @@ pub struct HeavyHitters {
 }
 
 impl HeavyHitters {
+    /// Build a detection result from error-bounded frequency estimates —
+    /// the §4.2 entry point for sketch- or sample-backed statistics.
+    ///
+    /// Applies the pinned conservative-fallback rule: every estimate whose
+    /// error interval *may* exceed the `m/p` threshold
+    /// ([`crate::sketch::FreqEstimate::may_exceed`]) is kept as heavy, at
+    /// its largest consistent count (clamped to `m`; a key cannot occur
+    /// more often than the relation has tuples). Overcounting only moves
+    /// keys from light to heavy handling, which shifts load but never
+    /// answers — every consumer in this workspace is answer-complete under
+    /// any heavy classification.
+    pub fn from_estimates(
+        atom: usize,
+        vars: VarSet,
+        cols: Vec<usize>,
+        estimates: &[crate::sketch::FreqEstimate],
+        cardinality: usize,
+        p: usize,
+    ) -> HeavyHitters {
+        let threshold = cardinality as f64 / p as f64;
+        let entries = estimates
+            .iter()
+            .filter(|e| e.may_exceed(threshold))
+            .map(|e| (e.key.clone(), e.count_upper().min(cardinality.max(1))))
+            .collect();
+        HeavyHitters {
+            atom,
+            vars,
+            cols,
+            entries,
+            cardinality,
+            p,
+        }
+    }
+
     /// The heaviness threshold `m_j / p`.
     pub fn threshold(&self) -> f64 {
         self.cardinality as f64 / self.p as f64

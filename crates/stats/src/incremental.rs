@@ -28,6 +28,7 @@
 use mpc_data::fastmap::FastMap;
 use mpc_data::relation::Relation;
 use mpc_data::rng::mix64;
+use std::sync::Arc;
 
 /// Order-independent hash of a heavy-hitter key (one projected assignment).
 fn key_hash(key: &[u64]) -> u64 {
@@ -75,8 +76,11 @@ impl HeavyTracker {
 pub struct IncrementalStats {
     arity: usize,
     len: usize,
-    /// Frequency maps per requested column projection.
-    freq: FastMap<Vec<usize>, FastMap<Vec<u64>, usize>>,
+    /// Frequency maps per requested column projection, behind `Arc` so a
+    /// planner-facing stats view can hand them out without cloning the map
+    /// (the map is only mutated through `Arc::make_mut` in [`Self::append`],
+    /// which copies lazily iff a reader still holds the previous snapshot).
+    freq: FastMap<Vec<usize>, Arc<FastMap<Vec<u64>, usize>>>,
     /// Heavy-hitter trackers per `(cols, p)`.
     trackers: FastMap<(Vec<usize>, usize), HeavyTracker>,
 }
@@ -114,15 +118,21 @@ impl IncrementalStats {
     /// The frequency map of projection `cols`, building it from `rel` (one
     /// scan) if this is the first request. `rel` must be the relation these
     /// statistics describe.
-    pub fn frequencies(&mut self, rel: &Relation, cols: &[usize]) -> &FastMap<Vec<u64>, usize> {
+    pub fn frequencies(
+        &mut self,
+        rel: &Relation,
+        cols: &[usize],
+    ) -> &Arc<FastMap<Vec<u64>, usize>> {
         debug_assert_eq!(rel.len(), self.len, "stats out of sync with relation");
         self.freq
             .entry(cols.to_vec())
-            .or_insert_with(|| rel.frequencies(cols))
+            .or_insert_with(|| Arc::new(rel.frequencies(cols)))
     }
 
-    /// The memoized frequency map of `cols`, if one has been built.
-    pub fn frequencies_cached(&self, cols: &[usize]) -> Option<&FastMap<Vec<u64>, usize>> {
+    /// The memoized frequency map of `cols`, if one has been built. The
+    /// `Arc` clones for free; it is detached from future appends only when
+    /// the caller outlives them (copy-on-write).
+    pub fn frequencies_cached(&self, cols: &[usize]) -> Option<&Arc<FastMap<Vec<u64>, usize>>> {
         self.freq.get(cols)
     }
 
@@ -166,6 +176,7 @@ impl IncrementalStats {
             self.arity
         );
         for (cols, map) in self.freq.iter_mut() {
+            let map = Arc::make_mut(map);
             for row in rows.chunks_exact(self.arity) {
                 let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
                 *map.entry(key).or_insert(0) += 1;
@@ -237,7 +248,7 @@ mod tests {
                 for cols in [vec![1usize], vec![0usize, 1]] {
                     let expect_freq = rel.frequencies(&cols);
                     assert_eq!(
-                        stats.frequencies_cached(&cols),
+                        stats.frequencies_cached(&cols).map(|a| a.as_ref()),
                         Some(&expect_freq),
                         "p={p} round={round} cols={cols:?}: frequency drift"
                     );

@@ -22,13 +22,20 @@ pub mod degree;
 pub mod heavy;
 pub mod incremental;
 pub mod sampling;
+pub mod sketch;
 
-pub use bins::{bin_exponent, bin_of_frequency, num_bins, BinnedHitters, LIGHT_BIN_EXPONENT};
+pub use bins::{
+    bin_exponent, bin_of_estimate, bin_of_frequency, num_bins, BinnedHitters, LIGHT_BIN_EXPONENT,
+};
 pub use cardinality::SimpleStatistics;
-pub use combination::{enumerate_combinations, BinChoice, BinCombination, CombinationAssignment};
+pub use combination::{
+    enumerate_combinations, enumerate_combinations_with, BinChoice, BinCombination,
+    CombinationAssignment, ExactSource, FrequencySource,
+};
 pub use degree::{degree_statistics, joint_assignments, sum_over_assignments, DegreeStatistics};
 pub use heavy::{all_heavy_hitters, heavy_hitters, split_heavy_light, HeavyHitters};
 pub use incremental::{HeavyTracker, IncrementalStats};
 pub use sampling::{
     recommended_rate, sample_heavy_hitters, sampled_frequencies, SampledFrequencies,
 };
+pub use sketch::{DistinctCounter, ErrorDirection, FreqEstimate, RelationSketch, SpaceSaving};

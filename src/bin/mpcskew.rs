@@ -23,7 +23,7 @@
 //! shared by concurrent clients.
 
 use mpc_skew::core::bounds;
-use mpc_skew::core::engine::{Algorithm, Engine};
+use mpc_skew::core::engine::{Algorithm, Engine, StatsMode};
 use mpc_skew::core::service::Service;
 use mpc_skew::core::shares::ShareAllocation;
 use mpc_skew::core::wire::Session;
@@ -111,9 +111,10 @@ fn usage() -> &'static str {
     "usage:\n  \
      mpcskew bounds <query> --cards m1,m2,... [--p 64] [--domain 1048576]\n  \
      mpcskew run <query> [--m 10000] [--p 64] [--domain 65536] [--algo auto]\n          \
-     [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N] [--no-verify]\n  \
+     [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N] [--no-verify]\n          \
+     [--stats exact|sketch|synthetic]\n  \
      mpcskew serve [--domain 65536] [--p 64] [--seed 1] [--threads N]\n          \
-     [--listen host:port]\n  \
+     [--listen host:port] [--stats exact|sketch]\n  \
      mpcskew --help\n\n\
      queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
      flags accept both `--flag value` and `--flag=value`;\n\
@@ -125,6 +126,10 @@ fn usage() -> &'static str {
      --threads: simulator worker threads (1 = sequential backend, N = scoped\n\
      threads, pool:N = the persistent N-worker pool; default: MPCSKEW_THREADS\n\
      or all available cores; results are identical whichever backend runs);\n\
+     --stats: planner statistics source — exact (scan-based; run default),\n\
+     sketch (SpaceSaving/HLL summaries, sublinear, error-bounded; serve\n\
+     default), synthetic (cardinalities only); estimates can only shift\n\
+     load, never change answers;\n\
      serve: resident service speaking the line protocol (LOAD / APPEND /\n\
      QUERY / BATCH..RUN / STATS / SHUTDOWN) on stdin, or on a TCP socket\n\
      with --listen — relations stay loaded, statistics are memoized, and\n\
@@ -208,6 +213,10 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         None => Algorithm::Auto,
         Some(v) => Algorithm::parse(v).map_err(|e| format!("{e}\n{}", usage()))?,
     };
+    let stats_mode = match args.value("stats")? {
+        None => StatsMode::Exact,
+        Some(v) => StatsMode::parse(v).map_err(|e| format!("{e}\n{}", usage()))?,
+    };
     let backend = match args.value("threads")? {
         None => Backend::from_env(),
         Some(v) => Backend::parse(v)
@@ -234,13 +243,16 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         "data   : {} atoms x {m} tuples over [{domain}], theta = {theta}",
         q.num_atoms()
     );
-    println!("algo   : {algo}, p = {p}, seed = {seed}, backend = {backend}\n");
+    println!(
+        "algo   : {algo}, p = {p}, seed = {seed}, backend = {backend}, stats = {stats_mode}\n"
+    );
 
     let engine = Engine::new(q)
         .p(p)
         .seed(seed)
         .backend(backend)
-        .algorithm(algo);
+        .algorithm(algo)
+        .stats_mode(stats_mode);
     let plan = engine.plan(&db);
     println!("plan   : {plan}");
     match plan.algorithm() {
@@ -321,9 +333,17 @@ fn service_from_args(args: &Args) -> Result<Service, String> {
         Some(v) => Backend::parse(v)
             .map_err(|_| format!("--threads expects an integer or pool:N, got `{v}`"))?,
     };
+    // A resident service defaults to sketch statistics: ingest folds into
+    // O(p)-space summaries instead of exact frequency maps, so planning
+    // state stays sublinear however large the catalog grows.
+    let stats_mode = match args.value("stats")? {
+        None => StatsMode::Sketch,
+        Some(v) => StatsMode::parse(v).map_err(|e| format!("{e}\n{}", usage()))?,
+    };
     Ok(Service::new(domain)
         .with_backend(backend)
-        .with_defaults(p, seed))
+        .with_defaults(p, seed)
+        .with_stats_mode(stats_mode))
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {

@@ -33,15 +33,15 @@ pub use mpc_stats as stats;
 pub mod prelude {
     pub use mpc_core::bounds;
     pub use mpc_core::engine::{
-        execute_batch, Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, Stats,
-        SyntheticStats,
+        execute_batch, sketch_capacity, Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome,
+        SketchStats, Stats, StatsMode, SyntheticStats,
     };
     pub use mpc_core::hypercube::HyperCube;
     pub use mpc_core::mapreduce::{servers_for_reducer_cap, ReducerSchedule};
     pub use mpc_core::multi_round::{run_multi_round, run_multi_round_batch, MultiRoundResult};
     pub use mpc_core::service::{
         CacheCounters, CacheStatus, QuerySpec, Service, ServiceError, ServiceOutcome,
-        DEFAULT_PLAN_CACHE_CAPACITY,
+        SketchTelemetry, DEFAULT_PLAN_CACHE_CAPACITY,
     };
     pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::skew_general::GeneralSkewAlgorithm;
@@ -58,4 +58,7 @@ pub mod prelude {
     pub use mpc_sim::cluster::{BatchJob, Cluster};
     pub use mpc_sim::pool::WorkerPool;
     pub use mpc_stats::cardinality::SimpleStatistics;
+    pub use mpc_stats::sketch::{
+        DistinctCounter, ErrorDirection, FreqEstimate, RelationSketch, SpaceSaving,
+    };
 }
