@@ -90,7 +90,7 @@ if [ "${1:-}" = "--bench" ]; then
     NPROC=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
     {
         printf '{\n'
-        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations; allocs_per_iter (optional) is the mean heap-allocation count per iteration from the bench binary'\''s counting global allocator (exact and host-noise-free, present since pr5); bindings_per_iter (optional) is the mean join-bindings-visited count per iteration from mpc_data::join::visited_bindings_total (present since pr7); scan_bytes_per_iter (optional) is the mean relation bytes scanned to (re)build planner statistics per iteration from mpc_data::stats_scan_bytes_total — flat under sketch-backed append, linear under exact rebuild (present since pr8). backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host. Compare two files with ./ci.sh --bench-compare OLD NEW.",\n'
+        printf '  "_schema": "results[]: one record per criterion-lite benchmark; group/bench name the benchmark (label = group/bench), median_ns|min_ns|max_ns are per-iteration wall-clock over `samples` samples of `iters_per_sample` iterations; allocs_per_iter (optional) is the mean heap-allocation count per iteration from the bench binary'\''s counting global allocator (exact and host-noise-free, present since pr5); bindings_per_iter (optional) is the mean join-bindings-visited count per iteration from mpc_data::join::visited_bindings_total (present since pr7); scan_bytes_per_iter (optional) is the mean relation bytes scanned to (re)build planner statistics per iteration from mpc_data::stats_scan_bytes_total — flat under sketch-backed append, linear under exact rebuild (present since pr8); rows_materialized_per_iter (optional) is the mean answer rows materialized into AnswerSets per iteration from mpc_data::rows_materialized_total — ~0 under aggregate pushdown, Θ(output) when answers materialize (present since pr9). Counters are exact and host-noise-free; bench_compare trusts them over wall-clock for µs-scale benches (which flag only past 100%%, vs 10%% elsewhere). backend is the default executor during the run (MPCSKEW_THREADS or all cores; individual benches may pin their own backend, named in `bench`). nproc is the CPU budget of the benching host. Compare two files with ./ci.sh --bench-compare OLD NEW.",\n'
         printf '  "pr": "%s",\n' "$LABEL"
         printf '  "generated_by": "ci.sh --bench %s",\n' "$LABEL"
         printf '  "nproc": %s,\n' "$NPROC"
@@ -109,7 +109,7 @@ stage "cargo build --release"
 cargo build --release --offline
 
 stage "mpcskew serve smoke (LOAD/QUERY/APPEND/STATS/SHUTDOWN over stdin)"
-SERVE_OUT=$(printf 'LOAD S1 2 0,1;1,1;2,3\nLOAD S2 2 5,1;6,3;7,9\nQUERY S1(x,z), S2(y,z) rows\nAPPEND S2 8,1\nQUERY S1(x,z), S2(y,z)\nSTATS\nSHUTDOWN\n' \
+SERVE_OUT=$(printf 'LOAD S1 2 0,1;1,1;2,3\nLOAD S2 2 5,1;6,3;7,9\nQUERY S1(x,z), S2(y,z) rows\nQUERY Q(z; count, sum(x)) :- S1(x,z), S2(y,z) rows\nAPPEND S2 8,1\nQUERY S1(x,z), S2(y,z)\nSTATS\nSHUTDOWN\n' \
     | ./target/release/mpcskew serve --domain 16 --p 4 --threads 1)
 serve_expect() {
     echo "$SERVE_OUT" | grep -q "$1" || {
@@ -121,11 +121,18 @@ serve_expect() {
 serve_expect '^ok loaded S2 arity=2 tuples=3$'
 serve_expect '^ok answers=3 .*cache=miss'
 serve_expect '^0 1 5$'            # first joined row, echoed sorted
+# Aggregate pushdown over the wire: group-by z, COUNT + SUM(x), answers
+# never materialized — z=1 has derivations (0,_,1),(1,_,1), z=3 has (2,_,3).
+serve_expect '^ok groups=2 '
+serve_expect '^1 | 2 1$'
+serve_expect '^3 | 1 2$'
 serve_expect '^ok appended S2 +1 tuples=4$'
 serve_expect '^ok answers=5 '     # the appended tuple joins twice
 # serve defaults to sketch-backed statistics; STATS reports the mode and
 # one sketch telemetry record (summary bytes, capacity, max error bound).
-serve_expect 'invalidations=1 evictions=0 relations=2 mode=sketch$'
+# Two invalidations: the APPEND changed the stats fingerprint under both
+# cached plans (the plain query and its aggregate twin).
+serve_expect 'invalidations=2 evictions=0 relations=2 mode=sketch$'
 serve_expect '^sketch bytes=[0-9][0-9]* capacity=[0-9][0-9]* max_error=[0-9][0-9]*$'
 serve_expect '^ok bye$'           # SHUTDOWN acknowledged, clean exit
 

@@ -47,6 +47,54 @@ pub fn skewed_join_db(q: &Query, m: usize, n: u64, theta: f64, h12: usize, seed:
     Database::new(q.clone(), vec![s1, s2], n).expect("valid skewed db")
 }
 
+/// Join-product skew for a two-atom join: `hot` shared join values, each
+/// carried by `fanout` tuples on *both* sides, plus degree-1 light tails
+/// on disjoint value ranges. Every hot value contributes a `fanout²`
+/// cartesian block, so `|output| = hot · fanout² ≫ |inputs| = 2m` — the
+/// inputs are barely skewed (`fanout ≪ m`), the *output* is extreme.
+/// This is the workload where materializing answers costs `Θ(output)`
+/// memory while aggregate pushdown (`mpc_core::aggregate`) stays
+/// `Θ(groups)`.
+pub fn product_skew_db(
+    q: &Query,
+    m: usize,
+    n: u64,
+    hot: usize,
+    fanout: usize,
+    seed: u64,
+) -> Database {
+    assert_eq!(q.num_atoms(), 2, "product_skew_db wants a two-atom join");
+    assert!(hot * fanout <= m, "hot block exceeds relation size");
+    assert!(hot as u64 + 2 * m as u64 <= n, "domain too small");
+    let mut rng = Rng::seed_from_u64(seed);
+    let light = m - hot * fanout;
+    // Hot values 0..hot shared verbatim by both sides; light tails on
+    // disjoint ranges (low for S1, high for S2) so they never join and
+    // the output is exactly the hot product.
+    let mut d1: Vec<(Vec<u64>, usize)> = (0..hot as u64).map(|z| (vec![z], fanout)).collect();
+    d1.extend((0..light as u64).map(|i| (vec![hot as u64 + i], 1)));
+    let mut d2: Vec<(Vec<u64>, usize)> = (0..hot as u64).map(|z| (vec![z], fanout)).collect();
+    d2.extend((0..light as u64).map(|i| (vec![n - 1 - i], 1)));
+    let s1 = generators::from_degree_sequence("S1", 2, &[1], &d1, n, &mut rng);
+    let s2 = generators::from_degree_sequence("S2", 2, &[1], &d2, n, &mut rng);
+    Database::new(q.clone(), vec![s1, s2], n).expect("valid product-skew db")
+}
+
+/// Correlated Zipf fan-out: both sides draw the *same* Zipf(θ) degree
+/// sequence over the *same* join values, so the hottest value is hot on
+/// both sides at once and the join output grows like `Σ_z d(z)²` — a
+/// smooth version of [`product_skew_db`] (`skewed_join_db`, by contrast,
+/// puts the two celebrity sets at opposite ends of the domain precisely
+/// to keep its output small).
+pub fn correlated_zipf_db(q: &Query, m: usize, n: u64, theta: f64, seed: u64) -> Database {
+    assert_eq!(q.num_atoms(), 2, "correlated_zipf_db wants a two-atom join");
+    let mut rng = Rng::seed_from_u64(seed);
+    let d = generators::zipf_degrees(m, n, theta);
+    let s1 = generators::from_degree_sequence("S1", 2, &[1], &d, n, &mut rng);
+    let s2 = generators::from_degree_sequence("S2", 2, &[1], &d, n, &mut rng);
+    Database::new(q.clone(), vec![s1, s2], n).expect("valid correlated zipf db")
+}
+
 /// A locally-skewed triangle workload for `named::cycle(3)`: the shared
 /// variable `x2` is Zipf(θ)-distributed in *both* S1 (column 1) and S2
 /// (column 0), with the same value 0 heaviest on both sides, while S3 stays
@@ -91,6 +139,40 @@ mod tests {
         let hot2 = db.relation(1).frequencies(&[0])[&vec![0u64]];
         assert!(hot1 > 100 && hot2 > 100, "hot1={hot1} hot2={hot2}");
         assert!(db.relation(2).max_frequency(&[0]) < 20);
+    }
+
+    #[test]
+    fn product_skew_output_is_the_hot_product() {
+        let q = named::two_way_join();
+        let (m, hot, fanout) = (400usize, 3usize, 20usize);
+        let db = product_skew_db(&q, m, 1 << 12, hot, fanout, 7);
+        assert_eq!(db.cardinalities(), vec![m, m]);
+        let f1 = db.relation(0).frequencies(&[1]);
+        let f2 = db.relation(1).frequencies(&[1]);
+        for z in 0..hot as u64 {
+            assert_eq!(f1[&vec![z]], fanout);
+            assert_eq!(f2[&vec![z]], fanout);
+        }
+        // Light tails live on disjoint ranges: the output is exactly the
+        // hot cartesian blocks, far larger than the inputs.
+        let out = mpc_data::join_database(&db);
+        assert_eq!(out.len(), hot * fanout * fanout);
+        assert!(out.len() > 2 * m);
+    }
+
+    #[test]
+    fn correlated_zipf_aligns_hot_values_on_both_sides() {
+        let q = named::two_way_join();
+        let db = correlated_zipf_db(&q, 2000, 1 << 12, 1.2, 5);
+        let f1 = db.relation(0).frequencies(&[1]);
+        let f2 = db.relation(1).frequencies(&[1]);
+        // Identical degree sequences: the same value is hottest on both
+        // sides (unlike skewed_join_db's disjoint celebrity sets).
+        let hot1 = f1.iter().max_by_key(|(_, &c)| c).unwrap();
+        let hot2 = f2.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_eq!(hot1.0, hot2.0);
+        assert!(*hot1.1 > 100, "zipf head should be heavy: {}", hot1.1);
+        assert_eq!(hot1.1, hot2.1);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! assert!(outcome.max_load_bits() > 0);
 //! ```
 
+use crate::aggregate::{aggregate_cluster, aggregate_oracle, AggregateResult};
 use crate::baselines::{FragmentReplicateRouter, HashJoinRouter};
 use crate::bounds;
 use crate::hypercube::HyperCube;
@@ -61,6 +62,7 @@ use crate::verify::{self, Verification};
 use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
 use mpc_data::fastmap::FastMap;
+use mpc_query::aggregate::AggregateSpec;
 use mpc_query::{Query, QueryShape, VarSet};
 use mpc_sim::backend::Backend;
 use mpc_sim::cluster::{BatchJob, Cluster, Router};
@@ -565,6 +567,11 @@ pub struct PlanKey {
     pub seed: u64,
     /// The algorithm as requested (possibly [`Algorithm::Auto`]).
     pub algorithm: Algorithm,
+    /// The aggregate head, when the query has one. Variable indices are
+    /// canonicalization-stable (renaming keeps indices), so the spec can
+    /// be keyed verbatim. An aggregate query and its materializing twin
+    /// must not share an entry: their plans collect differently.
+    pub aggregate: Option<AggregateSpec>,
 }
 
 /// The hash-join partition variable the engine defaults to: the variable
@@ -612,6 +619,7 @@ pub struct Plan {
     seed: u64,
     predicted_load_bits: f64,
     lower_bound_bits: f64,
+    aggregate: Option<AggregateSpec>,
     kind: PlanKind,
 }
 
@@ -643,6 +651,13 @@ impl Plan {
     /// The seed keying the plan's hash functions.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The aggregate head this plan evaluates, if any. Routing is
+    /// identical to the materializing plan (same algorithm, same
+    /// predicted load) — only answer collection differs.
+    pub fn aggregate_spec(&self) -> Option<&AggregateSpec> {
+        self.aggregate.as_ref()
     }
 
     /// The plan's predicted per-server load in bits — the algorithm's own
@@ -751,14 +766,22 @@ impl Plan {
             &self.query,
             "plan was built for a different query"
         );
-        let detail = match &self.kind {
-            PlanKind::MultiRound => {
-                OutcomeDetail::MultiRound(run_multi_round_on(db, self.p, self.seed, backend))
-            }
+        let (detail, aggregate) = match &self.kind {
+            PlanKind::MultiRound => (
+                OutcomeDetail::MultiRound(run_multi_round_on(db, self.p, self.seed, backend)),
+                None,
+            ),
             _ => {
                 let cluster = Cluster::run_round_on(db, self.p, self, backend);
                 let report = cluster.report();
-                OutcomeDetail::OneRound { cluster, report }
+                // Aggregate pushdown: fold each server's local join into
+                // a per-group accumulator and merge — answers are never
+                // materialized into an `AnswerSet`.
+                let aggregate = self
+                    .aggregate
+                    .as_ref()
+                    .map(|spec| aggregate_cluster(&cluster, &self.query, spec));
+                (OutcomeDetail::OneRound { cluster, report }, aggregate)
             }
         };
         RunOutcome {
@@ -767,6 +790,8 @@ impl Plan {
             predicted_load_bits: self.predicted_load_bits,
             lower_bound_bits: self.lower_bound_bits,
             query: self.query.clone(),
+            aggregate_spec: self.aggregate.clone(),
+            aggregate,
             detail,
         }
     }
@@ -812,6 +837,8 @@ pub struct RunOutcome {
     predicted_load_bits: f64,
     lower_bound_bits: f64,
     query: Query,
+    aggregate_spec: Option<AggregateSpec>,
+    aggregate: Option<AggregateResult>,
     detail: OutcomeDetail,
 }
 
@@ -896,6 +923,29 @@ impl RunOutcome {
         }
     }
 
+    /// The pushed-down aggregate result, when the plan carried an
+    /// [`AggregateSpec`] (one-round plans only — the multi-round baseline
+    /// deduplicates intermediates, losing the derivation multiplicities
+    /// bag-semantics aggregates need).
+    pub fn aggregate(&self) -> Option<&AggregateResult> {
+        self.aggregate.as_ref()
+    }
+
+    /// The aggregate spec the plan evaluated, if any.
+    pub fn aggregate_spec(&self) -> Option<&AggregateSpec> {
+        self.aggregate_spec.as_ref()
+    }
+
+    /// Differentially check the pushed-down aggregate against the
+    /// sequential Fixed-order oracle fold over `db`. `None` when this
+    /// outcome carries no aggregate.
+    pub fn verify_aggregate(&self, db: &Database) -> Option<bool> {
+        match (&self.aggregate_spec, &self.aggregate) {
+            (Some(spec), Some(result)) => Some(*result == aggregate_oracle(db, spec)),
+            _ => None,
+        }
+    }
+
     /// Verify the answers against the sequential ground truth of `db`.
     pub fn verify(&self, db: &Database) -> Verification {
         match &self.detail {
@@ -957,6 +1007,7 @@ pub struct Engine<'s> {
     skew_config: SkewJoinConfig,
     stats: Option<&'s dyn Stats>,
     stats_mode: StatsMode,
+    aggregate: Option<AggregateSpec>,
 }
 
 impl Engine<'static> {
@@ -975,6 +1026,7 @@ impl Engine<'static> {
             skew_config: SkewJoinConfig::default(),
             stats: None,
             stats_mode: StatsMode::Exact,
+            aggregate: None,
         }
     }
 }
@@ -1026,6 +1078,25 @@ impl<'s> Engine<'s> {
         self
     }
 
+    /// Evaluate an aggregate head instead of materializing answers: every
+    /// plan folds its local joins through [`crate::aggregate`] and the
+    /// outcome carries an [`AggregateResult`]. Routing and predicted load
+    /// are those of the underlying algorithm; the auto choice is the same
+    /// except that [`Algorithm::GeneralSkew`] (whose bin-combination
+    /// sub-instances replicate derivations) falls back to the
+    /// skew-resilient [`Algorithm::HyperCubeEqual`].
+    ///
+    /// # Panics
+    /// [`Engine::plan`] panics when the spec references variables the
+    /// query does not have, or when explicitly combined with
+    /// [`Algorithm::MultiRound`] (deduplicates intermediates) or
+    /// [`Algorithm::GeneralSkew`] — neither materializes each join
+    /// derivation exactly once, which bag-semantics aggregates need.
+    pub fn aggregate(mut self, spec: AggregateSpec) -> Self {
+        self.aggregate = Some(spec);
+        self
+    }
+
     /// Which statistics source [`Engine::plan`] builds when none is
     /// supplied via [`Engine::stats`] (default: [`StatsMode::Exact`]).
     /// [`StatsMode::Sketch`] plans from SpaceSaving/HLL summaries at
@@ -1053,6 +1124,7 @@ impl<'s> Engine<'s> {
             skew_config: self.skew_config,
             stats: Some(stats),
             stats_mode: self.stats_mode,
+            aggregate: self.aggregate,
         }
     }
 
@@ -1092,11 +1164,34 @@ impl<'s> Engine<'s> {
     fn plan_with(&self, db: &Database, stats: &dyn Stats) -> Plan {
         let q = &self.query;
         let p = self.p;
+        if let Some(spec) = &self.aggregate {
+            spec.validate_for(q)
+                .expect("aggregate spec references variables the query does not have");
+        }
         let simple = stats.simple();
         let resolved = match self.algorithm {
-            Algorithm::Auto => choose_with(q, stats, &simple, p),
+            Algorithm::Auto => {
+                let chosen = choose_with(q, stats, &simple, p);
+                // Aggregates fold over join derivations, so the plan must
+                // produce each derivation on exactly one server. The §4.2
+                // bin-combination algorithm replicates derivations across
+                // overlapping sub-instances; equal shares (Corollary
+                // 3.2(ii)) is the skew-resilient exact fallback.
+                if self.aggregate.is_some() && chosen == Algorithm::GeneralSkew {
+                    Algorithm::HyperCubeEqual
+                } else {
+                    chosen
+                }
+            }
             other => other,
         };
+        assert!(
+            !(self.aggregate.is_some()
+                && matches!(resolved, Algorithm::MultiRound | Algorithm::GeneralSkew)),
+            "aggregate heads need a plan that materializes every join derivation exactly \
+             once: the multi-round baseline deduplicates intermediates and the general \
+             bin-combination algorithm replicates derivations across sub-instances"
+        );
         let (lower_bound_bits, _) = bounds::l_lower(q, &simple, p);
         let (kind, predicted) = match resolved {
             Algorithm::Auto => unreachable!("auto resolved above"),
@@ -1198,6 +1293,7 @@ impl<'s> Engine<'s> {
             seed: self.seed,
             predicted_load_bits: predicted,
             lower_bound_bits,
+            aggregate: self.aggregate.clone(),
             kind,
         }
     }

@@ -21,11 +21,15 @@
 //!   (Theorem 4.7), Eq. (10), the replication-rate bound (Theorem 5.1) and
 //!   the space exponent;
 //! * [`verify`](mod@crate::verify) — exact distributed-vs-sequential answer verification;
+//! * [`aggregate`](mod@crate::aggregate) — streaming aggregate pushdown:
+//!   COUNT/SUM/MIN/MAX/COUNT DISTINCT folded inside the local join,
+//!   merged across servers, memory proportional to groups not output;
 //! * [`engine`] — the unified plan/execute surface over all of the above:
 //!   [`Engine`] builds a stats-driven [`engine::Plan`] (auto mode picks the
 //!   algorithm from heavy-hitter statistics and the load bounds) and every
 //!   run returns one [`engine::RunOutcome`] shape.
 
+pub mod aggregate;
 pub mod baselines;
 pub mod bounds;
 pub mod engine;
@@ -39,6 +43,9 @@ pub mod skew_join;
 pub mod verify;
 pub mod wire;
 
+pub use aggregate::{
+    aggregate_cluster, aggregate_oracle, AggregateAccumulator, AggregateResult, Mergeable,
+};
 pub use baselines::{FragmentReplicateRouter, HashJoinRouter};
 pub use engine::{
     sketch_capacity, Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome, SketchStats, Stats,
@@ -52,5 +59,5 @@ pub use service::{
 pub use shares::ShareAllocation;
 pub use skew_general::GeneralSkewAlgorithm;
 pub use skew_join::{SkewJoin, SkewJoinConfig};
-pub use verify::{assert_complete, verify, Verification};
+pub use verify::{assert_complete, verify, verify_aggregate, AggregateVerification, Verification};
 pub use wire::Session;

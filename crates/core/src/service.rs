@@ -65,6 +65,7 @@ use mpc_data::catalog::Database;
 use mpc_data::fastmap::FastMap;
 use mpc_data::relation::Relation;
 use mpc_data::rng::mix64;
+use mpc_query::aggregate::AggregateSpec;
 use mpc_query::Query;
 use mpc_sim::backend::Backend;
 use mpc_stats::cardinality::SimpleStatistics;
@@ -97,6 +98,12 @@ pub enum ServiceError {
         /// The service domain `n`.
         domain: u64,
     },
+    /// An aggregate head the engine cannot evaluate: bad variable
+    /// indices, or pinned to an algorithm that does not materialize each
+    /// join derivation exactly once (the multi-round baseline
+    /// deduplicates intermediates; the general bin-combination algorithm
+    /// replicates derivations across sub-instances).
+    InvalidAggregate(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -121,6 +128,7 @@ impl fmt::Display for ServiceError {
                 f,
                 "value {value} for `{relation}` outside domain [0,{domain})"
             ),
+            ServiceError::InvalidAggregate(msg) => write!(f, "invalid aggregate: {msg}"),
         }
     }
 }
@@ -169,6 +177,10 @@ pub struct QuerySpec {
     pub seed: Option<u64>,
     /// Algorithm override (default [`Algorithm::Auto`]).
     pub algorithm: Algorithm,
+    /// Aggregate head: group-by + ops evaluated by pushdown instead of
+    /// materializing answers. Variable indices refer to `query`'s
+    /// variables (stable under canonicalization).
+    pub aggregate: Option<AggregateSpec>,
 }
 
 impl QuerySpec {
@@ -179,6 +191,7 @@ impl QuerySpec {
             p: None,
             seed: None,
             algorithm: Algorithm::Auto,
+            aggregate: None,
         }
     }
 
@@ -198,6 +211,12 @@ impl QuerySpec {
     /// Pin the algorithm.
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Attach an aggregate head (see [`crate::aggregate`]).
+    pub fn aggregate(mut self, spec: AggregateSpec) -> Self {
+        self.aggregate = Some(spec);
         self
     }
 }
@@ -223,6 +242,12 @@ impl ServiceOutcome {
     /// The distinct answers, sorted, in query-variable order.
     pub fn answers(&self) -> AnswerSet {
         self.outcome.answers()
+    }
+
+    /// The pushed-down aggregate result, when the spec carried an
+    /// aggregate head.
+    pub fn aggregate(&self) -> Option<&crate::aggregate::AggregateResult> {
+        self.outcome.aggregate()
     }
 
     /// Maximum bits received by any server in any round.
@@ -610,6 +635,22 @@ impl Service {
     ) -> Result<(Arc<Plan>, Database, CacheStatus), ServiceError> {
         let p = spec.p.unwrap_or(self.default_p);
         let seed = spec.seed.unwrap_or(self.default_seed);
+        if let Some(agg) = &spec.aggregate {
+            agg.validate_for(&spec.query)
+                .map_err(|e| ServiceError::InvalidAggregate(e.to_string()))?;
+            if matches!(
+                spec.algorithm,
+                Algorithm::MultiRound | Algorithm::GeneralSkew
+            ) {
+                return Err(ServiceError::InvalidAggregate(format!(
+                    "`{}` does not materialize each join derivation exactly once; \
+                     aggregates need a derivation-partitioning plan",
+                    spec.algorithm
+                )));
+            }
+        }
+        // Canonicalization renames variables but keeps their indices, so
+        // the aggregate spec applies to the canonical query unchanged.
         let canonical = spec.query.canonical();
         let atom_entries = self.resolve_atoms(&canonical)?;
         let fingerprint = self.fingerprint_for(&canonical, &atom_entries, p);
@@ -618,6 +659,7 @@ impl Service {
             p,
             seed,
             algorithm: spec.algorithm,
+            aggregate: spec.aggregate.clone(),
         };
         let rels: Vec<Arc<Relation>> = atom_entries
             .iter()
@@ -645,14 +687,14 @@ impl Service {
                     self.counters.misses += 1;
                 }
                 let view = self.stats_view(&canonical, &atom_entries, p, fingerprint);
-                let plan = Arc::new(
-                    Engine::new(&canonical)
-                        .p(p)
-                        .seed(seed)
-                        .algorithm(spec.algorithm)
-                        .stats(&view)
-                        .plan(&db),
-                );
+                let mut engine = Engine::new(&canonical)
+                    .p(p)
+                    .seed(seed)
+                    .algorithm(spec.algorithm);
+                if let Some(agg) = &spec.aggregate {
+                    engine = engine.aggregate(agg.clone());
+                }
+                let plan = Arc::new(engine.stats(&view).plan(&db));
                 self.tick += 1;
                 self.plans.insert(
                     key,

@@ -16,7 +16,11 @@
 //! `L = max(m1/p, m2/p, L1, L2, L12)` (Eq. 10) up to `O(log p)`.
 //! Virtual server blocks are laid out sequentially and folded onto the `p`
 //! physical servers round-robin; the total block volume is `Θ(p)`, so the
-//! folding adds only a constant factor.
+//! folding adds only a constant factor. Every block is at most `p` virtual
+//! servers long, so the fold is injective *within* a block: each grid cell
+//! owns a distinct physical server and every join derivation materializes
+//! on exactly one server — the invariant aggregate pushdown
+//! ([`crate::aggregate`]) relies on for exact multiplicities.
 
 use mpc_data::catalog::Database;
 use mpc_data::fastmap::{with_projected_key, FastMap};
@@ -219,7 +223,14 @@ impl SkewJoin {
         for (h, c1, c2) in h12 {
             let ph = ((p as f64 * c1 * c2 / k12_total).ceil() as usize).max(1);
             let p1 = (((ph as f64 * c1 / c2).sqrt().ceil()) as usize).clamp(1, ph);
-            let p2 = ph.div_ceil(p1).max(1);
+            // `p1 * p2 <= ph <= p` keeps every block no longer than `p`, so
+            // the round-robin fold stays injective within a block and each
+            // grid cell owns a distinct physical server — the invariant that
+            // makes join *derivations* partition across servers (aggregate
+            // pushdown counts every derivation exactly once). Rounding the
+            // grid down instead of up costs at most a factor 2 in per-cell
+            // load.
+            let p2 = (ph / p1).max(1);
             routes.insert(h, HeavyRoute::Both { offset, p1, p2 });
             offset += p1 * p2;
         }
@@ -536,6 +547,48 @@ mod tests {
             r1.max_load_tuples(),
             r2.max_load_tuples()
         );
+    }
+
+    #[test]
+    fn derivations_partition_for_exact_aggregates() {
+        // Multiplicity exactness, not just answer completeness: per-server
+        // folds summed across the cluster must equal the sequential fold.
+        // Small p with an H12 grid is where a wrapped (p1*p2 > p) block
+        // would double-count derivations.
+        use crate::aggregate::{aggregate_cluster, aggregate_oracle};
+        use mpc_query::{AggregateOp, AggregateSpec};
+        let check = |db: &Database, p: usize, label: &str| {
+            let z = db.query().var_index("z").unwrap();
+            let x = db.query().var_index("x").unwrap();
+            let spec =
+                AggregateSpec::new(vec![z], vec![AggregateOp::Count, AggregateOp::Sum(x)]).unwrap();
+            let sj = SkewJoin::plan(db, p, 11);
+            assert!(sj.num_heavy() > 0, "{label}: no heavy hitters planned");
+            let (cluster, _) = sj.run(db);
+            assert_eq!(
+                aggregate_cluster(&cluster, db.query(), &spec),
+                aggregate_oracle(db, &spec),
+                "{label}"
+            );
+        };
+        // Planted H12 value at small p: the grid is forced and the old
+        // wrapped (div_ceil) layout would fold two of its cells together.
+        let q = named::two_way_join();
+        let n = 1u64 << 12;
+        let m = 2048usize;
+        for p in [4usize, 7] {
+            let mut rng = Rng::seed_from_u64(4);
+            let degrees: Vec<(Vec<u64>, usize)> = std::iter::once((vec![5u64], m / 2))
+                .chain((0..(m / 2) as u64).map(|i| (vec![100 + i], 1)))
+                .collect();
+            let s1 = generators::from_degree_sequence("S1", 2, &[1], &degrees, n, &mut rng);
+            let s2 = generators::from_degree_sequence("S2", 2, &[1], &degrees, n, &mut rng);
+            let db = Database::new(q.clone(), vec![s1, s2], n).unwrap();
+            check(&db, p, &format!("planted H12, p={p}"));
+        }
+        for theta in [1.2f64, 1.5] {
+            check(&zipf_db(3000, theta, 9), 16, &format!("zipf theta={theta}"));
+        }
     }
 
     #[test]

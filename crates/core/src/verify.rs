@@ -4,9 +4,16 @@
 //! join outputs equals the sequential join of the input (the MPC model's
 //! requirement that "the servers must find all answers"). This module
 //! performs that comparison exactly and reports any discrepancy.
+//!
+//! Aggregate queries verify the same way through
+//! [`verify_aggregate`] / [`crate::aggregate::aggregate_oracle`]: the
+//! distributed per-server fold is compared bit for bit against a
+//! sequential Fixed-order fold over the full database.
 
+use crate::aggregate::{aggregate_cluster, aggregate_oracle, AggregateResult};
 use mpc_data::answers::AnswerSet;
 use mpc_data::catalog::Database;
+use mpc_query::aggregate::AggregateSpec;
 use mpc_sim::cluster::Cluster;
 use mpc_sim::oracle;
 
@@ -83,6 +90,36 @@ pub fn diff(expected: &AnswerSet, got: &AnswerSet) -> Verification {
         missing,
         unexpected,
         found,
+    }
+}
+
+/// Outcome of verifying a distributed aggregate against the sequential
+/// oracle fold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateVerification {
+    /// The sequential Fixed-order oracle fold.
+    pub expected: AggregateResult,
+    /// The distributed per-server fold, merged.
+    pub got: AggregateResult,
+}
+
+impl AggregateVerification {
+    /// True iff the distributed fold is bit-identical to the oracle.
+    pub fn is_complete(&self) -> bool {
+        self.expected == self.got
+    }
+}
+
+/// Differentially check `spec`'s pushed-down aggregate on a post-shuffle
+/// cluster against the sequential oracle fold over `db`.
+pub fn verify_aggregate(
+    db: &Database,
+    cluster: &Cluster,
+    spec: &AggregateSpec,
+) -> AggregateVerification {
+    AggregateVerification {
+        expected: aggregate_oracle(db, spec),
+        got: aggregate_cluster(cluster, db.query(), spec),
     }
 }
 

@@ -15,7 +15,10 @@
 //!
 //! `QUERY` takes a conjunctive-query body (`S1(x,z), S2(y,z)`, optionally
 //! double-quoted) followed by options; with `rows` the answer tuples
-//! follow the `ok` line, one per line, terminated by `end`. Blank lines
+//! follow the `ok` line, one per line, terminated by `end`. The body may
+//! also carry an aggregate head (`Q(x; count) :- S1(x,z), S2(y,z)`), in
+//! which case the status line reports `ok groups=N ...` and `rows` emits
+//! `key.. | value..` group lines instead of answer tuples. Blank lines
 //! and `#` comments are ignored.
 //!
 //! ```
@@ -38,7 +41,7 @@
 
 use crate::engine::Algorithm;
 use crate::service::{QuerySpec, Service, ServiceOutcome};
-use mpc_query::parse_query;
+use mpc_query::parse_aggregate_query;
 
 /// Per-connection protocol state: queued batch specs and the shutdown
 /// flag. All catalog/cache state lives in the [`Service`], which many
@@ -211,8 +214,25 @@ impl Session {
 }
 
 /// Render one query outcome: the `ok` status line, plus the answer tuples
-/// and an `end` terminator when the client asked for rows.
+/// (or `key | value` group lines for aggregate heads) and an `end`
+/// terminator when the client asked for rows.
 fn render_outcome(outcome: &ServiceOutcome, want_rows: bool) -> Vec<String> {
+    if let Some(agg) = outcome.aggregate() {
+        let mut out = vec![format!(
+            "ok groups={} algo={} cache={} rounds={} load={} predicted={:.0}",
+            agg.num_groups(),
+            outcome.algorithm(),
+            outcome.cache_status(),
+            outcome.num_rounds(),
+            outcome.max_load_bits(),
+            outcome.run_outcome().predicted_load_bits(),
+        )];
+        if want_rows {
+            out.extend(agg.to_string().lines().map(str::to_string));
+            out.push("end".to_string());
+        }
+        return out;
+    }
     let answers = outcome.answers();
     let mut out = vec![format!(
         "ok answers={} algo={} cache={} rounds={} load={} predicted={:.0}",
@@ -300,8 +320,12 @@ fn parse_query_line(rest: &str) -> Result<(QuerySpec, bool), String> {
     if body.is_empty() {
         return Err("QUERY needs a query body".to_string());
     }
-    let query = parse_query(body).map_err(|e| format!("cannot parse query: {e}"))?;
+    let (query, aggregate) =
+        parse_aggregate_query(body).map_err(|e| format!("cannot parse query: {e}"))?;
     let mut spec = QuerySpec::new(query).algorithm(algorithm);
+    if let Some(agg) = aggregate {
+        spec = spec.aggregate(agg);
+    }
     if let Some(p) = p {
         spec = spec.p(p);
     }
@@ -454,6 +478,58 @@ mod tests {
             "QUERY S1(x,z), S2(y,z) p=2 seed=9 algo=hash",
         );
         assert!(out.starts_with("ok answers=2 algo=hash cache=hit"), "{out}");
+    }
+
+    #[test]
+    fn aggregate_query_over_the_wire() {
+        let mut svc = service();
+        let mut s = Session::new();
+        s.handle(&mut svc, "LOAD S1 2 0,1;1,1;2,3");
+        s.handle(&mut svc, "LOAD S2 2 5,1;6,3");
+        let out = s.handle(&mut svc, "QUERY Q(z; count) :- S1(x,z), S2(y,z) rows");
+        assert!(out[0].starts_with("ok groups=2 "), "{out:?}");
+        assert!(out[0].contains("cache=miss"), "{out:?}");
+        assert_eq!(out[1..], ["1 | 2", "3 | 1", "end"]);
+        // Global aggregates have an empty key before the separator.
+        let out = s.handle(
+            &mut svc,
+            "QUERY \"Q(; count, sum(z)) :- S1(x,z), S2(y,z)\" rows",
+        );
+        assert!(out[0].starts_with("ok groups=1 "), "{out:?}");
+        assert_eq!(out[1..], ["| 3 5", "end"]);
+        // Without `rows` only the status line comes back.
+        let out = s.handle(&mut svc, "QUERY Q(z; count) :- S1(x,z), S2(y,z)");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].starts_with("ok groups=2 "), "{out:?}");
+        assert!(out[0].contains("cache=hit"), "{out:?}");
+    }
+
+    #[test]
+    fn aggregate_and_plain_twins_do_not_share_a_plan() {
+        let mut svc = service();
+        let mut s = Session::new();
+        s.handle(&mut svc, "LOAD S1 2 0,1;1,1");
+        s.handle(&mut svc, "LOAD S2 2 5,1");
+        let plain = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z)");
+        assert!(plain.contains("cache=miss"), "{plain}");
+        // Same body with an aggregate head must be a fresh cache entry.
+        let agg = one(&mut s, &mut svc, "QUERY Q(z; count) :- S1(x,z), S2(y,z)");
+        assert!(agg.starts_with("ok groups="), "{agg}");
+        assert!(agg.contains("cache=miss"), "{agg}");
+    }
+
+    #[test]
+    fn aggregate_rejects_multi_round() {
+        let mut svc = service();
+        let mut s = Session::new();
+        s.handle(&mut svc, "LOAD S1 2 0,1;1,1");
+        s.handle(&mut svc, "LOAD S2 2 5,1");
+        let out = one(
+            &mut s,
+            &mut svc,
+            "QUERY \"Q(; count) :- S1(x,z), S2(y,z)\" algo=multi-round",
+        );
+        assert!(out.starts_with("err invalid aggregate"), "{out}");
     }
 
     #[test]

@@ -23,6 +23,20 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide accumulator behind [`rows_materialized_total`].
+static ROWS_MATERIALIZED: AtomicU64 = AtomicU64::new(0);
+
+/// Total answer rows materialized into [`AnswerSet`]s in this process (all
+/// threads; [`AnswerSet::push_repeat`] counts every copy). The bench
+/// harness samples it around a run to report `rows_materialized_per_iter`:
+/// aggregate pushdown keeps the delta near zero while the
+/// materialize-then-fold baseline grows with the join's output size.
+/// Deltas of this counter are meaningful, absolute values are not.
+pub fn rows_materialized_total() -> u64 {
+    ROWS_MATERIALIZED.load(Ordering::Relaxed)
+}
 
 /// A set of fixed-arity `u64` rows in one contiguous allocation.
 ///
@@ -95,6 +109,7 @@ impl AnswerSet {
         assert_eq!(row.len(), self.arity, "answer arity mismatch");
         self.data.extend_from_slice(row);
         self.rows += 1;
+        ROWS_MATERIALIZED.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Append `times` copies of one row — the multiplicity-aware emit path
@@ -121,6 +136,7 @@ impl AnswerSet {
             have += copy;
         }
         self.rows += times as usize;
+        ROWS_MATERIALIZED.fetch_add(times, Ordering::Relaxed);
     }
 
     /// Row `i` as a slice.
@@ -442,6 +458,17 @@ mod tests {
         zero.push(&[]);
         zero.push(&[]);
         assert_eq!(zero.sorted_distinct_count(), 1);
+    }
+
+    #[test]
+    fn rows_materialized_probe_accumulates() {
+        let before = rows_materialized_total();
+        let mut a = AnswerSet::new(2);
+        a.push(&[1, 2]);
+        a.push_repeat(&[3, 4], 5);
+        a.push_repeat(&[5, 6], 0);
+        // Other tests run in the same process; the global only ever grows.
+        assert!(rows_materialized_total() - before >= 6);
     }
 
     #[test]

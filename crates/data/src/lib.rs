@@ -27,7 +27,7 @@ pub mod relation;
 pub mod rng;
 pub mod zipf;
 
-pub use answers::AnswerSet;
+pub use answers::{rows_materialized_total, AnswerSet};
 pub use catalog::{CatalogError, Database};
 pub use fastmap::{FastMap, FastSet};
 pub use join::{

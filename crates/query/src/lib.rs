@@ -5,6 +5,8 @@
 //!
 //! * [`query::Query`] — full conjunctive queries without self-joins, with a
 //!   text [`parser`];
+//! * [`aggregate::AggregateSpec`] — optional aggregate heads (group-by +
+//!   COUNT/SUM/MIN/MAX/COUNT DISTINCT) over a query's bindings;
 //! * [`varset::VarSet`] — compact variable sets (`x` in `q_x`);
 //! * [`hypergraph`] — matchings, degrees, connected components;
 //! * [`packing`] — fractional edge packings and the exact vertex set
@@ -16,6 +18,7 @@
 //! * [`named`] — the standard example queries (`C3`, chains, stars,
 //!   cartesian products, the two-way join).
 
+pub mod aggregate;
 pub mod cover;
 pub mod hypergraph;
 pub mod named;
@@ -25,8 +28,9 @@ pub mod query;
 pub mod residual;
 pub mod varset;
 
+pub use aggregate::{AggregateOp, AggregateSpec};
 pub use packing::{max_packing_value, pk, Packing};
-pub use parser::parse_query;
+pub use parser::{parse_aggregate_query, parse_query};
 pub use query::{Atom, Query, QueryError, QueryShape};
 pub use residual::{residual_query, saturates, saturating_packing_vertices, saturating_pk};
 pub use varset::VarSet;

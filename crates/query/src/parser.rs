@@ -3,24 +3,35 @@
 //! Grammar (whitespace-insensitive):
 //!
 //! ```text
-//! query    :=  [ ident "(" varlist ")" "=" ] atomlist
+//! query    :=  [ head sep ] atomlist
+//! head     :=  ident "(" headlist ")"
+//! headlist :=  varlist | [varlist] ";" agglist
+//! agglist  :=  agg ("," agg)*
+//! agg      :=  "count" | ("sum"|"min"|"max"|"count_distinct") "(" ident ")"
+//! sep      :=  "=" | ":-"
 //! atomlist :=  atom ("," atom)*
 //! atom     :=  ident "(" varlist ")"
 //! varlist  :=  ident ("," ident)*
 //! ident    :=  [A-Za-z_][A-Za-z0-9_]*
 //! ```
 //!
-//! The optional head must list exactly the body variables (the paper only
-//! considers *full* queries). Examples:
+//! A plain head must list exactly the body variables (the paper only
+//! considers *full* queries). An aggregate head replaces that fullness
+//! requirement with a projection: the variables before `;` group the
+//! answers, the ops after it summarize each group (see
+//! [`crate::aggregate`]). Examples:
 //!
 //! ```
-//! use mpc_query::parser::parse_query;
+//! use mpc_query::parser::{parse_aggregate_query, parse_query};
 //! let q = parse_query("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)").unwrap();
 //! assert_eq!(q.num_atoms(), 3);
 //! let j = parse_query("S1(x,z), S2(y,z)").unwrap(); // head omitted
 //! assert_eq!(j.num_vars(), 3);
+//! let (_, spec) = parse_aggregate_query("Q(x; count) :- R(x,y), S(y,z)").unwrap();
+//! assert!(spec.is_some());
 //! ```
 
+use crate::aggregate::{AggregateOp, AggregateSpec};
 use crate::query::{Query, QueryError};
 
 struct Lexer<'a> {
@@ -34,6 +45,7 @@ enum Tok {
     LParen,
     RParen,
     Comma,
+    Semi,
     Equals,
     End,
 }
@@ -57,7 +69,13 @@ impl<'a> Lexer<'a> {
             b'(' => Ok(Tok::LParen),
             b')' => Ok(Tok::RParen),
             b',' => Ok(Tok::Comma),
+            b';' => Ok(Tok::Semi),
             b'=' => Ok(Tok::Equals),
+            // Datalog-style `:-` is an alias for `=`.
+            b':' if bytes.get(self.pos) == Some(&b'-') => {
+                self.pos += 1;
+                Ok(Tok::Equals)
+            }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = self.pos - 1;
                 while self.pos < bytes.len()
@@ -109,23 +127,126 @@ fn parse_varlist(lex: &mut Lexer) -> Result<Vec<String>, QueryError> {
     Ok(vars)
 }
 
-/// Parse a conjunctive query; see the module docs for the grammar.
-pub fn parse_query(src: &str) -> Result<Query, QueryError> {
+/// The inside of a head's parentheses: either a plain variable list or a
+/// group-by list plus aggregate ops (keyword, optional operand).
+enum HeadList {
+    Plain(Vec<String>),
+    Aggregate(Vec<String>, Vec<(String, Option<String>)>),
+}
+
+fn parse_head_list(lex: &mut Lexer) -> Result<HeadList, QueryError> {
+    expect(lex, Tok::LParen)?;
+    let mut vars: Vec<String> = Vec::new();
+    loop {
+        match lex.next_tok()? {
+            Tok::Ident(v) => {
+                vars.push(v);
+                match lex.next_tok()? {
+                    Tok::Comma => continue,
+                    Tok::RParen => return Ok(HeadList::Plain(vars)),
+                    Tok::Semi => break,
+                    t => {
+                        return Err(QueryError::Parse(format!(
+                            "expected `,`, `;` or `)` in head, got {t:?}"
+                        )))
+                    }
+                }
+            }
+            // `Q(; count)`: empty group-by, straight to the ops.
+            Tok::Semi if vars.is_empty() => break,
+            t => return Err(QueryError::Parse(format!("expected variable, got {t:?}"))),
+        }
+    }
+    let mut ops: Vec<(String, Option<String>)> = Vec::new();
+    loop {
+        let keyword = match lex.next_tok()? {
+            Tok::Ident(k) => k,
+            t => {
+                return Err(QueryError::Parse(format!(
+                    "expected aggregate op, got {t:?}"
+                )))
+            }
+        };
+        let operand = if lex.peek()? == Tok::LParen {
+            let _ = lex.next_tok()?;
+            let v = match lex.next_tok()? {
+                Tok::Ident(v) => v,
+                t => {
+                    return Err(QueryError::Parse(format!(
+                        "expected aggregate operand variable, got {t:?}"
+                    )))
+                }
+            };
+            expect(lex, Tok::RParen)?;
+            Some(v)
+        } else {
+            None
+        };
+        ops.push((keyword, operand));
+        match lex.next_tok()? {
+            Tok::Comma => continue,
+            Tok::RParen => break,
+            t => return Err(QueryError::Parse(format!("expected `,` or `)`, got {t:?}"))),
+        }
+    }
+    Ok(HeadList::Aggregate(vars, ops))
+}
+
+/// Resolve a raw `(keyword, operand)` pair against the body query.
+fn resolve_op(q: &Query, keyword: &str, operand: Option<&str>) -> Result<AggregateOp, QueryError> {
+    let var = |name: Option<&str>| -> Result<usize, QueryError> {
+        let name = name.ok_or_else(|| {
+            QueryError::Parse(format!("aggregate `{keyword}` needs an operand variable"))
+        })?;
+        q.var_index(name).ok_or_else(|| {
+            QueryError::Parse(format!(
+                "aggregate operand `{name}` does not appear in the body"
+            ))
+        })
+    };
+    match keyword.to_ascii_lowercase().as_str() {
+        "count" => match operand {
+            None => Ok(AggregateOp::Count),
+            Some(_) => Err(QueryError::Parse(
+                "`count` takes no operand (use `count_distinct(v)` for distinct values)"
+                    .to_string(),
+            )),
+        },
+        "sum" => Ok(AggregateOp::Sum(var(operand)?)),
+        "min" => Ok(AggregateOp::Min(var(operand)?)),
+        "max" => Ok(AggregateOp::Max(var(operand)?)),
+        "count_distinct" => Ok(AggregateOp::CountDistinct(var(operand)?)),
+        other => Err(QueryError::Parse(format!("unknown aggregate op `{other}`"))),
+    }
+}
+
+fn parse_internal(src: &str) -> Result<(Query, Option<AggregateSpec>), QueryError> {
     let mut lex = Lexer::new(src);
 
-    // Optionally consume `name(vars) =` as a head.
-    let mut head: Option<(String, Vec<String>)> = None;
+    // Optionally consume `name(headlist) =` (or `:-`) as a head.
+    let mut head: Option<(String, HeadList)> = None;
     let save = lex.pos;
     if let Tok::Ident(name) = lex.peek()? {
         let _ = lex.next_tok()?;
         if lex.peek()? == Tok::LParen {
-            let vars = parse_varlist(&mut lex)?;
-            if lex.peek()? == Tok::Equals {
-                let _ = lex.next_tok()?;
-                head = Some((name, vars));
-            } else {
-                // That was the first atom, not a head; rewind.
-                lex.pos = save;
+            match parse_head_list(&mut lex) {
+                Ok(hl) => {
+                    if lex.peek()? == Tok::Equals {
+                        let _ = lex.next_tok()?;
+                        head = Some((name, hl));
+                    } else if matches!(hl, HeadList::Aggregate(..)) {
+                        // `;` cannot occur in an atom: this was a head.
+                        return Err(QueryError::Parse(
+                            "aggregate head must be followed by `=` or `:-`".to_string(),
+                        ));
+                    } else {
+                        // That was the first atom, not a head; rewind.
+                        lex.pos = save;
+                    }
+                }
+                // Malformed as a head — rewind and let body parsing
+                // report (or succeed, for a well-formed first atom).
+                Err(_) => lex.pos = save,
             }
         } else {
             lex.pos = save;
@@ -166,20 +287,61 @@ pub fn parse_query(src: &str) -> Result<Query, QueryError> {
         .collect();
     let q = Query::build(name, &borrowed)?;
 
-    // Fullness check against an explicit head.
-    if let Some((_, head_vars)) = head {
-        let mut body_vars: Vec<&str> = (0..q.num_vars()).map(|i| q.var_name(i)).collect();
-        let mut head_sorted: Vec<&str> = head_vars.iter().map(String::as_str).collect();
-        body_vars.sort_unstable();
-        head_sorted.sort_unstable();
-        head_sorted.dedup();
-        if body_vars != head_sorted {
-            return Err(QueryError::Parse(format!(
-                "query is not full: head variables {head_sorted:?} != body variables {body_vars:?}"
-            )));
+    match head {
+        None => Ok((q, None)),
+        // Fullness check against an explicit plain head.
+        Some((_, HeadList::Plain(head_vars))) => {
+            let mut body_vars: Vec<&str> = (0..q.num_vars()).map(|i| q.var_name(i)).collect();
+            let mut head_sorted: Vec<&str> = head_vars.iter().map(String::as_str).collect();
+            body_vars.sort_unstable();
+            head_sorted.sort_unstable();
+            head_sorted.dedup();
+            if body_vars != head_sorted {
+                return Err(QueryError::Parse(format!(
+                    "query is not full: head variables {head_sorted:?} != body variables {body_vars:?}"
+                )));
+            }
+            Ok((q, None))
+        }
+        // An aggregate head is a projection: group-by variables need only
+        // *appear* in the body.
+        Some((_, HeadList::Aggregate(group_names, raw_ops))) => {
+            let mut group_by = Vec::with_capacity(group_names.len());
+            for name in &group_names {
+                group_by.push(q.var_index(name).ok_or_else(|| {
+                    QueryError::Parse(format!(
+                        "group-by variable `{name}` does not appear in the body"
+                    ))
+                })?);
+            }
+            let mut ops = Vec::with_capacity(raw_ops.len());
+            for (kw, operand) in &raw_ops {
+                ops.push(resolve_op(&q, kw, operand.as_deref())?);
+            }
+            let spec = AggregateSpec::new(group_by, ops)?;
+            Ok((q, Some(spec)))
         }
     }
-    Ok(q)
+}
+
+/// Parse a conjunctive query; see the module docs for the grammar.
+/// Aggregate heads are rejected here — use [`parse_aggregate_query`] at
+/// surfaces that can evaluate them.
+pub fn parse_query(src: &str) -> Result<Query, QueryError> {
+    match parse_internal(src)? {
+        (q, None) => Ok(q),
+        (_, Some(_)) => Err(QueryError::Parse(
+            "aggregate head not supported here (this surface materializes answers)".to_string(),
+        )),
+    }
+}
+
+/// Parse a conjunctive query that may carry an aggregate head, e.g.
+/// `Q(x; count, sum(z)) :- S1(x,y), S2(y,z)`. Returns the body query plus
+/// the spec (`None` for plain queries, which parse exactly as in
+/// [`parse_query`]).
+pub fn parse_aggregate_query(src: &str) -> Result<(Query, Option<AggregateSpec>), QueryError> {
+    parse_internal(src)
 }
 
 #[cfg(test)]
@@ -235,5 +397,104 @@ mod tests {
         // Head lists the same variable set in a different order: still full.
         let q = parse_query("q(z,x,y) = S1(x,y), S2(y,z)").unwrap();
         assert_eq!(q.num_vars(), 3);
+    }
+
+    #[test]
+    fn datalog_separator_is_an_alias() {
+        let a = parse_query("C3(x,y,z) :- S1(x,y), S2(y,z), S3(z,x)").unwrap();
+        let b = parse_query("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_aggregate_head() {
+        let (q, spec) = parse_aggregate_query("Q(x; count, sum(z)) :- S1(x,y), S2(y,z)").unwrap();
+        let spec = spec.unwrap();
+        assert_eq!(q.name(), "Q");
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(spec.group_by(), &[q.var_index("x").unwrap()]);
+        assert_eq!(
+            spec.ops(),
+            &[
+                AggregateOp::Count,
+                AggregateOp::Sum(q.var_index("z").unwrap())
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_global_aggregate_and_all_ops() {
+        let (q, spec) = parse_aggregate_query(
+            "Q(; count, sum(y), min(y), max(z), count_distinct(x)) = S1(x,y), S2(y,z)",
+        )
+        .unwrap();
+        let spec = spec.unwrap();
+        assert!(spec.group_by().is_empty());
+        let y = q.var_index("y").unwrap();
+        let z = q.var_index("z").unwrap();
+        let x = q.var_index("x").unwrap();
+        assert_eq!(
+            spec.ops(),
+            &[
+                AggregateOp::Count,
+                AggregateOp::Sum(y),
+                AggregateOp::Min(y),
+                AggregateOp::Max(z),
+                AggregateOp::CountDistinct(x)
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_parse_of_plain_query_matches_parse_query() {
+        for src in ["S1(x,z), S2(y,z)", "C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)"] {
+            let (q, spec) = parse_aggregate_query(src).unwrap();
+            assert!(spec.is_none());
+            assert_eq!(q, parse_query(src).unwrap());
+        }
+    }
+
+    #[test]
+    fn aggregate_head_keywords_are_case_insensitive() {
+        let (_, spec) = parse_aggregate_query("Q(x; COUNT, Sum(y)) :- S(x,y)").unwrap();
+        let spec = spec.unwrap();
+        assert_eq!(spec.ops()[0], AggregateOp::Count);
+        assert!(matches!(spec.ops()[1], AggregateOp::Sum(_)));
+    }
+
+    #[test]
+    fn plain_surface_rejects_aggregate_heads() {
+        let err = parse_query("Q(x; count) :- S(x,y)").unwrap_err();
+        assert!(
+            matches!(&err, QueryError::Parse(m) if m.contains("aggregate")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_aggregate_heads() {
+        // Missing separator after an aggregate head.
+        assert!(parse_aggregate_query("Q(x; count), S(x,y)").is_err());
+        // Unknown op.
+        assert!(parse_aggregate_query("Q(x; median(y)) = S(x,y)").is_err());
+        // count with an operand.
+        assert!(parse_aggregate_query("Q(x; count(y)) = S(x,y)").is_err());
+        // sum without an operand.
+        assert!(parse_aggregate_query("Q(x; sum) = S(x,y)").is_err());
+        // Operand not in the body.
+        assert!(parse_aggregate_query("Q(x; sum(w)) = S(x,y)").is_err());
+        // Group-by variable not in the body.
+        assert!(parse_aggregate_query("Q(w; count) = S(x,y)").is_err());
+        // Empty head.
+        assert!(parse_aggregate_query("Q(;) = S(x,y)").is_err());
+    }
+
+    #[test]
+    fn aggregate_group_by_is_a_projection_not_a_fullness_violation() {
+        // `x` alone would be rejected as a plain head; with `;` it's a
+        // group-by projection.
+        let (q, spec) = parse_aggregate_query("Q(x; count) = S(x,y)").unwrap();
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(spec.unwrap().group_by(), &[0]);
     }
 }

@@ -374,6 +374,37 @@ impl Cluster {
         out
     }
 
+    /// Fold every server's local join into accumulators without ever
+    /// materializing an [`AnswerSet`] — the collection half of aggregate
+    /// pushdown. `fold` sees each server's distinct bindings once, with
+    /// the number of *local derivations* (row combinations) as `mult`;
+    /// when the routing partitions the join's derivation multiset across
+    /// servers (every aggregate-eligible plan does — see
+    /// `mpc_core::aggregate`), summing per-server folds of a
+    /// derivation-additive aggregate is exact.
+    ///
+    /// Server ranges run in parallel on the cluster's backend (one `init`
+    /// accumulator per worker chunk); the chunk accumulators come back in
+    /// server-index order, so an order-sensitive merge stays deterministic
+    /// — though a correct aggregate merge is commutative anyway.
+    pub fn fold_answers<A: Send>(
+        &self,
+        query: &Query,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, &[u64], u64) + Sync,
+    ) -> Vec<A> {
+        self.backend.run_chunks(self.p, 1, |lo, hi| {
+            let mut acc = init();
+            for s in lo..hi {
+                let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
+                join::join_foreach_mult(query, &rels, join::JoinOrder::Dynamic, |row, mult| {
+                    fold(&mut acc, row, mult);
+                });
+            }
+            acc
+        })
+    }
+
     /// Count of distinct answers across servers: counts runs over the
     /// sorted flat union ([`AnswerSet::sorted_distinct_count`]) instead of
     /// rebuilding a deduplicated copy like [`Cluster::all_answers`] must.

@@ -28,7 +28,8 @@ use mpc_skew::core::service::Service;
 use mpc_skew::core::shares::ShareAllocation;
 use mpc_skew::core::wire::Session;
 use mpc_skew::data::{generators, Database, Rng};
-use mpc_skew::query::{parse_query, Query};
+use mpc_skew::query::aggregate::AggregateSpec;
+use mpc_skew::query::{parse_aggregate_query, Query};
 use mpc_skew::sim::backend::Backend;
 use mpc_skew::stats::SimpleStatistics;
 use std::process::ExitCode;
@@ -116,7 +117,10 @@ fn usage() -> &'static str {
      mpcskew serve [--domain 65536] [--p 64] [--seed 1] [--threads N]\n          \
      [--listen host:port] [--stats exact|sketch]\n  \
      mpcskew --help\n\n\
-     queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\";\n\
+     queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\"; `run`\n\
+     also takes aggregate heads — \"Q(x; count) :- S1(x,z), S2(y,z)\" with\n\
+     ops count | sum(v) | min(v) | max(v) | count_distinct(v) — folded\n\
+     inside the local joins, never materializing the join output;\n\
      flags accept both `--flag value` and `--flag=value`;\n\
      algos: auto | hc | hc-equal | hash | fragment-replicate | skew-join |\n\
      general | multi-round — `auto` (the default) picks from heavy-hitter\n\
@@ -202,7 +206,7 @@ fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
+fn cmd_run(q: &Query, aggregate: Option<&AggregateSpec>, args: &Args) -> Result<(), String> {
     let p = args.usize_or("p", 64)?;
     let m = args.usize_or("m", 10_000)?;
     let domain = args.usize_or("domain", 1 << 16)? as u64;
@@ -213,6 +217,13 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         None => Algorithm::Auto,
         Some(v) => Algorithm::parse(v).map_err(|e| format!("{e}\n{}", usage()))?,
     };
+    if aggregate.is_some() && matches!(algo, Algorithm::MultiRound | Algorithm::GeneralSkew) {
+        return Err(format!(
+            "`{algo}` does not materialize each join derivation exactly once; \
+             aggregate heads need a derivation-partitioning plan \
+             (auto, hc, hc-equal, hash, fragment-replicate, skew-join)"
+        ));
+    }
     let stats_mode = match args.value("stats")? {
         None => StatsMode::Exact,
         Some(v) => StatsMode::parse(v).map_err(|e| format!("{e}\n{}", usage()))?,
@@ -247,12 +258,15 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         "algo   : {algo}, p = {p}, seed = {seed}, backend = {backend}, stats = {stats_mode}\n"
     );
 
-    let engine = Engine::new(q)
+    let mut engine = Engine::new(q)
         .p(p)
         .seed(seed)
         .backend(backend)
         .algorithm(algo)
         .stats_mode(stats_mode);
+    if let Some(spec) = aggregate {
+        engine = engine.aggregate(spec.clone());
+    }
     let plan = engine.plan(&db);
     println!("plan   : {plan}");
     match plan.algorithm() {
@@ -305,6 +319,31 @@ fn cmd_run(q: &Query, args: &Args) -> Result<(), String> {
         "load/bound    : {:.2}x",
         outcome.max_load_bits() as f64 / outcome.lower_bound_bits()
     );
+    if let Some(agg) = outcome.aggregate() {
+        let spec = outcome.aggregate_spec().expect("aggregate spec");
+        println!("aggregate     : {}", spec.display_with(q));
+        println!("groups        : {}", agg.num_groups());
+        const SHOWN: usize = 20;
+        for line in agg.to_string().lines().take(SHOWN) {
+            println!("  {line}");
+        }
+        if agg.num_groups() > SHOWN {
+            println!("  ... ({} more groups)", agg.num_groups() - SHOWN);
+        }
+        if args.has("no-verify") {
+            println!("verification  : skipped");
+            return Ok(());
+        }
+        let ok = outcome.verify_aggregate(&db).expect("aggregate outcome");
+        println!(
+            "verification  : {} (vs sequential oracle fold)",
+            if ok { "PASSED" } else { "FAILED" }
+        );
+        if !ok {
+            return Err("aggregate result differs from the sequential oracle".to_string());
+        }
+        return Ok(());
+    }
     if args.has("no-verify") {
         println!("answers       : {} distinct (verification skipped)", {
             outcome.answers().len()
@@ -473,8 +512,8 @@ fn main() -> ExitCode {
     }
     let cmd = argv[0].as_str();
     let query_text = argv[1].as_str();
-    let q = match parse_query(query_text) {
-        Ok(q) => q,
+    let (q, aggregate) = match parse_aggregate_query(query_text) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("cannot parse query `{query_text}`: {e}");
             return ExitCode::FAILURE;
@@ -488,8 +527,11 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
+        "bounds" if aggregate.is_some() => {
+            Err("`bounds` analyzes the join body — drop the aggregate head".to_string())
+        }
         "bounds" => cmd_bounds(&q, &args),
-        "run" => cmd_run(&q, &args),
+        "run" => cmd_run(&q, aggregate.as_ref(), &args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match result {

@@ -31,6 +31,9 @@ pub use mpc_stats as stats;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
+    pub use mpc_core::aggregate::{
+        aggregate_cluster, aggregate_oracle, AggregateAccumulator, AggregateResult, Mergeable,
+    };
     pub use mpc_core::bounds;
     pub use mpc_core::engine::{
         execute_batch, sketch_capacity, Algorithm, Engine, ExactStats, Plan, PlanKey, RunOutcome,
@@ -46,12 +49,14 @@ pub mod prelude {
     pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::skew_general::GeneralSkewAlgorithm;
     pub use mpc_core::skew_join::{SkewJoin, SkewJoinConfig};
-    pub use mpc_core::verify::{assert_complete, verify};
+    pub use mpc_core::verify::{assert_complete, verify, verify_aggregate, AggregateVerification};
     pub use mpc_core::wire::Session;
     pub use mpc_data::catalog::Database;
     pub use mpc_data::join::{JoinOrder, JoinStats};
     pub use mpc_data::relation::Relation;
     pub use mpc_data::rng::Rng;
+    pub use mpc_query::aggregate::{AggregateOp, AggregateSpec};
+    pub use mpc_query::parser::{parse_aggregate_query, parse_query};
     pub use mpc_query::query::Query;
     pub use mpc_query::varset::VarSet;
     pub use mpc_sim::backend::Backend;

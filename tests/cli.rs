@@ -434,7 +434,9 @@ fn serve_stdio_reports_errors_and_keeps_going() {
          SHUTDOWN\n",
     );
     let text = lines.join("\n");
-    assert!(lines[0].starts_with("err "), "{text}");
+    // The exact not-loaded message is part of the wire contract: clients
+    // match on it to distinguish "load first" from parse errors.
+    assert_eq!(lines[0], "err relation `Nope` is not loaded", "{text}");
     assert!(lines[1].starts_with("err "), "{text}"); // 9 out of domain [8]
     assert!(lines[2].starts_with("ok loaded S1"), "{text}");
     assert!(lines[3].starts_with("ok answers=1"), "{text}");
