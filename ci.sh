@@ -145,6 +145,14 @@ MPCSKEW_THREADS=pool:4 cargo test -q --workspace --offline
 stage "cargo test -q  (default backend: threaded)"
 cargo test -q --workspace --offline
 
+# Chaos stage: the failpoint suite again, but with the registry armed from
+# the environment (the production arming path) — delay-only sites, so
+# results stay bit-identical while every baseline query exercises the
+# injected-latency path. Panic sites are armed by the suite itself.
+stage "chaos: MPCSKEW_FAILPOINTS armed failpoint suite"
+MPCSKEW_FAILPOINTS="shuffle:delay:1ms,local_join:delay:1ms" \
+    cargo test -q --offline --test chaos
+
 if [ "${1:-}" = "--quick" ]; then
     summary
     exit 0

@@ -5,12 +5,15 @@
 use mpc_bench::workloads::{skewed_join_db, uniform_db, zipf_triangle_db};
 use mpc_core::engine::{Algorithm, Engine};
 use mpc_core::skew_join::SkewJoin;
-use mpc_data::join::{join_count, join_count_ordered, JoinOrder};
-use mpc_data::Relation;
+use mpc_data::join::{
+    join_count, join_count_ordered, join_foreach_mult, try_join_foreach_mult, JoinOrder,
+};
+use mpc_data::{QueryBudget, Relation};
 use mpc_query::named;
 use mpc_sim::backend::Backend;
 use mpc_testkit::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 
 /// Count every heap allocation so `allocs_per_iter` lands in the bench
 /// JSON records (see `mpc_bench::alloc_counter`).
@@ -54,6 +57,51 @@ fn bench_local_join(c: &mut Criterion) {
             b.iter(|| black_box(join_count_ordered(black_box(&tri), &rels, order)))
         });
     }
+    g.finish();
+}
+
+/// The cost of cooperative budget enforcement on the local-join hot loop:
+/// the same `join_16k` workload unbudgeted (`join_foreach_mult`, the
+/// untracked probe) versus under a budget that never trips (a far-future
+/// deadline, so every check is live but no limit fires). The budgeted
+/// variant pays one predicted compare per visited binding plus a
+/// `charge_rows` per emitted answer — the PR's acceptance gate is that
+/// `local_join/*` itself (which stays on the untracked path) regresses
+/// < 2%, with this pair quantifying the opt-in cost of a real budget.
+fn bench_deadline_overhead(c: &mut Criterion) {
+    let q = named::two_way_join();
+    let m = 1usize << 14;
+    let db = uniform_db(&q, m, 1u64 << 14, 3);
+    let rels: Vec<&Relation> = db.relations().iter().map(|r| r.as_ref()).collect();
+
+    let mut g = c.benchmark_group("deadline_overhead");
+    g.throughput(Throughput::Elements((m * q.num_atoms()) as u64));
+    g.bench_function(BenchmarkId::from_parameter("unbudgeted"), |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            join_foreach_mult(black_box(&q), &rels, JoinOrder::Dynamic, |_, mult| {
+                count += mult;
+            });
+            black_box(count)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("far_deadline"), |b| {
+        b.iter(|| {
+            let budget = QueryBudget::new(Some(Duration::from_secs(3600)), None, None);
+            let mut count = 0u64;
+            try_join_foreach_mult(
+                black_box(&q),
+                &rels,
+                JoinOrder::Dynamic,
+                &budget,
+                |_, mult| {
+                    count += mult;
+                },
+            )
+            .expect("far-future deadline never trips");
+            black_box(count)
+        })
+    });
     g.finish();
 }
 
@@ -153,6 +201,6 @@ criterion_group! {
         );
         Criterion::default().sample_size(10)
     };
-    targets = bench_local_join, bench_cluster_zipf
+    targets = bench_local_join, bench_deadline_overhead, bench_cluster_zipf
 }
 criterion_main!(benches);

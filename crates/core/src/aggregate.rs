@@ -45,6 +45,7 @@
 //! assert_eq!(outcome.aggregate(), Some(&aggregate_oracle(&db, &spec)));
 //! ```
 
+use mpc_data::budget::{BudgetExceeded, QueryBudget};
 use mpc_data::catalog::Database;
 use mpc_data::fastmap::{with_projected_key, FastMap, FastSet};
 use mpc_data::join::{self, JoinOrder};
@@ -279,16 +280,36 @@ pub fn aggregate_cluster(
     query: &Query,
     spec: &AggregateSpec,
 ) -> AggregateResult {
-    let parts = cluster.fold_answers(
+    try_aggregate_cluster(cluster, query, spec, &QueryBudget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// [`aggregate_cluster`] under a cooperative [`QueryBudget`]: each
+/// per-server fold charges its group count against the budget's group cap
+/// as groups appear (per-worker counts undercount the global union, but
+/// the merge re-checks the union, so the cap is enforced exactly before
+/// any result is returned), and the underlying joins poll the deadline.
+pub fn try_aggregate_cluster(
+    cluster: &Cluster,
+    query: &Query,
+    spec: &AggregateSpec,
+    budget: &QueryBudget,
+) -> Result<AggregateResult, BudgetExceeded> {
+    let parts = cluster.try_fold_answers(
         query,
+        budget,
         || AggregateAccumulator::new(spec),
-        |acc, binding, mult| acc.fold(binding, mult),
-    );
+        |acc, binding, mult| {
+            acc.fold(binding, mult);
+            budget.check_groups(acc.num_groups() as u64)
+        },
+    )?;
     let mut merged = AggregateAccumulator::new(spec);
     for part in parts {
         merged.merge(part);
+        budget.check_groups(merged.num_groups() as u64)?;
     }
-    merged.finish()
+    Ok(merged.finish())
 }
 
 /// The sequential ground truth: fold the Fixed-order join of the full

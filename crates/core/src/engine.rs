@@ -50,16 +50,17 @@
 //! assert!(outcome.max_load_bits() > 0);
 //! ```
 
-use crate::aggregate::{aggregate_cluster, aggregate_oracle, AggregateResult};
+use crate::aggregate::{aggregate_oracle, try_aggregate_cluster, AggregateResult};
 use crate::baselines::{FragmentReplicateRouter, HashJoinRouter};
 use crate::bounds;
 use crate::hypercube::HyperCube;
-use crate::multi_round::{run_multi_round_on, MultiRoundResult};
+use crate::multi_round::{try_run_multi_round_on, MultiRoundResult};
 use crate::shares::ShareAllocation;
 use crate::skew_general::GeneralSkewAlgorithm;
 use crate::skew_join::{SkewJoin, SkewJoinConfig};
 use crate::verify::{self, Verification};
 use mpc_data::answers::AnswerSet;
+use mpc_data::budget::{BudgetExceeded, QueryBudget};
 use mpc_data::catalog::Database;
 use mpc_data::fastmap::FastMap;
 use mpc_query::aggregate::AggregateSpec;
@@ -761,6 +762,22 @@ impl Plan {
     /// bit-identical to invoking the planned algorithm directly
     /// (`Sequential`, `Threaded(n)`, and `Pooled(n)` all agree).
     pub fn execute(&self, db: &Database, backend: Backend) -> RunOutcome {
+        self.try_execute(db, backend, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// [`Plan::execute`] under a cooperative [`QueryBudget`]: the shuffle
+    /// polls at chunk boundaries, the pushed-down aggregate fold polls
+    /// inside every server's local join and charges groups against the
+    /// group cap, and the multi-round baseline polls at round boundaries.
+    /// For a plain (non-aggregate) plan the answers stay lazy — budget
+    /// them at materialization time with [`RunOutcome::try_answers`].
+    pub fn try_execute(
+        &self,
+        db: &Database,
+        backend: Backend,
+        budget: &QueryBudget,
+    ) -> Result<RunOutcome, BudgetExceeded> {
         assert_eq!(
             db.query(),
             &self.query,
@@ -768,23 +785,25 @@ impl Plan {
         );
         let (detail, aggregate) = match &self.kind {
             PlanKind::MultiRound => (
-                OutcomeDetail::MultiRound(run_multi_round_on(db, self.p, self.seed, backend)),
+                OutcomeDetail::MultiRound(try_run_multi_round_on(
+                    db, self.p, self.seed, backend, budget,
+                )?),
                 None,
             ),
             _ => {
-                let cluster = Cluster::run_round_on(db, self.p, self, backend);
+                let cluster = Cluster::try_run_round_on(db, self.p, self, backend, budget)?;
                 let report = cluster.report();
                 // Aggregate pushdown: fold each server's local join into
                 // a per-group accumulator and merge — answers are never
                 // materialized into an `AnswerSet`.
-                let aggregate = self
-                    .aggregate
-                    .as_ref()
-                    .map(|spec| aggregate_cluster(&cluster, &self.query, spec));
+                let aggregate = match &self.aggregate {
+                    Some(spec) => Some(try_aggregate_cluster(&cluster, &self.query, spec, budget)?),
+                    None => None,
+                };
                 (OutcomeDetail::OneRound { cluster, report }, aggregate)
             }
         };
-        RunOutcome {
+        Ok(RunOutcome {
             algorithm: self.algorithm,
             p: self.p,
             predicted_load_bits: self.predicted_load_bits,
@@ -793,7 +812,7 @@ impl Plan {
             aggregate_spec: self.aggregate.clone(),
             aggregate,
             detail,
-        }
+        })
     }
 }
 
@@ -920,6 +939,21 @@ impl RunOutcome {
         match &self.detail {
             OutcomeDetail::OneRound { cluster, .. } => cluster.all_answers(&self.query),
             OutcomeDetail::MultiRound(mr) => mr.answers.clone(),
+        }
+    }
+
+    /// [`RunOutcome::answers`] under a cooperative [`QueryBudget`]: the
+    /// per-server local joins poll the deadline and charge every emitted
+    /// row against the row cap, so an oversized output trips cleanly
+    /// instead of materializing. (A multi-round outcome already holds its
+    /// answers — they were charged during execution.)
+    pub fn try_answers(&self, budget: &QueryBudget) -> Result<AnswerSet, BudgetExceeded> {
+        match &self.detail {
+            OutcomeDetail::OneRound { cluster, .. } => cluster.try_all_answers(&self.query, budget),
+            OutcomeDetail::MultiRound(mr) => {
+                budget.poll()?;
+                Ok(mr.answers.clone())
+            }
         }
     }
 

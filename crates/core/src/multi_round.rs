@@ -21,6 +21,7 @@
 //! disconnected atoms trigger a broadcast (fragment-replicate) round.
 
 use mpc_data::answers::AnswerSet;
+use mpc_data::budget::{BudgetExceeded, QueryBudget};
 use mpc_data::catalog::Database;
 use mpc_data::mix64;
 use mpc_query::{Query, VarSet};
@@ -129,6 +130,23 @@ pub fn run_multi_round_on(
     seed: u64,
     backend: Backend,
 ) -> MultiRoundResult {
+    try_run_multi_round_on(db, p, seed, backend, &QueryBudget::unlimited())
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// [`run_multi_round_on`] under a cooperative [`QueryBudget`]. Budget
+/// granularity is **per round**: the deadline is polled before every
+/// round and before the final answer collection (a round in flight runs
+/// to completion), and the final materialized answers are charged against
+/// the row cap. Finer-grained than that the baseline does not need to be
+/// — it exists as a reference, not a production path.
+pub fn try_run_multi_round_on(
+    db: &Database,
+    p: usize,
+    seed: u64,
+    backend: Backend,
+    budget: &QueryBudget,
+) -> Result<MultiRoundResult, BudgetExceeded> {
     assert!(p >= 1);
     let q = db.query();
     let bits = db.value_bits() as u64;
@@ -164,6 +182,7 @@ pub fn run_multi_round_on(
     let mut bound = q.atom(first).var_set();
 
     for (round, &j) in order.iter().skip(1).enumerate() {
+        budget.poll()?;
         let atom = q.atom(j);
         let shared = atom.var_set().intersect(bound);
         let round_key = mix64(seed ^ round as u64, 0x1b87_3595_21b6_3e05);
@@ -272,6 +291,8 @@ pub fn run_multi_round_on(
     }
 
     // Collect final answers flat, in query-variable order.
+    budget.poll()?;
+    budget.charge_rows(inter.total_tuples())?;
     let perm: Vec<usize> = (0..q.num_vars())
         .map(|v| inter.vars.iter().position(|&w| w == v).expect("full query"))
         .collect();
@@ -285,11 +306,11 @@ pub fn run_multi_round_on(
     }
     answers.sort_dedup();
 
-    MultiRoundResult {
+    Ok(MultiRoundResult {
         rounds,
         answers,
         bound_vars: bound,
-    }
+    })
 }
 
 /// The distinct variables of atom `j` in ascending index order.

@@ -57,10 +57,11 @@
 //! ```
 
 use crate::engine::{
-    execute_batch, planning_projections, sketch_capacity, Algorithm, Engine, Plan, PlanKey,
-    RunOutcome, Stats, StatsMode,
+    planning_projections, sketch_capacity, Algorithm, Engine, Plan, PlanKey, RunOutcome, Stats,
+    StatsMode,
 };
 use mpc_data::answers::AnswerSet;
+use mpc_data::budget::{BudgetExceeded, BudgetKind, QueryBudget};
 use mpc_data::catalog::Database;
 use mpc_data::fastmap::FastMap;
 use mpc_data::relation::Relation;
@@ -74,11 +75,20 @@ use mpc_stats::sketch::{FreqEstimate, RelationSketch};
 use std::fmt;
 use std::sync::Arc;
 
-/// Errors raised by the service surface.
+/// Errors raised by the service surface — the one typed vocabulary the
+/// wire protocol renders (`err {Display}`), replacing the ad-hoc strings
+/// that used to thread through engine/service/wire. The fault-containment
+/// boundary in [`Service::query_spec`] guarantees every query resolves to
+/// `Ok` or one of these: worker panics become [`ServiceError::Internal`]
+/// (or [`ServiceError::Unsupported`] for known capability limits), budget
+/// trips become [`ServiceError::Timeout`] / [`ServiceError::LimitExceeded`],
+/// and the service stays usable for the next query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
+    /// The query (or its options) failed to parse at the wire layer.
+    Parse(String),
     /// A query references a relation that was never loaded.
-    UnknownRelation(String),
+    NotLoaded(String),
     /// An atom's arity (or an appended tuple batch) disagrees with the
     /// registered relation.
     ArityMismatch {
@@ -98,18 +108,34 @@ pub enum ServiceError {
         /// The service domain `n`.
         domain: u64,
     },
-    /// An aggregate head the engine cannot evaluate: bad variable
-    /// indices, or pinned to an algorithm that does not materialize each
-    /// join derivation exactly once (the multi-round baseline
-    /// deduplicates intermediates; the general bin-combination algorithm
-    /// replicates derivations across sub-instances).
-    InvalidAggregate(String),
+    /// The query asks for something the engine recognizably cannot do:
+    /// an invalid aggregate head (bad variable indices, or pinned to an
+    /// algorithm that does not materialize each join derivation exactly
+    /// once), or a relation past the u32 row-id space of the join index.
+    Unsupported(String),
+    /// A worker panicked mid-query. The panic was contained at the
+    /// service boundary; the catalog, plan cache, and backend are intact
+    /// and the next query runs normally.
+    Internal(String),
+    /// The query's deadline ([`QueryBudget`]) expired before it finished.
+    Timeout,
+    /// The query exceeded its row or group cap. The payload names the
+    /// tripped cap (`max_rows` / `max_groups`).
+    LimitExceeded(String),
+    /// The server is at its concurrent-client cap and shed this request.
+    Overloaded {
+        /// Sessions currently being served.
+        active: usize,
+        /// The configured cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::UnknownRelation(name) => {
+            ServiceError::Parse(msg) => f.write_str(msg),
+            ServiceError::NotLoaded(name) => {
                 write!(f, "relation `{name}` is not loaded")
             }
             ServiceError::ArityMismatch {
@@ -128,12 +154,102 @@ impl fmt::Display for ServiceError {
                 f,
                 "value {value} for `{relation}` outside domain [0,{domain})"
             ),
-            ServiceError::InvalidAggregate(msg) => write!(f, "invalid aggregate: {msg}"),
+            ServiceError::Unsupported(msg) => write!(f, "unsupported {msg}"),
+            ServiceError::Internal(msg) => write!(f, "internal {msg}"),
+            ServiceError::Timeout => f.write_str("timeout query deadline exceeded"),
+            ServiceError::LimitExceeded(cap) => write!(f, "limit {cap} exceeded"),
+            ServiceError::Overloaded { active, max } => {
+                write!(f, "overloaded {active} active clients (max {max})")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Map a cooperative budget trip to its service error.
+fn budget_error(e: BudgetExceeded) -> ServiceError {
+    match e.kind {
+        BudgetKind::Deadline => ServiceError::Timeout,
+        BudgetKind::Rows => ServiceError::LimitExceeded("max_rows".to_string()),
+        BudgetKind::Groups => ServiceError::LimitExceeded("max_groups".to_string()),
+    }
+}
+
+/// Classify a caught panic payload into a [`ServiceError`]. Known
+/// capability limits (the join index's u32 row-id space) become
+/// [`ServiceError::Unsupported`]; stray [`BudgetExceeded`] payloads map to
+/// their budget error; everything else is [`ServiceError::Internal`].
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> ServiceError {
+    let payload = match payload.downcast::<BudgetExceeded>() {
+        Ok(e) => return budget_error(*e),
+        Err(p) => p,
+    };
+    let msg = match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
+    };
+    if msg.contains("u32 row-id space") {
+        ServiceError::Unsupported(msg)
+    } else {
+        ServiceError::Internal(msg)
+    }
+}
+
+/// Run `f` inside the service's fault-containment boundary: any panic —
+/// including pool-re-raised worker panics and injected failpoints — is
+/// caught and classified instead of tearing down the caller, and budget
+/// trips surface as their typed errors.
+fn run_contained<T>(f: impl FnOnce() -> Result<T, BudgetExceeded>) -> Result<T, ServiceError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(budget_error(e)),
+        Err(payload) => Err(classify_panic(payload)),
+    }
+}
+
+/// Execute one plan under `budget`, materializing the answer set for
+/// plain queries (aggregate heads already folded their result during
+/// execution and never materialize rows).
+fn execute_budgeted(
+    plan: &Plan,
+    db: &Database,
+    backend: Backend,
+    budget: &QueryBudget,
+) -> Result<(RunOutcome, Option<AnswerSet>), BudgetExceeded> {
+    let outcome = plan.try_execute(db, backend, budget)?;
+    // A limited budget must charge every materialized answer row against
+    // its cap, so the set is built here, inside the contained region.
+    // Unlimited budgets keep the pre-budget laziness: answers are only
+    // joined when someone asks ([`ServiceOutcome::try_answers`] re-enters
+    // containment for that), so callers that never read answers — the
+    // batch throughput path — never pay for them.
+    let answers = if outcome.aggregate().is_none() && !budget.is_unlimited() {
+        Some(outcome.try_answers(budget)?)
+    } else {
+        None
+    };
+    Ok((outcome, answers))
+}
+
+/// The containment-aware sibling of
+/// [`execute_batch`](crate::engine::execute_batch): same multiplexing
+/// shape (parallel across jobs, each job sequential inside, results in
+/// job order), but each job runs under its own budget and containment
+/// boundary, so one job's injected panic or expired deadline errors that
+/// job without touching its neighbors.
+fn execute_batch_contained(
+    jobs: &[(&Plan, &Database, &QueryBudget)],
+    backend: Backend,
+) -> Vec<Result<(RunOutcome, Option<AnswerSet>), ServiceError>> {
+    backend.run_items(jobs.len(), |i| {
+        let (plan, db, budget) = jobs[i];
+        run_contained(|| execute_budgeted(plan, db, Backend::Sequential, budget))
+    })
+}
 
 /// How the plan cache served one query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -181,6 +297,13 @@ pub struct QuerySpec {
     /// materializing answers. Variable indices refer to `query`'s
     /// variables (stable under canonicalization).
     pub aggregate: Option<AggregateSpec>,
+    /// Deadline override in milliseconds (`Some(0)` = explicitly
+    /// unlimited, `None` = service default).
+    pub timeout_ms: Option<u64>,
+    /// Output-cap override: answer rows for plain queries, groups for
+    /// aggregate heads (`Some(0)` = explicitly unlimited, `None` =
+    /// service default).
+    pub limit: Option<u64>,
 }
 
 impl QuerySpec {
@@ -192,6 +315,8 @@ impl QuerySpec {
             seed: None,
             algorithm: Algorithm::Auto,
             aggregate: None,
+            timeout_ms: None,
+            limit: None,
         }
     }
 
@@ -219,13 +344,30 @@ impl QuerySpec {
         self.aggregate = Some(spec);
         self
     }
+
+    /// Override the deadline (milliseconds; 0 = unlimited).
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Override the output cap (rows, or groups for an aggregate head;
+    /// 0 = unlimited).
+    pub fn limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
 }
 
 /// The result of one service query: the engine's [`RunOutcome`] plus how
-/// the plan cache served it.
+/// the plan cache served it. For plain (non-aggregate) queries the answer
+/// set is materialized *inside* the service's containment boundary — so a
+/// panic or budget trip during answer collection surfaces as the query's
+/// error, never the caller's — and cached here.
 pub struct ServiceOutcome {
     outcome: RunOutcome,
     cache: CacheStatus,
+    answers: Option<AnswerSet>,
 }
 
 impl ServiceOutcome {
@@ -239,9 +381,26 @@ impl ServiceOutcome {
         self.outcome.algorithm()
     }
 
-    /// The distinct answers, sorted, in query-variable order.
+    /// The distinct answers, sorted, in query-variable order (the set
+    /// materialized under the query's budget when the service ran it,
+    /// joined lazily here otherwise).
     pub fn answers(&self) -> AnswerSet {
-        self.outcome.answers()
+        match &self.answers {
+            Some(a) => a.clone(),
+            None => self.outcome.answers(),
+        }
+    }
+
+    /// [`ServiceOutcome::answers`] behind the service's containment
+    /// boundary: when the answers were not already materialized under a
+    /// budget, the lazy join runs under `catch_unwind` so a worker panic
+    /// during materialization (not just during execution) surfaces as a
+    /// typed [`ServiceError`]. The wire layer renders rows through this.
+    pub fn try_answers(&self) -> Result<AnswerSet, ServiceError> {
+        match &self.answers {
+            Some(a) => Ok(a.clone()),
+            None => run_contained(|| Ok(self.outcome.answers())),
+        }
     }
 
     /// The pushed-down aggregate result, when the spec carried an
@@ -349,6 +508,12 @@ pub struct Service {
     /// `last_used` stamps are unique and LRU ties cannot occur.
     tick: u64,
     counters: CacheCounters,
+    /// Default query deadline (ms); `None` = unlimited.
+    default_timeout_ms: Option<u64>,
+    /// Default cap on materialized answer rows; `None` = unlimited.
+    default_max_rows: Option<u64>,
+    /// Default cap on aggregate groups; `None` = unlimited.
+    default_max_groups: Option<u64>,
 }
 
 /// Aggregate sketch telemetry over the catalog (the serve `STATS` line's
@@ -381,6 +546,9 @@ impl Service {
             stats_mode: StatsMode::Exact,
             tick: 0,
             counters: CacheCounters::default(),
+            default_timeout_ms: None,
+            default_max_rows: None,
+            default_max_groups: None,
         }
     }
 
@@ -553,7 +721,7 @@ impl Service {
         let i = *self
             .names
             .get(name)
-            .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))?;
+            .ok_or_else(|| ServiceError::NotLoaded(name.to_string()))?;
         let arity = self.entries[i].rel.arity();
         if !tuples.len().is_multiple_of(arity) {
             return Err(ServiceError::ArityMismatch {
@@ -586,41 +754,99 @@ impl Service {
         Ok(len)
     }
 
+    /// Set the default deadline for queries that do not override it
+    /// (`None` = unlimited). The wire's `SET timeout_ms=` lands here.
+    pub fn set_default_timeout_ms(&mut self, ms: Option<u64>) {
+        self.default_timeout_ms = ms;
+    }
+
+    /// Set the default cap on materialized answer rows (`None` =
+    /// unlimited).
+    pub fn set_default_max_rows(&mut self, rows: Option<u64>) {
+        self.default_max_rows = rows;
+    }
+
+    /// Set the default cap on aggregate groups (`None` = unlimited).
+    pub fn set_default_max_groups(&mut self, groups: Option<u64>) {
+        self.default_max_groups = groups;
+    }
+
+    /// The effective budget for one spec: per-query overrides (0 =
+    /// explicitly unlimited) over the service defaults. The deadline
+    /// clock starts here — at query admission, not at parse time.
+    fn budget_for(&self, spec: &QuerySpec) -> QueryBudget {
+        let unzero = |v: Option<u64>, default: Option<u64>| match v {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => default,
+        };
+        let timeout =
+            unzero(spec.timeout_ms, self.default_timeout_ms).map(std::time::Duration::from_millis);
+        let (max_rows, max_groups) = if spec.aggregate.is_some() {
+            (None, unzero(spec.limit, self.default_max_groups))
+        } else {
+            (unzero(spec.limit, self.default_max_rows), None)
+        };
+        QueryBudget::new(timeout, max_rows, max_groups)
+    }
+
     /// Run `query` with the service defaults.
     pub fn query(&mut self, query: &Query) -> Result<ServiceOutcome, ServiceError> {
         self.query_spec(&QuerySpec::new(query.clone()))
     }
 
-    /// Run one fully-specified query.
+    /// Run one fully-specified query inside the fault-containment
+    /// boundary: execution *and* answer materialization happen under the
+    /// spec's budget and a `catch_unwind`, so a mid-query worker panic or
+    /// a tripped budget returns a typed [`ServiceError`] — the catalog,
+    /// plan cache, and backend stay intact for the next query.
     pub fn query_spec(&mut self, spec: &QuerySpec) -> Result<ServiceOutcome, ServiceError> {
         let (plan, db, cache) = self.resolve_plan(spec)?;
-        let outcome = plan.execute(&db, self.backend);
-        Ok(ServiceOutcome { outcome, cache })
+        let budget = self.budget_for(spec);
+        let backend = self.backend;
+        let (outcome, answers) = run_contained(|| execute_budgeted(&plan, &db, backend, &budget))?;
+        Ok(ServiceOutcome {
+            outcome,
+            cache,
+            answers,
+        })
     }
 
     /// Run a batch of queries, multiplexing their shuffles **across** jobs
-    /// on the service backend (the [`execute_batch`] /
+    /// on the service backend (the
+    /// [`execute_batch`](crate::engine::execute_batch) /
     /// [`Cluster::run_batch`](mpc_sim::cluster::Cluster::run_batch) shape:
     /// on a pooled backend, concurrent clients share the persistent
     /// worker pool). Results come back in spec order, each bit-identical
-    /// to running the spec alone.
+    /// to running the spec alone, and each contained independently: one
+    /// job's panic or budget trip errors that job only.
     pub fn query_batch(
         &mut self,
         specs: &[QuerySpec],
     ) -> Vec<Result<ServiceOutcome, ServiceError>> {
         let resolved: Vec<Resolved> = specs.iter().map(|spec| self.resolve_plan(spec)).collect();
-        let jobs: Vec<(&Plan, &Database)> = resolved
+        let budgets: Vec<QueryBudget> = specs.iter().map(|spec| self.budget_for(spec)).collect();
+        let jobs: Vec<(&Plan, &Database, &QueryBudget)> = resolved
             .iter()
-            .filter_map(|r| r.as_ref().ok())
-            .map(|(plan, db, _)| (plan.as_ref(), db))
+            .zip(&budgets)
+            .filter_map(|(r, budget)| {
+                r.as_ref()
+                    .ok()
+                    .map(|(plan, db, _)| (plan.as_ref(), db, budget))
+            })
             .collect();
-        let mut outcomes = execute_batch(&jobs, self.backend).into_iter();
+        let mut outcomes = execute_batch_contained(&jobs, self.backend).into_iter();
         resolved
             .into_iter()
             .map(|r| {
-                r.map(|(_, _, cache)| ServiceOutcome {
-                    outcome: outcomes.next().expect("one outcome per resolved job"),
-                    cache,
+                r.and_then(|(_, _, cache)| {
+                    let (outcome, answers) =
+                        outcomes.next().expect("one outcome per resolved job")?;
+                    Ok(ServiceOutcome {
+                        outcome,
+                        cache,
+                        answers,
+                    })
                 })
             })
             .collect()
@@ -637,14 +863,14 @@ impl Service {
         let seed = spec.seed.unwrap_or(self.default_seed);
         if let Some(agg) = &spec.aggregate {
             agg.validate_for(&spec.query)
-                .map_err(|e| ServiceError::InvalidAggregate(e.to_string()))?;
+                .map_err(|e| ServiceError::Unsupported(format!("invalid aggregate: {e}")))?;
             if matches!(
                 spec.algorithm,
                 Algorithm::MultiRound | Algorithm::GeneralSkew
             ) {
-                return Err(ServiceError::InvalidAggregate(format!(
-                    "`{}` does not materialize each join derivation exactly once; \
-                     aggregates need a derivation-partitioning plan",
+                return Err(ServiceError::Unsupported(format!(
+                    "invalid aggregate: `{}` does not materialize each join derivation \
+                     exactly once; aggregates need a derivation-partitioning plan",
                     spec.algorithm
                 )));
             }
@@ -721,7 +947,7 @@ impl Service {
                 let &i = self
                     .names
                     .get(atom.name())
-                    .ok_or_else(|| ServiceError::UnknownRelation(atom.name().to_string()))?;
+                    .ok_or_else(|| ServiceError::NotLoaded(atom.name().to_string()))?;
                 let rel = &self.entries[i].rel;
                 if rel.arity() != atom.arity() {
                     return Err(ServiceError::ArityMismatch {
@@ -1060,7 +1286,7 @@ mod tests {
         let q = parse_query("S1(x,z), Nope(y,z)").unwrap();
         assert_eq!(
             svc.query(&q).unwrap_err(),
-            ServiceError::UnknownRelation("Nope".into())
+            ServiceError::NotLoaded("Nope".into())
         );
         let q = parse_query("S1(x,y,z), S2(u,v)").unwrap();
         assert!(matches!(
@@ -1099,5 +1325,60 @@ mod tests {
             assert_eq!(&fresh.query_spec(spec).unwrap().answers(), batch);
         }
         assert_eq!(batch_answers[0], batch_answers[2]);
+    }
+
+    #[test]
+    fn panic_classification_pins_the_wire_vocabulary() {
+        // The `JoinIndex` u32 row-id guard panics with this message; the
+        // containment boundary must map it to `unsupported`, not
+        // `internal`, since it is a stated engine limit, not a bug.
+        let overflow =
+            "relation \"R\" has 5000000000 rows, which exceeds the u32 row-id space of JoinIndex"
+                .to_string();
+        let e = classify_panic(Box::new(overflow.clone()));
+        assert_eq!(e, ServiceError::Unsupported(overflow.clone()));
+        assert_eq!(format!("err {e}"), format!("err unsupported {overflow}"));
+
+        // Everything else stringly-typed is an internal fault...
+        assert_eq!(
+            classify_panic(Box::new("index out of bounds".to_string())),
+            ServiceError::Internal("index out of bounds".to_string())
+        );
+        assert_eq!(
+            classify_panic(Box::new("static payload")),
+            ServiceError::Internal("static payload".to_string())
+        );
+        // ... including payloads that are not strings at all.
+        assert_eq!(
+            classify_panic(Box::new(17u64)),
+            ServiceError::Internal("worker panicked with a non-string payload".to_string())
+        );
+        // Budget trips re-raised as panics keep their typed identity.
+        assert_eq!(
+            classify_panic(Box::new(BudgetExceeded {
+                kind: BudgetKind::Deadline
+            })),
+            ServiceError::Timeout
+        );
+
+        // The remaining wire error classes, byte-for-byte.
+        assert_eq!(
+            format!("{}", ServiceError::Timeout),
+            "timeout query deadline exceeded"
+        );
+        assert_eq!(
+            format!("{}", ServiceError::LimitExceeded("max_rows".to_string())),
+            "limit max_rows exceeded"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                ServiceError::Overloaded {
+                    active: 64,
+                    max: 64
+                }
+            ),
+            "overloaded 64 active clients (max 64)"
+        );
     }
 }

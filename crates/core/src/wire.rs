@@ -7,7 +7,8 @@
 //! ```text
 //! LOAD <rel> <arity> [<v>,<v>,..;<v>,..]   register/replace a relation
 //! APPEND <rel> <v>,<v>,..;..               incremental ingest
-//! QUERY <body> [p=N] [seed=N] [algo=NAME] [rows]
+//! QUERY <body> [p=N] [seed=N] [algo=NAME] [timeout=MS] [limit=N] [rows]
+//! SET [timeout_ms=N] [max_rows=N] [max_groups=N]   session-wide defaults
 //! BATCH / RUN                              queue QUERYs, run multiplexed
 //! STATS                                    counters + catalog, then `end`
 //! SHUTDOWN                                 `ok bye`, session done
@@ -20,6 +21,17 @@
 //! which case the status line reports `ok groups=N ...` and `rows` emits
 //! `key.. | value..` group lines instead of answer tuples. Blank lines
 //! and `#` comments are ignored.
+//!
+//! **Budgets and errors.** `SET timeout_ms=`/`max_rows=`/`max_groups=`
+//! install default query budgets on the shared service (0 = unlimited);
+//! per-query `timeout=MS` and `limit=N` (answer rows, or groups for an
+//! aggregate head; 0 = unlimited) override them. Every failure is one
+//! `err` line whose first word classifies it: `err timeout ...` (deadline
+//! expired), `err limit ...` (row/group cap), `err unsupported ...`
+//! (recognized capability limit), `err internal ...` (a worker panic,
+//! contained — the session and service survive, and the next query on
+//! the same connection runs normally). The TCP front end additionally
+//! sheds clients past its `--max-clients` cap with `err overloaded ...`.
 //!
 //! ```
 //! use mpc_core::service::Service;
@@ -40,7 +52,7 @@
 //! ```
 
 use crate::engine::Algorithm;
-use crate::service::{QuerySpec, Service, ServiceOutcome};
+use crate::service::{QuerySpec, Service, ServiceError, ServiceOutcome};
 use mpc_query::parse_aggregate_query;
 
 /// Per-connection protocol state: queued batch specs and the shutdown
@@ -80,6 +92,7 @@ impl Session {
             "LOAD" => self.cmd_load(service, rest),
             "APPEND" => self.cmd_append(service, rest),
             "QUERY" => self.cmd_query(service, rest),
+            "SET" => self.cmd_set(service, rest),
             "BATCH" => self.cmd_batch(),
             "RUN" => self.cmd_run(service),
             "STATS" => self.cmd_stats(service),
@@ -158,6 +171,38 @@ impl Session {
         }
     }
 
+    /// `SET key=value ...`: install default query budgets on the service
+    /// (shared by every session on a TCP front). `0` clears a default
+    /// back to unlimited.
+    fn cmd_set(&mut self, service: &mut Service, rest: &str) -> Vec<String> {
+        if self.in_batch {
+            return vec!["err SET inside BATCH".to_string()];
+        }
+        if rest.is_empty() {
+            return vec![
+                "err SET needs: SET [timeout_ms=N] [max_rows=N] [max_groups=N]".to_string(),
+            ];
+        }
+        let mut echo = Vec::new();
+        for pair in rest.split_whitespace() {
+            let Some((key, value)) = pair.split_once('=') else {
+                return vec![format!("err SET expects key=value, got `{pair}`")];
+            };
+            let Ok(n) = value.parse::<u64>() else {
+                return vec![format!("err SET {key}= expects an integer, got `{value}`")];
+            };
+            let setting = if n == 0 { None } else { Some(n) };
+            match key {
+                "timeout_ms" => service.set_default_timeout_ms(setting),
+                "max_rows" => service.set_default_max_rows(setting),
+                "max_groups" => service.set_default_max_groups(setting),
+                other => return vec![format!("err SET has no key `{other}`")],
+            }
+            echo.push(format!("{key}={n}"));
+        }
+        vec![format!("ok set {}", echo.join(" "))]
+    }
+
     fn cmd_batch(&mut self) -> Vec<String> {
         if self.in_batch {
             return vec!["err already in BATCH".to_string()];
@@ -233,7 +278,12 @@ fn render_outcome(outcome: &ServiceOutcome, want_rows: bool) -> Vec<String> {
         }
         return out;
     }
-    let answers = outcome.answers();
+    // Containment extends to the lazy row materialization: a worker panic
+    // while joining the rows yields one `err` line, not a torn reply.
+    let answers = match outcome.try_answers() {
+        Ok(a) => a,
+        Err(e) => return vec![format!("err {e}")],
+    };
     let mut out = vec![format!(
         "ok answers={} algo={} cache={} rounds={} load={} predicted={:.0}",
         answers.len(),
@@ -287,11 +337,15 @@ fn parse_rows(text: &str, arity: usize) -> Result<Vec<u64>, String> {
 
 /// Split a `QUERY` line into the query body and trailing options. Options
 /// are parsed right-to-left so the body itself may contain spaces without
-/// quoting.
-fn parse_query_line(rest: &str) -> Result<(QuerySpec, bool), String> {
+/// quoting. Syntax problems come back as [`ServiceError::Parse`] — the
+/// same typed vocabulary every other query failure uses.
+fn parse_query_line(rest: &str) -> Result<(QuerySpec, bool), ServiceError> {
+    let parse_err = |msg: &str| ServiceError::Parse(msg.to_string());
     let mut body = rest.trim();
     let mut p = None;
     let mut seed = None;
+    let mut timeout_ms = None;
+    let mut limit = None;
     let mut algorithm = Algorithm::Auto;
     let mut want_rows = false;
     while let Some((head, tail)) = body.rsplit_once(char::is_whitespace) {
@@ -299,14 +353,30 @@ fn parse_query_line(rest: &str) -> Result<(QuerySpec, bool), String> {
         if tail.eq_ignore_ascii_case("rows") {
             want_rows = true;
         } else if let Some(v) = tail.strip_prefix("p=") {
-            p = Some(v.parse::<usize>().map_err(|_| "p= expects an integer")?);
+            p = Some(
+                v.parse::<usize>()
+                    .map_err(|_| parse_err("p= expects an integer"))?,
+            );
             if p == Some(0) {
-                return Err("p= must be at least 1".to_string());
+                return Err(parse_err("p= must be at least 1"));
             }
         } else if let Some(v) = tail.strip_prefix("seed=") {
-            seed = Some(v.parse::<u64>().map_err(|_| "seed= expects an integer")?);
+            seed = Some(
+                v.parse::<u64>()
+                    .map_err(|_| parse_err("seed= expects an integer"))?,
+            );
+        } else if let Some(v) = tail.strip_prefix("timeout=") {
+            timeout_ms = Some(
+                v.parse::<u64>()
+                    .map_err(|_| parse_err("timeout= expects milliseconds"))?,
+            );
+        } else if let Some(v) = tail.strip_prefix("limit=") {
+            limit = Some(
+                v.parse::<u64>()
+                    .map_err(|_| parse_err("limit= expects an integer"))?,
+            );
         } else if let Some(v) = tail.strip_prefix("algo=") {
-            algorithm = Algorithm::parse(v)?;
+            algorithm = Algorithm::parse(v).map_err(ServiceError::Parse)?;
         } else {
             break;
         }
@@ -318,10 +388,10 @@ fn parse_query_line(rest: &str) -> Result<(QuerySpec, bool), String> {
         .unwrap_or(body)
         .trim();
     if body.is_empty() {
-        return Err("QUERY needs a query body".to_string());
+        return Err(parse_err("QUERY needs a query body"));
     }
-    let (query, aggregate) =
-        parse_aggregate_query(body).map_err(|e| format!("cannot parse query: {e}"))?;
+    let (query, aggregate) = parse_aggregate_query(body)
+        .map_err(|e| ServiceError::Parse(format!("cannot parse query: {e}")))?;
     let mut spec = QuerySpec::new(query).algorithm(algorithm);
     if let Some(agg) = aggregate {
         spec = spec.aggregate(agg);
@@ -331,6 +401,12 @@ fn parse_query_line(rest: &str) -> Result<(QuerySpec, bool), String> {
     }
     if let Some(seed) = seed {
         spec = spec.seed(seed);
+    }
+    if let Some(ms) = timeout_ms {
+        spec = spec.timeout_ms(ms);
+    }
+    if let Some(n) = limit {
+        spec = spec.limit(n);
     }
     Ok((spec, want_rows))
 }
@@ -529,7 +605,75 @@ mod tests {
             &mut svc,
             "QUERY \"Q(; count) :- S1(x,z), S2(y,z)\" algo=multi-round",
         );
-        assert!(out.starts_with("err invalid aggregate"), "{out}");
+        assert!(
+            out.starts_with("err unsupported invalid aggregate"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn query_limit_and_timeout_options() {
+        let mut svc = service();
+        let mut s = Session::new();
+        s.handle(&mut svc, "LOAD S1 2 0,1;1,1;2,3");
+        s.handle(&mut svc, "LOAD S2 2 5,1;6,3");
+        // Three answers fit a limit of 3 (exactly at the cap passes) ...
+        let out = s.handle(&mut svc, "QUERY S1(x,z), S2(y,z) limit=3 rows");
+        assert!(out[0].starts_with("ok answers=3 "), "{out:?}");
+        // ... but not a limit of 2.
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z) limit=2");
+        assert_eq!(out, "err limit max_rows exceeded");
+        // limit=0 is explicitly unlimited.
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z) limit=0");
+        assert!(out.starts_with("ok answers=3 "), "{out}");
+        // For an aggregate head the limit caps groups.
+        let out = one(
+            &mut s,
+            &mut svc,
+            "QUERY Q(z; count) :- S1(x,z), S2(y,z) limit=1",
+        );
+        assert_eq!(out, "err limit max_groups exceeded");
+        // An already-expired deadline trips before any work happens; the
+        // session keeps serving afterwards.
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z) timeout=0");
+        assert!(
+            out.starts_with("ok answers=3 "),
+            "timeout=0 is unlimited: {out}"
+        );
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z) seed=77");
+        assert!(out.starts_with("ok answers=3 "), "{out}");
+        assert!(one(&mut s, &mut svc, "QUERY S1(x,z) timeout=abc").starts_with("err timeout="));
+        assert!(one(&mut s, &mut svc, "QUERY S1(x,z) limit=abc").starts_with("err limit="));
+    }
+
+    #[test]
+    fn set_installs_service_defaults() {
+        let mut svc = service();
+        let mut s = Session::new();
+        s.handle(&mut svc, "LOAD S1 2 0,1;1,1;2,3");
+        s.handle(&mut svc, "LOAD S2 2 5,1;6,3");
+        assert_eq!(
+            one(&mut s, &mut svc, "SET max_rows=2 timeout_ms=60000"),
+            "ok set max_rows=2 timeout_ms=60000"
+        );
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z)");
+        assert_eq!(out, "err limit max_rows exceeded");
+        // Per-query limit=0 overrides the default back to unlimited.
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z) limit=0");
+        assert!(out.starts_with("ok answers=3 "), "{out}");
+        // SET ...=0 clears the default.
+        assert_eq!(one(&mut s, &mut svc, "SET max_rows=0"), "ok set max_rows=0");
+        let out = one(&mut s, &mut svc, "QUERY S1(x,z), S2(y,z)");
+        assert!(out.starts_with("ok answers=3 "), "{out}");
+        // Group caps apply to aggregate heads.
+        one(&mut s, &mut svc, "SET max_groups=1");
+        let out = one(&mut s, &mut svc, "QUERY Q(z; count) :- S1(x,z), S2(y,z)");
+        assert_eq!(out, "err limit max_groups exceeded");
+        // Bad SET lines are rejected without touching anything.
+        assert!(one(&mut s, &mut svc, "SET").starts_with("err SET needs"));
+        assert!(one(&mut s, &mut svc, "SET frobs=1").starts_with("err SET has no key"));
+        assert!(one(&mut s, &mut svc, "SET max_rows=abc").starts_with("err SET max_rows="));
+        assert!(one(&mut s, &mut svc, "SET max_rows").starts_with("err SET expects key=value"));
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! A zero-cost-when-disabled failpoint registry for chaos testing.
+//!
+//! Named sites in the hot paths call [`hit`]; with no failpoints
+//! configured that is a single relaxed atomic load and a predicted branch.
+//! Sites are armed either from the `MPCSKEW_FAILPOINTS` environment
+//! variable (read once, on the first hit) or programmatically via
+//! [`configure_str`] / [`clear`] from tests.
+//!
+//! The configuration grammar is a comma-separated list of
+//! `site:action[:arg]` triples:
+//!
+//! ```text
+//! MPCSKEW_FAILPOINTS=shuffle:panic:0.01,local_join:delay:5ms
+//! ```
+//!
+//! * `panic[:probability]` — unwind with a recognizable `String` payload
+//!   (`failpoint `site` injected panic`); the probability (default 1)
+//!   is evaluated by a deterministic per-site counter RNG, so a given
+//!   configuration fires on exactly the same hits in every run.
+//! * `delay[:duration]` — sleep for the duration (default `1ms`; accepts
+//!   `ns`/`us`/`ms`/`s` suffixes) on every hit.
+//!
+//! The sites this workspace registers: `shuffle` (per routed chunk),
+//! `merge` (per merged chunk on the consuming thread), `local_join` (per
+//! local join evaluation). [`fires`] reports how many times a site has
+//! fired, for tests asserting an injection actually happened.
+
+use crate::rng::mix64;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+/// Fast-path gate: UNINIT until the first hit (or explicit configuration),
+/// then OFF or ON.
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+static REGISTRY: Mutex<Vec<Site>> = Mutex::new(Vec::new());
+
+/// Seed of the deterministic per-site coin flips.
+const FAILPOINT_SEED: u64 = 0x5eed_fa11_9075_c0de;
+
+#[derive(Debug)]
+struct Site {
+    name: String,
+    action: Action,
+    /// `panic` fires when `mix64(seed ^ hits) < threshold`; probability 1
+    /// stores `u64::MAX` and always fires.
+    threshold: u64,
+    hits: u64,
+    fires: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Panic,
+    Delay(Duration),
+}
+
+/// Mark a named failpoint site. Free when no failpoints are configured.
+#[inline]
+pub fn hit(site: &str) {
+    if STATE.load(Ordering::Relaxed) == OFF {
+        return;
+    }
+    hit_slow(site);
+}
+
+#[cold]
+fn hit_slow(site: &str) {
+    if STATE.load(Ordering::Relaxed) == UNINIT {
+        init_from_env();
+        if STATE.load(Ordering::Relaxed) == OFF {
+            return;
+        }
+    }
+    let action = {
+        let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(s) = reg.iter_mut().find(|s| s.name == site) else {
+            return;
+        };
+        let roll = mix64(s.hits.wrapping_mul(0x9e37_79b9_7f4a_7c15), FAILPOINT_SEED);
+        s.hits += 1;
+        if s.threshold != u64::MAX && roll >= s.threshold {
+            return;
+        }
+        s.fires += 1;
+        s.action
+    };
+    match action {
+        Action::Panic => std::panic::panic_any(format!("failpoint `{site}` injected panic")),
+        Action::Delay(d) => std::thread::sleep(d),
+    }
+}
+
+fn init_from_env() {
+    let spec = std::env::var("MPCSKEW_FAILPOINTS").unwrap_or_default();
+    // configure_str also resolves the UNINIT state, racing initializers
+    // included: last writer wins with identical input.
+    configure_str(&spec);
+}
+
+/// Arm the registry from a `site:action[:arg],...` spec, replacing any
+/// previous configuration. An empty spec disables every site (see
+/// [`clear`]). Unparseable entries panic — a chaos run with a typo'd spec
+/// should fail loudly, not silently test nothing.
+pub fn configure_str(spec: &str) {
+    let mut sites = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let mut parts = entry.splitn(3, ':');
+        let name = parts.next().expect("split yields at least one part");
+        let action = parts.next().unwrap_or_else(|| {
+            panic!("failpoint entry `{entry}` is missing an action (site:action[:arg])")
+        });
+        let arg = parts.next();
+        let (action, threshold) = match action {
+            "panic" => {
+                let prob: f64 = arg.map_or(1.0, |a| {
+                    a.parse()
+                        .unwrap_or_else(|_| panic!("failpoint `{entry}`: bad probability `{a}`"))
+                });
+                let threshold = if prob >= 1.0 {
+                    u64::MAX
+                } else {
+                    (prob.max(0.0) * u64::MAX as f64) as u64
+                };
+                (Action::Panic, threshold)
+            }
+            "delay" => {
+                let d = arg.map_or(Duration::from_millis(1), |a| {
+                    parse_duration(a)
+                        .unwrap_or_else(|| panic!("failpoint `{entry}`: bad duration `{a}`"))
+                });
+                (Action::Delay(d), u64::MAX)
+            }
+            other => panic!("failpoint `{entry}`: unknown action `{other}` (panic|delay)"),
+        };
+        sites.push(Site {
+            name: name.to_string(),
+            action,
+            threshold,
+            hits: 0,
+            fires: 0,
+        });
+    }
+    let state = if sites.is_empty() { OFF } else { ON };
+    *REGISTRY.lock().unwrap_or_else(|p| p.into_inner()) = sites;
+    STATE.store(state, Ordering::Relaxed);
+}
+
+/// Disarm every failpoint (tests call this to restore the zero-cost path).
+pub fn clear() {
+    configure_str("");
+}
+
+/// How many times `site` has fired (panicked or delayed) since it was
+/// configured. 0 for unknown sites.
+pub fn fires(site: &str) -> u64 {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .find(|s| s.name == site)
+        .map_or(0, |s| s.fires)
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, unit) = s.split_at(s.find(|c: char| c.is_ascii_alphabetic())?);
+    let n: u64 = num.parse().ok()?;
+    match unit {
+        "ns" => Some(Duration::from_nanos(n)),
+        "us" => Some(Duration::from_micros(n)),
+        "ms" => Some(Duration::from_millis(n)),
+        "s" => Some(Duration::from_secs(n)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests share it with any chaos
+    // suite in the same binary, so each test fully configures and clears.
+
+    #[test]
+    fn parse_durations() {
+        assert_eq!(parse_duration("5ms"), Some(Duration::from_millis(5)));
+        assert_eq!(parse_duration("250us"), Some(Duration::from_micros(250)));
+        assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_duration("7"), None);
+        assert_eq!(parse_duration("5min"), None);
+    }
+
+    #[test]
+    fn unconfigured_site_is_silent_and_probability_is_deterministic() {
+        configure_str("here:panic:0.5");
+        hit("elsewhere"); // not configured: no-op
+        let mut fired = 0;
+        for _ in 0..64 {
+            let r = std::panic::catch_unwind(|| hit("here"));
+            if r.is_err() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, fires("here"));
+        assert!(fired > 0 && fired < 64, "p=0.5 fired {fired}/64");
+        clear();
+        hit("here"); // disarmed: no-op
+                     // Re-arming resets the per-site counter: the same spec fires on
+                     // the same hits again.
+        configure_str("here:panic:0.5");
+        let mut fired2 = 0;
+        for _ in 0..64 {
+            if std::panic::catch_unwind(|| hit("here")).is_err() {
+                fired2 += 1;
+            }
+        }
+        assert_eq!(fired, fired2);
+        clear();
+    }
+
+    #[test]
+    fn delay_site_sleeps_and_counts() {
+        configure_str("slow:delay:1ms");
+        let t = std::time::Instant::now();
+        hit("slow");
+        hit("slow");
+        assert!(t.elapsed() >= Duration::from_millis(2));
+        assert_eq!(fires("slow"), 2);
+        clear();
+    }
+}

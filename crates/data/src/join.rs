@@ -41,7 +41,9 @@
 //! harness via [`visited_bindings_total`].
 
 use crate::answers::AnswerSet;
+use crate::budget::{BudgetExceeded, QueryBudget, CHECK_INTERVAL};
 use crate::catalog::Database;
+use crate::failpoint;
 use crate::relation::Relation;
 use crate::rng::mix64;
 use mpc_query::{Query, VarSet};
@@ -79,6 +81,71 @@ static VISITED_TOTAL: AtomicU64 = AtomicU64::new(0);
 /// counter are meaningful, absolute values are not.
 pub fn visited_bindings_total() -> u64 {
     VISITED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// The per-evaluation probe threaded through both engines: the visited
+/// counter, plus an optional cooperative [`QueryBudget`] polled every
+/// [`CHECK_INTERVAL`] bindings. Untracked (the [`join_foreach_mult`] path)
+/// the check threshold is `u64::MAX`, so the budget machinery costs one
+/// always-false predicted compare per binding.
+struct JoinProbe<'a> {
+    visited: u64,
+    next_check: u64,
+    budget: Option<&'a QueryBudget>,
+}
+
+impl<'a> JoinProbe<'a> {
+    /// Probe with no budget: counts bindings, never polls.
+    fn untracked() -> JoinProbe<'static> {
+        JoinProbe {
+            visited: 0,
+            next_check: u64::MAX,
+            budget: None,
+        }
+    }
+
+    /// Probe polling `budget` every [`CHECK_INTERVAL`] visited bindings.
+    fn budgeted(budget: &'a QueryBudget) -> JoinProbe<'a> {
+        if budget.is_unlimited() {
+            return JoinProbe::untracked();
+        }
+        JoinProbe {
+            visited: 0,
+            next_check: CHECK_INTERVAL,
+            budget: Some(budget),
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self) {
+        self.visited += 1;
+        if self.visited >= self.next_check {
+            self.poll();
+        }
+    }
+
+    #[inline]
+    fn bump_by(&mut self, n: u64) {
+        self.visited += n;
+        if self.visited >= self.next_check {
+            self.poll();
+        }
+    }
+
+    /// Slow path of the cooperative check. A violated budget unwinds with
+    /// a typed [`BudgetExceeded`] payload that
+    /// [`try_join_foreach_mult`] catches and converts back into an `Err`;
+    /// the join keeps no cross-evaluation state, so the unwind cannot
+    /// poison anything (scratch is owned by this evaluation's stack).
+    #[cold]
+    fn poll(&mut self) {
+        self.next_check = self.visited.saturating_add(CHECK_INTERVAL);
+        if let Some(b) = self.budget {
+            if let Err(e) = b.poll() {
+                std::panic::panic_any(e);
+            }
+        }
+    }
 }
 
 /// Compute the greedy fixed atom order. The selection key is fully
@@ -364,7 +431,7 @@ impl<'a> AtomIndex<'a> {
 fn fixed_join(
     query: &Query,
     relations: &[&Relation],
-    visited: &mut u64,
+    probe: &mut JoinProbe<'_>,
     emit: &mut impl FnMut(&[u64], u64),
 ) {
     let order = atom_order(query, relations);
@@ -423,7 +490,7 @@ fn fixed_join(
         bind_positions: &[Vec<(usize, usize)>],
         binding: &mut Vec<u64>,
         key_buf: &mut Vec<u64>,
-        visited: &mut u64,
+        probe: &mut JoinProbe<'_>,
         emit: &mut impl FnMut(&[u64], u64),
     ) {
         if depth == order.len() {
@@ -440,7 +507,7 @@ fn fixed_join(
         // `candidates` borrows the index, not `key_buf`, so the buffer is
         // free for reuse by deeper levels while we iterate.
         for &row_id in idx.candidates(key_buf) {
-            *visited += 1;
+            probe.bump();
             let row = idx.relation.row(row_id as usize);
             if check_positions[depth]
                 .iter()
@@ -460,7 +527,7 @@ fn fixed_join(
                 bind_positions,
                 binding,
                 key_buf,
-                visited,
+                probe,
                 emit,
             );
         }
@@ -475,7 +542,7 @@ fn fixed_join(
         &bind_positions,
         &mut binding,
         &mut key_buf,
-        visited,
+        probe,
         emit,
     );
 }
@@ -765,7 +832,7 @@ fn dyn_descend<'a>(
     binding: &mut [u64],
     states: &mut [AtomState],
     scratch: &mut [NodeScratch],
-    visited: &mut u64,
+    probe: &mut JoinProbe<'_>,
     emit: &mut impl FnMut(&[u64], u64),
 ) {
     // --- variable selection: smallest max-over-atoms candidate bound ---
@@ -807,7 +874,7 @@ fn dyn_descend<'a>(
     // index probe (and a state snapshot/restore) per candidate value.
     if bound.insert(v) == all_vars {
         dyn_leaf(
-            atoms, occs, v, d, dmask, dfirst, states, binding, cur, visited, emit,
+            atoms, occs, v, d, dmask, dfirst, states, binding, cur, probe, emit,
         );
         return;
     }
@@ -921,7 +988,7 @@ fn dyn_descend<'a>(
             states[a] = s;
         }
         let e = cur.vals[vi];
-        *visited += 1;
+        probe.bump();
         binding[v] = e.val;
         states[d] = AtomState {
             mask: dmask_base | dmask,
@@ -959,7 +1026,7 @@ fn dyn_descend<'a>(
             binding,
             states,
             rest,
-            visited,
+            probe,
             emit,
         );
     }
@@ -994,7 +1061,7 @@ fn dyn_leaf<'a>(
     states: &mut [AtomState],
     binding: &mut [u64],
     cur: &mut NodeScratch,
-    visited: &mut u64,
+    probe: &mut JoinProbe<'_>,
     emit: &mut impl FnMut(&[u64], u64),
 ) {
     // --- driver: collect its distinct v-values with multiplicities, ---
@@ -1053,7 +1120,7 @@ fn dyn_leaf<'a>(
             i = j;
         }
     }
-    *visited += cur.merged.len() as u64;
+    probe.bump_by(cur.merged.len() as u64);
 
     // --- intersect every other occurrence's value list into `merged` ---
     for &(a, pos_mask, first) in occs {
@@ -1160,7 +1227,7 @@ fn dyn_leaf<'a>(
 fn dyn_join(
     query: &Query,
     relations: &[&Relation],
-    visited: &mut u64,
+    probe: &mut JoinProbe<'_>,
     emit: &mut impl FnMut(&[u64], u64),
 ) {
     let l = query.num_atoms();
@@ -1274,7 +1341,7 @@ fn dyn_join(
     let drel = relations[d];
 
     for row_id in 0..drel.len() as u32 {
-        *visited += 1;
+        probe.bump();
         let row = drel.row(row_id as usize);
         if atoms[d].dup_checks.iter().any(|&(p, f)| row[p] != row[f]) {
             continue;
@@ -1317,7 +1384,7 @@ fn dyn_join(
                 &mut binding,
                 &mut states,
                 &mut scratch,
-                visited,
+                probe,
                 &mut *emit,
             );
         }
@@ -1340,17 +1407,83 @@ pub fn join_foreach_mult(
     order: JoinOrder,
     mut emit: impl FnMut(&[u64], u64),
 ) -> JoinStats {
+    failpoint::hit("local_join");
+    run_join(
+        query,
+        relations,
+        order,
+        &mut JoinProbe::untracked(),
+        &mut emit,
+    )
+}
+
+/// [`join_foreach_mult`] under a cooperative [`QueryBudget`]: the probe
+/// polls the budget every [`CHECK_INTERVAL`] visited bindings, and every
+/// emitted answer row is charged against the budget's row cap *before*
+/// reaching `emit`. A violated budget unwinds out of the evaluation with a
+/// typed payload that is caught here and returned as `Err` — the join
+/// keeps no cross-evaluation state, so the unwind poisons nothing, and
+/// any other panic (a failpoint, a real bug) is re-raised verbatim.
+///
+/// With an unlimited budget this is exactly [`join_foreach_mult`]: no
+/// `catch_unwind` frame, no per-emit charge.
+pub fn try_join_foreach_mult(
+    query: &Query,
+    relations: &[&Relation],
+    order: JoinOrder,
+    budget: &QueryBudget,
+    mut emit: impl FnMut(&[u64], u64),
+) -> Result<JoinStats, BudgetExceeded> {
+    failpoint::hit("local_join");
+    if budget.is_unlimited() {
+        return Ok(run_join(
+            query,
+            relations,
+            order,
+            &mut JoinProbe::untracked(),
+            &mut emit,
+        ));
+    }
+    budget.poll()?;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut probe = JoinProbe::budgeted(budget);
+        let mut wrapped = |row: &[u64], mult: u64| {
+            if let Err(e) = budget.charge_rows(mult) {
+                std::panic::panic_any(e);
+            }
+            emit(row, mult);
+        };
+        run_join(query, relations, order, &mut probe, &mut wrapped)
+    }));
+    match outcome {
+        // A final poll: joins shorter than one check interval still honor
+        // an already-expired deadline or a row pool drained by a sibling.
+        Ok(stats) => budget.poll().map(|()| stats),
+        Err(payload) => match payload.downcast::<BudgetExceeded>() {
+            Ok(e) => Err(*e),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// Shared engine dispatch behind the two public `*_foreach_mult` fronts.
+fn run_join(
+    query: &Query,
+    relations: &[&Relation],
+    order: JoinOrder,
+    probe: &mut JoinProbe<'_>,
+    emit: &mut impl FnMut(&[u64], u64),
+) -> JoinStats {
     assert_eq!(relations.len(), query.num_atoms());
-    let mut visited = 0u64;
     if !relations.iter().any(|r| r.is_empty()) {
         match order {
-            JoinOrder::Dynamic => dyn_join(query, relations, &mut visited, &mut emit),
-            JoinOrder::Fixed => fixed_join(query, relations, &mut visited, &mut emit),
+            JoinOrder::Dynamic => dyn_join(query, relations, probe, emit),
+            JoinOrder::Fixed => fixed_join(query, relations, probe, emit),
         }
     }
-    VISITED_TOTAL.fetch_add(visited, Ordering::Relaxed);
+    VISITED_TOTAL.fetch_add(probe.visited, Ordering::Relaxed);
     JoinStats {
-        bindings_visited: visited,
+        bindings_visited: probe.visited,
     }
 }
 

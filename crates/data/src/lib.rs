@@ -16,10 +16,16 @@
 //!   used by every statistics and routing map in the workspace;
 //! * [`join`](mod@crate::join) — the local multiway join every simulated server runs
 //!   (CSR-indexed, allocation-free per tuple), also the sequential ground
-//!   truth for verification.
+//!   truth for verification;
+//! * [`budget`] — cooperative per-query resource budgets (deadline, row
+//!   cap, group cap) polled by the join and shuffle hot loops;
+//! * [`failpoint`] — the zero-cost-when-disabled chaos-injection registry
+//!   (`MPCSKEW_FAILPOINTS`), re-exported by `mpc-testkit` for test use.
 
 pub mod answers;
+pub mod budget;
 pub mod catalog;
+pub mod failpoint;
 pub mod fastmap;
 pub mod generators;
 pub mod join;
@@ -28,12 +34,13 @@ pub mod rng;
 pub mod zipf;
 
 pub use answers::{rows_materialized_total, AnswerSet};
+pub use budget::{BudgetExceeded, BudgetKind, QueryBudget};
 pub use catalog::{CatalogError, Database};
 pub use fastmap::{FastMap, FastSet};
 pub use join::{
     join, join_count, join_count_ordered, join_database, join_database_count, join_foreach,
-    join_foreach_mult, join_foreach_ordered, join_ordered, partition_join, visited_bindings_total,
-    JoinIndex, JoinOrder, JoinStats, PartitionedJoin,
+    join_foreach_mult, join_foreach_ordered, join_ordered, partition_join, try_join_foreach_mult,
+    visited_bindings_total, JoinIndex, JoinOrder, JoinStats, PartitionedJoin,
 };
 pub use relation::{domain_bits, record_stats_scan_bytes, stats_scan_bytes_total, Relation};
 pub use rng::{mix64, splitmix64, Rng};

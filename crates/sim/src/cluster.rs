@@ -12,7 +12,9 @@
 use crate::backend::Backend;
 use crate::load::LoadReport;
 use mpc_data::answers::AnswerSet;
+use mpc_data::budget::{BudgetExceeded, QueryBudget};
 use mpc_data::catalog::Database;
+use mpc_data::failpoint;
 use mpc_data::join;
 use mpc_data::relation::Relation;
 use mpc_query::Query;
@@ -127,6 +129,7 @@ fn route_chunk(
     p: usize,
     router: &(impl Router + Sync),
 ) -> RoutedChunk {
+    failpoint::hit("shuffle");
     SHUFFLE_SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
         scratch.reset(p);
@@ -166,6 +169,7 @@ fn route_into_fragments(
     router: &(impl Router + Sync),
     frag: &mut [Relation],
 ) {
+    failpoint::hit("shuffle");
     SHUFFLE_SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
         for i in 0..rel.len() {
@@ -214,6 +218,24 @@ impl Cluster {
         router: &(impl Router + Sync),
         backend: Backend,
     ) -> Cluster {
+        Cluster::try_run_round_on(db, p, router, backend, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// [`Cluster::run_round_on`] under a cooperative [`QueryBudget`]: the
+    /// budget is polled once per routed chunk (both the sequential and the
+    /// pipelined shuffle), so an expired deadline stops the shuffle within
+    /// one chunk of work. On a trip the partially built fragments are
+    /// dropped and a clean `Err` comes back — routing scratch is
+    /// thread-local and reset at the start of every chunk, so nothing is
+    /// poisoned for the next round.
+    pub fn try_run_round_on(
+        db: &Database,
+        p: usize,
+        router: &(impl Router + Sync),
+        backend: Backend,
+        budget: &QueryBudget,
+    ) -> Result<Cluster, BudgetExceeded> {
         assert!(p > 0, "cluster needs at least one server");
         let q = db.query();
         let mut fragments: Vec<Vec<Relation>> = q
@@ -226,30 +248,49 @@ impl Cluster {
             let name = q.atom(j).name();
             let frag = &mut fragments[j];
             if backend.workers_for(rel.len(), SHUFFLE_MIN_CHUNK) <= 1 {
+                budget.poll()?;
                 // Route straight into the fragments, no intermediate buffers.
                 route_into_fragments(rel, j, name, p, router, frag);
             } else {
+                // Producers poll at chunk boundaries and ship `Result`s;
+                // the merge keeps consuming (the pipelined contract drains
+                // every chunk) but stops merging after the first trip.
+                let mut tripped: Option<BudgetExceeded> = None;
                 backend.run_chunks_pipelined(
                     rel.len(),
                     SHUFFLE_MIN_CHUNK,
-                    |lo, hi| route_chunk(rel, j, name, lo, hi, p, router),
+                    |lo, hi| {
+                        budget
+                            .poll()
+                            .map(|()| route_chunk(rel, j, name, lo, hi, p, router))
+                    },
                     |chunk| {
-                        let mut off = 0usize;
-                        for (s, &words) in chunk.counts.iter().enumerate() {
-                            frag[s].push_rows(&chunk.data[off..off + words]);
-                            off += words;
+                        failpoint::hit("merge");
+                        match chunk {
+                            Ok(chunk) if tripped.is_none() => {
+                                let mut off = 0usize;
+                                for (s, &words) in chunk.counts.iter().enumerate() {
+                                    frag[s].push_rows(&chunk.data[off..off + words]);
+                                    off += words;
+                                }
+                            }
+                            Ok(_) => {}
+                            Err(e) => tripped = tripped.or(Some(e)),
                         }
                     },
                 );
+                if let Some(e) = tripped {
+                    return Err(e);
+                }
             }
         }
-        Cluster {
+        Ok(Cluster {
             p,
             value_bits: db.value_bits(),
             input_bits: db.total_bits(),
             fragments,
             backend,
-        }
+        })
     }
 
     /// Execute a whole batch of independent rounds — many small queries or
@@ -355,23 +396,52 @@ impl Cluster {
         out
     }
 
+    /// [`Cluster::all_answers`] under a cooperative [`QueryBudget`]: every
+    /// server's local join polls the budget and charges emitted rows
+    /// against the (shared) row cap, so an overgrown output trips cleanly
+    /// instead of materializing.
+    pub fn try_all_answers(
+        &self,
+        query: &Query,
+        budget: &QueryBudget,
+    ) -> Result<AnswerSet, BudgetExceeded> {
+        let mut out = self.try_collect_answers(query, budget)?;
+        out.sort_dedup();
+        Ok(out)
+    }
+
     /// The concatenated (unsorted, undeduplicated) per-server outputs.
     fn collect_answers(&self, query: &Query) -> AnswerSet {
+        self.try_collect_answers(query, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    fn try_collect_answers(
+        &self,
+        query: &Query,
+        budget: &QueryBudget,
+    ) -> Result<AnswerSet, BudgetExceeded> {
         let parts = self.backend.run_chunks(self.p, 1, |lo, hi| {
             let mut local = AnswerSet::new(query.num_vars());
             for s in lo..hi {
                 let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
-                join::join_foreach_mult(query, &rels, join::JoinOrder::Dynamic, |row, mult| {
-                    local.push_repeat(row, mult);
-                });
+                join::try_join_foreach_mult(
+                    query,
+                    &rels,
+                    join::JoinOrder::Dynamic,
+                    budget,
+                    |row, mult| {
+                        local.push_repeat(row, mult);
+                    },
+                )?;
             }
-            local
+            Ok(local)
         });
         let mut out = AnswerSet::new(query.num_vars());
         for part in parts {
-            out.append(part);
+            out.append(part?);
         }
-        out
+        Ok(out)
     }
 
     /// Fold every server's local join into accumulators without ever
@@ -393,16 +463,47 @@ impl Cluster {
         init: impl Fn() -> A + Sync,
         fold: impl Fn(&mut A, &[u64], u64) + Sync,
     ) -> Vec<A> {
-        self.backend.run_chunks(self.p, 1, |lo, hi| {
+        self.try_fold_answers(query, &QueryBudget::unlimited(), init, |acc, row, mult| {
+            fold(acc, row, mult);
+            Ok(())
+        })
+        .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// [`Cluster::fold_answers`] under a cooperative [`QueryBudget`]. The
+    /// fold itself is fallible so accumulators can charge their own
+    /// resources (the aggregate path trips on its group cap); the first
+    /// error in server-index order wins.
+    pub fn try_fold_answers<A: Send>(
+        &self,
+        query: &Query,
+        budget: &QueryBudget,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, &[u64], u64) -> Result<(), BudgetExceeded> + Sync,
+    ) -> Result<Vec<A>, BudgetExceeded> {
+        let parts = self.backend.run_chunks(self.p, 1, |lo, hi| {
             let mut acc = init();
             for s in lo..hi {
                 let rels: Vec<&Relation> = self.fragments.iter().map(|f| &f[s]).collect();
-                join::join_foreach_mult(query, &rels, join::JoinOrder::Dynamic, |row, mult| {
-                    fold(&mut acc, row, mult);
-                });
+                let mut failed = None;
+                join::try_join_foreach_mult(
+                    query,
+                    &rels,
+                    join::JoinOrder::Dynamic,
+                    budget,
+                    |row, mult| {
+                        if failed.is_none() {
+                            failed = fold(&mut acc, row, mult).err();
+                        }
+                    },
+                )?;
+                if let Some(e) = failed {
+                    return Err(e);
+                }
             }
-            acc
-        })
+            Ok(acc)
+        });
+        parts.into_iter().collect()
     }
 
     /// Count of distinct answers across servers: counts runs over the

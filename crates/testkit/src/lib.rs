@@ -48,6 +48,11 @@ mod macros;
 pub mod runner;
 pub mod strategy;
 
+// The failpoint registry lives in `mpc-data` (the lowest crate with hot
+// paths to instrument) but is a testing facility, so the testkit re-exports
+// it as the canonical spelling for chaos suites: `mpc_testkit::failpoint`.
+pub use mpc_data::failpoint;
+
 pub use runner::{run_property, ProptestConfig, TestCaseError};
 pub use strategy::{Just, Map, Strategy};
 

@@ -24,7 +24,7 @@
 
 use mpc_skew::core::bounds;
 use mpc_skew::core::engine::{Algorithm, Engine, StatsMode};
-use mpc_skew::core::service::Service;
+use mpc_skew::core::service::{Service, ServiceError};
 use mpc_skew::core::shares::ShareAllocation;
 use mpc_skew::core::wire::Session;
 use mpc_skew::data::{generators, Database, Rng};
@@ -115,7 +115,7 @@ fn usage() -> &'static str {
      [--theta 0.0] [--seed 1] [--skew-col 1] [--threads N] [--no-verify]\n          \
      [--stats exact|sketch|synthetic]\n  \
      mpcskew serve [--domain 65536] [--p 64] [--seed 1] [--threads N]\n          \
-     [--listen host:port] [--stats exact|sketch]\n  \
+     [--listen host:port] [--max-clients 64] [--stats exact|sketch]\n  \
      mpcskew --help\n\n\
      queries are conjunctive-query text, e.g. \"S1(x,z), S2(y,z)\"; `run`\n\
      also takes aggregate heads — \"Q(x; count) :- S1(x,z), S2(y,z)\" with\n\
@@ -135,9 +135,12 @@ fn usage() -> &'static str {
      default), synthetic (cardinalities only); estimates can only shift\n\
      load, never change answers;\n\
      serve: resident service speaking the line protocol (LOAD / APPEND /\n\
-     QUERY / BATCH..RUN / STATS / SHUTDOWN) on stdin, or on a TCP socket\n\
-     with --listen — relations stay loaded, statistics are memoized, and\n\
-     repeated query shapes hit a fingerprinted plan cache"
+     QUERY / SET / BATCH..RUN / STATS / SHUTDOWN) on stdin, or on a TCP\n\
+     socket with --listen — relations stay loaded, statistics are memoized,\n\
+     and repeated query shapes hit a fingerprinted plan cache; worker\n\
+     panics are contained per query (`err internal ...`), SET/timeout=/\n\
+     limit= budgets bound runaway queries (`err timeout`/`err limit`), and\n\
+     --max-clients sheds excess TCP clients with `err overloaded`"
 }
 
 fn cmd_bounds(q: &Query, args: &Args) -> Result<(), String> {
@@ -386,10 +389,27 @@ fn service_from_args(args: &Args) -> Result<Service, String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    // Budget trips unwind with a typed payload that the service edge catches
+    // and turns into `err timeout` / `err limit`; they are normal control
+    // flow, so keep the default hook's stderr noise for real faults only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info
+            .payload()
+            .downcast_ref::<mpc_skew::data::BudgetExceeded>()
+            .is_none()
+        {
+            default_hook(info);
+        }
+    }));
     let service = service_from_args(args)?;
+    let max_clients = args.usize_or("max-clients", 64)?;
+    if max_clients == 0 {
+        return Err("--max-clients must be at least 1".to_string());
+    }
     match args.value("listen")? {
         None => serve_stdio(service),
-        Some(addr) => serve_tcp(service, addr),
+        Some(addr) => serve_tcp(service, addr, max_clients),
     }
 }
 
@@ -417,9 +437,16 @@ fn serve_stdio(mut service: Service) -> Result<(), String> {
 /// own `Session` (parser state), all of them sharing the `Service` — and
 /// therefore its memoized statistics and plan cache — behind a mutex. Any
 /// client's SHUTDOWN stops the listener.
-fn serve_tcp(service: Service, addr: &str) -> Result<(), String> {
+///
+/// The listener is fault-contained: a client vanishing mid-line or
+/// mid-response ends only its own session (whose thread handle is reaped,
+/// not leaked), a session thread panic is caught without poisoning the
+/// shared service for everyone else, and connections past `max_clients`
+/// are shed with one `err overloaded` line instead of queueing unbounded
+/// work behind the service mutex.
+fn serve_tcp(service: Service, addr: &str, max_clients: usize) -> Result<(), String> {
     use std::net::{TcpListener, TcpStream};
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex};
 
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -432,19 +459,49 @@ fn serve_tcp(service: Service, addr: &str) -> Result<(), String> {
 
     let service = Arc::new(Mutex::new(service));
     let stop = Arc::new(AtomicBool::new(false));
-    let mut handles = Vec::new();
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match conn {
+        // Reap finished sessions so a long-lived server holds one handle
+        // per *live* client, not one per client that ever connected.
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        let mut stream = match conn {
             Ok(s) => s,
             Err(_) => continue,
         };
+        let now = active.load(Ordering::SeqCst);
+        if now >= max_clients {
+            // Load shedding: one typed line, then close. Never block the
+            // listener behind a full house.
+            let e = ServiceError::Overloaded {
+                active: now,
+                max: max_clients,
+            };
+            let _ = writeln!(stream, "err {e}");
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
         let service = Arc::clone(&service);
         let stop = Arc::clone(&stop);
+        let active = Arc::clone(&active);
         handles.push(std::thread::spawn(move || {
-            let done = client_loop(stream, &service);
+            // Contain even an unexpected session panic: the slot must be
+            // released and the listener must keep accepting.
+            let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                client_loop(stream, &service)
+            }))
+            .unwrap_or(false);
+            active.fetch_sub(1, Ordering::SeqCst);
             if done {
                 stop.store(true, Ordering::SeqCst);
                 // Wake the blocking accept so the listener can observe the
@@ -469,9 +526,13 @@ fn client_loop(stream: std::net::TcpStream, service: &std::sync::Mutex<Service>)
     let mut writer = stream;
     let mut session = Session::new();
     for line in reader.lines() {
+        // A read error (client dropped mid-line) ends this session only.
         let Ok(line) = line else { break };
         let replies = {
-            let mut svc = service.lock().expect("service mutex");
+            // Recover the lock even if another session's thread died while
+            // holding it: the service's own containment boundary means the
+            // state behind a poisoned mutex is still consistent.
+            let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
             session.handle(&mut svc, &line)
         };
         // Keep consuming commands even when the client stopped reading

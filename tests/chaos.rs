@@ -1,0 +1,392 @@
+//! Chaos suite: failpoint-injected worker panics and delays against the
+//! resident service (Satellite of the fault-containment PR).
+//!
+//! The properties under test:
+//!
+//! 1. **Containment** — an injected panic at any failpoint site
+//!    (`shuffle`, `merge`, `local_join`), on any backend, surfaces as
+//!    `ServiceError::Internal` and nothing else: no unwinding into the
+//!    caller, no torn service state.
+//! 2. **Survival** — the very next query on the same service (and the
+//!    same wire session) succeeds, with answers bit-identical to a run
+//!    that was never injected, and plan-cache counters consistent.
+//! 3. **Budgets** — a deadline expired mid-query (forced deterministic
+//!    with a `delay` failpoint) returns `err timeout` and leaves the plan
+//!    cache and incremental statistics untouched.
+//!
+//! The failpoint registry is process-global, so every test that arms it
+//! serializes on [`CHAOS`] and disarms via a drop guard.
+
+use mpc_skew::core::service::{CacheStatus, QuerySpec, Service, ServiceError};
+use mpc_skew::core::wire::Session;
+use mpc_skew::data::{generators, Rng};
+use mpc_skew::query::parse_query;
+use mpc_skew::sim::backend::Backend;
+use mpc_testkit::failpoint;
+use std::sync::{Mutex, MutexGuard};
+
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// Every in-process test body runs under this lock, baselines included:
+/// the registry is process-global, so a query outside the lock could be
+/// killed by a site some *other* test just armed.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arm `spec`; disarm on drop (even when the test panics, so a failed
+/// assertion cannot leak its failpoints into a neighbor). The caller must
+/// already hold [`chaos_lock`].
+struct Armed;
+
+impl Armed {
+    fn new(spec: &str) -> Armed {
+        failpoint::configure_str(spec);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+const DOMAIN: u64 = 1 << 10;
+
+/// A service whose relations are big enough (≥ 2 shuffle chunks) that the
+/// parallel backends take the pipelined shuffle — so the `merge` site
+/// actually fires on them.
+fn loaded_service(backend: Backend) -> Service {
+    let mut rng = Rng::seed_from_u64(42);
+    let mut svc = Service::new(DOMAIN)
+        .with_backend(backend)
+        .with_defaults(4, 1);
+    svc.load(generators::uniform("S1", 2, 1500, DOMAIN, &mut rng))
+        .unwrap();
+    svc.load(generators::uniform("S2", 2, 1500, DOMAIN, &mut rng))
+        .unwrap();
+    svc
+}
+
+fn two_way() -> mpc_skew::query::Query {
+    parse_query("S1(x,z), S2(y,z)").unwrap()
+}
+
+#[test]
+fn injected_panics_are_contained_and_survivors_are_bit_identical() {
+    // `merge` only exists on the pipelined (parallel) shuffle; the other
+    // two sites fire on every backend.
+    let matrix: &[(Backend, &[&str])] = &[
+        (Backend::Sequential, &["shuffle", "local_join"]),
+        (Backend::Pooled(4), &["shuffle", "merge", "local_join"]),
+    ];
+    for &(backend, sites) in matrix {
+        for &site in sites {
+            let _guard = chaos_lock();
+            let q = two_way();
+            let mut svc = loaded_service(backend);
+            let baseline = svc.query(&q).expect("uninjected query");
+            assert_eq!(baseline.cache_status(), CacheStatus::Miss);
+            let expected = baseline.answers();
+
+            {
+                let _armed = Armed::new(&format!("{site}:panic"));
+                // `shuffle`/`merge` fire during execution, `local_join`
+                // during row materialization (one-round answers join
+                // lazily) — both legs run behind the containment
+                // boundary, so drive the full query-to-rows path.
+                let err = svc
+                    .query(&q)
+                    .and_then(|out| out.try_answers())
+                    .expect_err("injected panic must surface as an error");
+                assert_eq!(
+                    err,
+                    ServiceError::Internal(format!("failpoint `{site}` injected panic")),
+                    "{backend:?}/{site}"
+                );
+                assert!(failpoint::fires(site) > 0, "{site} never fired");
+            }
+
+            // Survival: same service, next query, bit-identical answers,
+            // and the failed attempt still counted its cache hit.
+            let after = svc.query(&q).expect("query after injected panic");
+            assert_eq!(after.cache_status(), CacheStatus::Hit, "{backend:?}/{site}");
+            assert_eq!(after.answers(), expected, "{backend:?}/{site}");
+            let c = svc.counters();
+            assert_eq!(
+                (c.hits, c.misses, c.invalidations, c.evictions),
+                (2, 1, 0, 0),
+                "{backend:?}/{site}: counters drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_delays_change_nothing_but_time() {
+    let _guard = chaos_lock();
+    for backend in [Backend::Sequential, Backend::Pooled(4)] {
+        let q = two_way();
+        let mut svc = loaded_service(backend);
+        let expected = svc.query(&q).expect("uninjected query").answers();
+
+        let armed = Armed::new("shuffle:delay:1ms,local_join:delay:1ms");
+        let slow = svc.query(&q).expect("delayed query still succeeds");
+        assert_eq!(slow.answers(), expected, "{backend:?}");
+        assert!(failpoint::fires("local_join") > 0);
+        drop(armed);
+    }
+}
+
+#[test]
+fn probabilistic_panics_eventually_let_a_query_through() {
+    // A p < 1 panic site fires deterministically per hit counter: over
+    // enough attempts both outcomes must occur, and every success must be
+    // bit-identical to the uninjected baseline.
+    let _guard = chaos_lock();
+    let q = two_way();
+    let mut svc = loaded_service(Backend::Pooled(4));
+    let expected = svc.query(&q).expect("uninjected query").answers();
+
+    let _armed = Armed::new("local_join:panic:0.2");
+    let (mut failed, mut succeeded) = (0u32, 0u32);
+    for _ in 0..24 {
+        match svc.query(&q).and_then(|out| out.try_answers()) {
+            Ok(answers) => {
+                assert_eq!(answers, expected);
+                succeeded += 1;
+            }
+            Err(e) => {
+                assert!(matches!(e, ServiceError::Internal(_)), "{e}");
+                failed += 1;
+            }
+        }
+    }
+    assert!(failed > 0, "p=0.2 over 24 queries never fired");
+    assert!(succeeded > 0, "p=0.2 over 24 queries never let one through");
+}
+
+#[test]
+fn batch_jobs_are_contained_independently() {
+    let _guard = chaos_lock();
+    let q = two_way();
+    let mut svc = loaded_service(Backend::Pooled(4));
+    let expected = svc.query(&q).expect("solo query").answers();
+
+    // A budget-tripped job errors alone; its neighbors are untouched.
+    let specs = vec![
+        QuerySpec::new(q.clone()),
+        QuerySpec::new(q.clone()).limit(1),
+        QuerySpec::new(q.clone()),
+    ];
+    let results = svc.query_batch(&specs);
+    assert_eq!(results[0].as_ref().unwrap().answers(), expected);
+    assert_eq!(
+        results[1].as_ref().unwrap_err(),
+        &ServiceError::LimitExceeded("max_rows".to_string())
+    );
+    assert_eq!(results[2].as_ref().unwrap().answers(), expected);
+
+    // Injected panics fail the whole armed batch — but the service
+    // survives and the next (disarmed) batch is bit-identical.
+    {
+        let _armed = Armed::new("local_join:panic");
+        for r in svc.query_batch(&specs[..1]) {
+            let got = r.and_then(|out| out.try_answers());
+            assert!(matches!(got, Err(ServiceError::Internal(_))), "{got:?}");
+        }
+    }
+    let recovered = svc.query_batch(&specs[..1]);
+    assert_eq!(recovered[0].as_ref().unwrap().answers(), expected);
+}
+
+#[test]
+fn deadline_expiry_leaves_plan_cache_and_stats_untouched() {
+    let _guard = chaos_lock();
+    let q = two_way();
+    let mut svc = loaded_service(Backend::Sequential);
+    let baseline = svc.query(&q).expect("uninjected query");
+    let expected = baseline.answers();
+    let plans_before = svc.cached_plans();
+    let infos_before = format!("{:?}", svc.relation_infos());
+
+    // A 25ms injected stall against a 1ms deadline: the cooperative poll
+    // right after the failpoint trips deterministically.
+    let armed = Armed::new("local_join:delay:25ms");
+    let spec = QuerySpec::new(q.clone()).timeout_ms(1);
+    let err = svc.query_spec(&spec).expect_err("deadline must expire");
+    assert_eq!(err, ServiceError::Timeout);
+    drop(armed);
+
+    // The expired query consumed nothing: same cached plan (served as a
+    // hit), same counters shape, same catalog statistics.
+    assert_eq!(svc.cached_plans(), plans_before);
+    assert_eq!(format!("{:?}", svc.relation_infos()), infos_before);
+    let c = svc.counters();
+    assert_eq!((c.hits, c.misses, c.invalidations), (1, 1, 0));
+    let after = svc.query(&q).expect("query after expiry");
+    assert_eq!(after.cache_status(), CacheStatus::Hit);
+    assert_eq!(after.answers(), expected);
+}
+
+#[test]
+fn wire_session_reports_err_internal_and_keeps_serving() {
+    let _guard = chaos_lock();
+    let mut svc = Service::new(64)
+        .with_backend(Backend::Sequential)
+        .with_defaults(4, 1);
+    let mut s = Session::new();
+    s.handle(&mut svc, "LOAD S1 2 0,1;1,1;2,3");
+    s.handle(&mut svc, "LOAD S2 2 5,1;6,3");
+    // Warm the cache so pre- and post-injection replies are comparable.
+    s.handle(&mut svc, "QUERY S1(x,z), S2(y,z) rows");
+    let baseline = s.handle(&mut svc, "QUERY S1(x,z), S2(y,z) rows");
+    assert!(baseline[0].starts_with("ok answers=3 "), "{baseline:?}");
+
+    {
+        let _armed = Armed::new("local_join:panic");
+        let out = s.handle(&mut svc, "QUERY S1(x,z), S2(y,z) rows");
+        assert_eq!(
+            out,
+            vec!["err internal failpoint `local_join` injected panic".to_string()],
+            "one err line, no rows, no end marker"
+        );
+    }
+
+    // Same session, same service: the next reply is byte-identical.
+    let after = s.handle(&mut svc, "QUERY S1(x,z), S2(y,z) rows");
+    assert_eq!(after, baseline);
+    assert!(s.handle(&mut svc, "SHUTDOWN")[0].starts_with("ok bye"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: `mpcskew serve` with env-armed failpoints
+// ---------------------------------------------------------------------------
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Run `mpcskew serve` over piped stdio with `MPCSKEW_FAILPOINTS=spec`,
+/// returning all stdout lines. The child must exit successfully however
+/// much was injected.
+fn serve_with_failpoints(spec: &str, script: &str) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mpcskew"))
+        .args([
+            "serve",
+            "--domain",
+            "1024",
+            "--p",
+            "4",
+            "--threads",
+            "pool:2",
+        ])
+        .env("MPCSKEW_FAILPOINTS", spec)
+        .env("RUST_BACKTRACE", "0")
+        .env_remove("MPCSKEW_THREADS")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve died under failpoints `{spec}`; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Split serve output into per-QUERY reply blocks: an `err ...` line is a
+/// block of its own; an `ok ...` line followed by rows runs to `end`.
+fn query_blocks(lines: &[String]) -> Vec<Vec<String>> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].starts_with("err ") {
+            blocks.push(vec![lines[i].clone()]);
+            i += 1;
+        } else if lines[i].starts_with("ok answers=") {
+            let mut block = Vec::new();
+            while lines[i] != "end" {
+                block.push(lines[i].clone());
+                i += 1;
+            }
+            block.push(lines[i].clone());
+            i += 1;
+            blocks.push(block);
+        } else {
+            i += 1; // LOAD acks, `ok bye`
+        }
+    }
+    blocks
+}
+
+#[test]
+fn serve_survives_env_injected_worker_panics_bit_identically() {
+    let mut rng = Rng::seed_from_u64(7);
+    let mut rel = |name: &str| {
+        let r = generators::uniform(name, 2, 400, 1024, &mut rng);
+        let rows: Vec<String> = r.rows().map(|t| format!("{},{}", t[0], t[1])).collect();
+        format!("LOAD {name} 2 {}\n", rows.join(";"))
+    };
+    let mut script = rel("S1");
+    script.push_str(&rel("S2"));
+    for _ in 0..12 {
+        script.push_str("QUERY S1(x,z), S2(y,z) rows\n");
+    }
+    script.push_str("SHUTDOWN\n");
+
+    let clean = serve_with_failpoints("", &script);
+    let clean_blocks = query_blocks(&clean);
+    assert_eq!(clean_blocks.len(), 12, "{clean_blocks:?}");
+    // Uninjected rows are identical across repeats (drop the status line:
+    // cache=miss flips to cache=hit after the first).
+    let expected_rows = clean_blocks[0][1..].to_vec();
+    for b in &clean_blocks {
+        assert!(b[0].starts_with("ok answers="), "{b:?}");
+        assert_eq!(b[1..], expected_rows[..]);
+    }
+
+    // Inject mid-query worker panics into the pooled local join. The
+    // deterministic per-hit coin means some queries die and some survive;
+    // every survivor must be bit-identical to the uninjected run, on the
+    // same connection, after an earlier query was killed.
+    let chaotic = serve_with_failpoints("local_join:panic:0.1", &script);
+    let blocks = query_blocks(&chaotic);
+    assert_eq!(blocks.len(), 12, "{blocks:?}");
+    let died = blocks.iter().filter(|b| b[0].starts_with("err ")).count();
+    assert!(died > 0, "p=0.1 over 12 queries x 4 servers never fired");
+    assert!(died < 12, "every query died; nothing verified survival");
+    let first_err = blocks
+        .iter()
+        .position(|b| b[0].starts_with("err "))
+        .unwrap();
+    assert!(
+        blocks[first_err + 1..]
+            .iter()
+            .any(|b| b[0].starts_with("ok ")),
+        "no query survived after the first injected panic"
+    );
+    for b in &blocks {
+        if b[0].starts_with("err ") {
+            assert_eq!(
+                b[0], "err internal failpoint `local_join` injected panic",
+                "{b:?}"
+            );
+        } else {
+            assert_eq!(b[1..], expected_rows[..], "survivor rows drifted");
+        }
+    }
+    assert_eq!(chaotic.last().map(String::as_str), Some("ok bye"));
+}

@@ -524,3 +524,186 @@ fn serve_tcp_shares_catalog_and_plan_cache_across_clients() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn serve_pins_the_unsupported_error_vocabulary() {
+    // End-to-end: an aggregate head forced onto a multi-round plan is
+    // refused with a typed `err unsupported` line, and the session keeps
+    // serving afterwards.
+    let lines = serve_stdio_session(
+        &["--domain", "16", "--p", "4"],
+        "LOAD S1 2 0,1;1,1\n\
+         LOAD S2 2 5,1\n\
+         QUERY \"Q(; count) :- S1(x,z), S2(y,z)\" algo=multi-round\n\
+         QUERY S1(x,z), S2(y,z)\n\
+         SHUTDOWN\n",
+    );
+    assert_eq!(
+        lines[2],
+        "err unsupported invalid aggregate: `multi-round` does not materialize \
+         each join derivation exactly once; aggregates need a derivation-partitioning plan",
+        "{lines:?}"
+    );
+    assert!(lines[3].starts_with("ok answers=2"), "{lines:?}");
+    assert_eq!(lines.last().map(String::as_str), Some("ok bye"));
+
+    // The `JoinIndex` u32 row-id overflow cannot be provoked end-to-end
+    // (it needs > 4B rows), so pin the wire rendering of the error the
+    // service classifier maps it to: the exact line a client would read.
+    use mpc_skew::core::service::ServiceError;
+    let e = ServiceError::Unsupported(
+        "relation \"S1\" has 5000000000 rows, which exceeds the u32 row-id space of JoinIndex"
+            .to_string(),
+    );
+    assert_eq!(
+        format!("err {e}"),
+        "err unsupported relation \"S1\" has 5000000000 rows, \
+         which exceeds the u32 row-id space of JoinIndex"
+    );
+}
+
+/// Spawn `mpcskew serve --listen 127.0.0.1:0`, read the banner, and hand
+/// back the child plus the bound address.
+fn serve_tcp_child(extra_args: &[&str]) -> (std::process::Child, String) {
+    let mut child = mpcskew()
+        .args([
+            "serve",
+            "--domain",
+            "16",
+            "--p",
+            "4",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("banner format")
+        .to_owned();
+    (child, addr)
+}
+
+#[test]
+fn serve_tcp_survives_client_disconnects() {
+    use std::net::TcpStream;
+
+    let (child, addr) = serve_tcp_child(&[]);
+
+    // Client 1 drops mid-line: a partial command with no newline, then
+    // the socket closes. The listener must shrug it off.
+    {
+        let mut s = TcpStream::connect(&addr).expect("client connects");
+        s.write_all(b"QUERY S1(x").expect("partial line sent");
+    }
+
+    // Client 2 loads the catalog, then drops mid-response: it reads only
+    // the status line of a `rows` reply and hangs up before the rows.
+    {
+        let stream = TcpStream::connect(&addr).expect("client connects");
+        let mut writer = stream.try_clone().expect("stream clones");
+        writer
+            .write_all(
+                b"LOAD S1 2 0,1;1,1;2,3\n\
+                  LOAD S2 2 5,1;6,3;7,9\n\
+                  QUERY S1(x,z), S2(y,z) rows\n",
+            )
+            .expect("script sent");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        for _ in 0..3 {
+            line.clear();
+            reader.read_line(&mut line).expect("reply line");
+        }
+        assert!(line.starts_with("ok answers=3"), "{line}");
+        // Drop here: the server is (or was) mid-way through writing rows.
+    }
+
+    // A fresh client still gets the shared catalog and the cached plan,
+    // proving neither disconnect tore down the listener or the service.
+    let survivor = {
+        let stream = TcpStream::connect(&addr).expect("client connects");
+        let mut writer = stream.try_clone().expect("stream clones");
+        writer
+            .write_all(b"QUERY S1(x,z), S2(y,z)\nSHUTDOWN\n")
+            .expect("script sent");
+        BufReader::new(stream)
+            .lines()
+            .map(|l| l.expect("reply line"))
+            .collect::<Vec<String>>()
+    };
+    assert!(survivor[0].starts_with("ok answers=3"), "{survivor:?}");
+    assert!(survivor[0].contains("cache=hit"), "{survivor:?}");
+    assert_eq!(survivor.last().map(String::as_str), Some("ok bye"));
+
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_tcp_sheds_load_beyond_max_clients() {
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let (child, addr) = serve_tcp_child(&["--max-clients", "1"]);
+
+    // Occupy the single slot; the echoed STATS reply proves the session
+    // thread is registered before anyone else connects.
+    let holder = TcpStream::connect(&addr).expect("holder connects");
+    let mut writer = holder.try_clone().expect("stream clones");
+    writer.write_all(b"STATS\n").expect("script sent");
+    let mut reader = BufReader::new(holder.try_clone().expect("stream clones"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("stats reply");
+    assert!(line.starts_with("ok plans="), "{line}");
+
+    // The next client is shed with one typed line, then disconnected.
+    let shed = {
+        let stream = TcpStream::connect(&addr).expect("extra client connects");
+        BufReader::new(stream)
+            .lines()
+            .map(|l| l.expect("reply line"))
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(shed, vec!["err overloaded 1 active clients (max 1)"]);
+
+    // Release the slot; the freed capacity must become visible (slot
+    // release races the next accept, so poll until SHUTDOWN lands).
+    drop(writer);
+    drop(reader);
+    drop(holder);
+    let mut said_bye = false;
+    for _ in 0..200 {
+        let stream = TcpStream::connect(&addr).expect("client connects");
+        let mut w = stream.try_clone().expect("stream clones");
+        w.write_all(b"SHUTDOWN\n").expect("script sent");
+        let mut r = BufReader::new(stream);
+        let mut reply = String::new();
+        r.read_line(&mut reply).expect("reply line");
+        if reply.starts_with("ok bye") {
+            said_bye = true;
+            break;
+        }
+        assert!(reply.starts_with("err overloaded"), "{reply}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(said_bye, "slot never freed after holder disconnected");
+
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
